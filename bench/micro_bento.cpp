@@ -1,0 +1,106 @@
+// Microbenchmarks: Bento end-to-end operations over the simulated network —
+// the install-and-invoke costs a client pays per function (these dominate
+// the "small upload" the Table-1 adversary sees).
+#include <benchmark/benchmark.h>
+
+#include "core/world.hpp"
+#include "functions/shard.hpp"
+
+namespace bc = bento::core;
+namespace bf = bento::functions;
+namespace bu = bento::util;
+
+static void BM_FunctionInstallPlain(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    bc::BentoWorld world;
+    world.start();
+    auto client = world.make_client("bench");
+    auto boxes = bc::BentoClient::find_boxes(world.bed().consensus());
+    std::shared_ptr<bc::BentoConnection> conn;
+    client.bento->connect(boxes[0], [&](std::shared_ptr<bc::BentoConnection> c) {
+      conn = std::move(c);
+    });
+    world.run();
+    state.ResumeTiming();
+
+    bool done = false;
+    conn->spawn(bc::kImagePython, [&](bool ok, std::string) {
+      if (!ok) return;
+      bc::FunctionManifest manifest;
+      manifest.name = "bench";
+      manifest.resources.memory_bytes = 1 << 20;
+      manifest.resources.cpu_instructions = 100'000;
+      manifest.resources.disk_bytes = 1 << 20;
+      manifest.resources.network_bytes = 1 << 20;
+      conn->upload(manifest, "def on_message(msg):\n    api.send(msg)\n", "", {},
+                   [&](std::optional<bc::TokenPair> t, std::string) {
+                     done = t.has_value();
+                   });
+    });
+    world.run();
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_FunctionInstallPlain)->Unit(benchmark::kMillisecond);
+
+static void BM_FunctionInstallSgxAttested(benchmark::State& state) {
+  // Includes the conclave spawn, attested channel, stapled IAS report, and
+  // the sealed upload.
+  for (auto _ : state) {
+    state.PauseTiming();
+    bc::BentoWorld world;
+    world.start();
+    auto client = world.make_client("bench");
+    auto boxes = bc::BentoClient::find_boxes(world.bed().consensus());
+    std::shared_ptr<bc::BentoConnection> conn;
+    client.bento->connect(boxes[0], [&](std::shared_ptr<bc::BentoConnection> c) {
+      conn = std::move(c);
+    });
+    world.run();
+    state.ResumeTiming();
+
+    bool done = false;
+    conn->spawn(bc::kImagePythonOpSgx, [&](bool ok, std::string) {
+      if (!ok) return;
+      bc::FunctionManifest manifest;
+      manifest.name = "bench";
+      manifest.image = bc::kImagePythonOpSgx;
+      manifest.resources.memory_bytes = 1 << 20;
+      manifest.resources.cpu_instructions = 100'000;
+      manifest.resources.disk_bytes = 1 << 20;
+      manifest.resources.network_bytes = 1 << 20;
+      conn->upload(manifest, "def on_message(msg):\n    api.send(msg)\n", "", {},
+                   [&](std::optional<bc::TokenPair> t, std::string) {
+                     done = t.has_value();
+                   });
+    });
+    world.run();
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_FunctionInstallSgxAttested)->Unit(benchmark::kMillisecond);
+
+static void BM_ShardEncode(benchmark::State& state) {
+  bu::Rng rng(1);
+  const bu::Bytes data = rng.bytes(1'000'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bf::shard_encode(data, 3, 5));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1'000'000);
+}
+BENCHMARK(BM_ShardEncode);
+
+static void BM_ShardDecode(benchmark::State& state) {
+  bu::Rng rng(2);
+  const bu::Bytes data = rng.bytes(1'000'000);
+  auto shards = bf::shard_encode(data, 3, 5);
+  shards.erase(shards.begin(), shards.begin() + 2);  // decode from last 3
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bf::shard_decode(shards));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1'000'000);
+}
+BENCHMARK(BM_ShardDecode);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Microbenchmarks: BentoScript interpreter — the per-invocation cost of
+// the paper's "functions in a high-level language" substrate.
+#include <benchmark/benchmark.h>
+
+#include "script/interp.hpp"
+#include "util/zlite.hpp"
+
+namespace sc = bento::script;
+namespace bu = bento::util;
+
+static void BM_ParseBrowserSizedFunction(benchmark::State& state) {
+  const std::string source = R"(
+state = {"padding": 0}
+def fetched(body):
+    compressed = zlib_stub(body)
+    final = compressed
+    padding = state["padding"]
+    if padding - len(final) > 0:
+        final = final + pad_stub(padding - len(final))
+    api_stub(final)
+def on_message(msg):
+    req = str(msg).split(" ")
+    state["padding"] = int(req[1])
+)";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sc::parse(source));
+  }
+}
+BENCHMARK(BM_ParseBrowserSizedFunction);
+
+static void BM_InterpFib20(benchmark::State& state) {
+  std::shared_ptr<const sc::Program> program = sc::parse(R"(
+def fib(n):
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+)");
+  for (auto _ : state) {
+    sc::Interpreter interp(program);
+    sc::install_stdlib(interp);
+    interp.run();
+    benchmark::DoNotOptimize(interp.call("fib", {sc::Value::integer(20)}));
+  }
+}
+BENCHMARK(BM_InterpFib20)->Unit(benchmark::kMillisecond);
+
+static void BM_InterpTightLoop(benchmark::State& state) {
+  std::shared_ptr<const sc::Program> program = sc::parse(R"(
+def spin(n):
+    total = 0
+    i = 0
+    while i < n:
+        total += i
+        i += 1
+    return total
+)");
+  sc::Interpreter interp(program);
+  sc::install_stdlib(interp);
+  interp.run();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp.call("spin", {sc::Value::integer(10'000)}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10'000);
+}
+BENCHMARK(BM_InterpTightLoop);
+
+static void BM_ZliteCompressHtml(benchmark::State& state) {
+  std::string page;
+  for (int i = 0; i < 2000; ++i) {
+    page += "<div class=\"item\"><a href=\"/p" + std::to_string(i % 37) +
+            "\">link text here</a></div>\n";
+  }
+  const bu::Bytes input = bu::to_bytes(page);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bu::zlite::compress(input));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(input.size()));
+}
+BENCHMARK(BM_ZliteCompressHtml);
+
+BENCHMARK_MAIN();

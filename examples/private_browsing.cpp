@@ -1,0 +1,161 @@
+// Private browsing with function composition — the paper's motivating
+// example (Figures 1 and 2).
+//
+// Alice wants a page without exposing fingerprintable traffic dynamics, and
+// wants to be *offline* while it downloads:
+//   1. she installs Dropbox on box B (SGX image: encrypted at rest),
+//   2. she installs a composing Browser on exit box A that fetches the URL,
+//      compresses + pads it, and PUTs it into the Dropbox on B,
+//   3. she disconnects; later she returns over a fresh circuit and GETs the
+//      padded bundle from B.
+//
+// To an adversary on her link: a small upload, silence, and (much later)
+// one bulk download — none of the per-resource dynamics fingerprinting
+// attacks feed on.
+//
+// Build: cmake --build build --target private_browsing
+#include <iostream>
+
+#include "core/world.hpp"
+#include "functions/library.hpp"
+#include "util/zlite.hpp"
+
+namespace bc = bento::core;
+namespace bf = bento::functions;
+namespace bt = bento::tor;
+namespace bu = bento::util;
+
+namespace {
+// Browser variant that delivers into a remote Dropbox instead of replying.
+// Install args: "<padding> " + raw dropbox invocation token.
+// Invoke payload: "<url> <dropbox box fingerprint>".
+constexpr char kOfflineBrowserSource[] = R"(
+state = {"padding": 0, "box": "", "token": None}
+
+def stored(reply):
+    api.log("dropbox replied: " + str(reply))
+
+def fetched(body):
+    if body == None:
+        api.log("fetch failed")
+        return
+    compressed = zlib.compress(body)
+    final = compressed
+    padding = state["padding"]
+    if padding > 0:
+        if padding - len(final) > 0:
+            final = final + os.urandom(padding - len(final))
+        else:
+            final = final + os.urandom((len(final) + padding) % padding)
+    bento.invoke(state["box"], state["token"], bytes("PUT:") + final, stored)
+
+def on_install(args):
+    parts = str(args).split(" ")
+    state["padding"] = int(parts[0])
+    state["token"] = sub(args, len(parts[0]) + 1)
+
+def on_message(msg):
+    req = str(msg).split(" ")
+    state["box"] = req[1]
+    net.get(req[0], fetched)
+)";
+
+struct Installed {
+  std::shared_ptr<bc::BentoConnection> conn;
+  std::optional<bc::TokenPair> tokens;
+};
+
+Installed install(bc::BentoWorld& world, bc::BentoWorld::Client& client,
+                  const std::string& box, const bc::FunctionManifest& manifest,
+                  const std::string& source, bu::Bytes args = {}) {
+  Installed out;
+  client.bento->connect(box, [&](std::shared_ptr<bc::BentoConnection> c) {
+    out.conn = std::move(c);
+  });
+  world.run();
+  if (out.conn == nullptr) return out;
+  out.conn->spawn(manifest.image, [&](bool ok, std::string err) {
+    if (!ok) {
+      std::cerr << "spawn failed: " << err << "\n";
+      return;
+    }
+    out.conn->upload(manifest, source, "", args,
+                     [&](std::optional<bc::TokenPair> t, std::string err2) {
+                       if (!t.has_value()) std::cerr << "upload failed: " << err2 << "\n";
+                       out.tokens = std::move(t);
+                     });
+  });
+  world.run();
+  return out;
+}
+}  // namespace
+
+int main() {
+  std::cout << "=== Offline private browsing (Browser -> Dropbox composition) ===\n";
+
+  bc::BentoWorld world;
+  world.start();
+
+  const std::string page = "<html>" + std::string(120'000, 'q') + "</html>";
+  world.bed().add_web_server(bt::parse_addr("93.184.216.34"),
+                             [&page](const std::string&) {
+                               return bu::to_bytes(page);
+                             });
+
+  std::string exit_box, storage_box;
+  for (const auto& relay : world.bed().consensus().relays) {
+    if (relay.flags.exit && exit_box.empty()) exit_box = relay.fingerprint();
+    if (!relay.flags.exit) storage_box = relay.fingerprint();
+  }
+
+  auto alice = world.make_client("alice");
+
+  // 1. Dropbox on the storage box.
+  auto dropbox = install(world, alice, storage_box, bf::dropbox_manifest(),
+                         bf::dropbox_source());
+  if (!dropbox.tokens.has_value()) return 1;
+  std::cout << "1. Dropbox installed on " << storage_box << "\n";
+
+  // 2. Composing Browser on the exit box; it learns the Dropbox capability
+  //    through its (sealed) install args.
+  auto manifest = bf::browser_manifest();
+  manifest.name = "offline-browser";
+  manifest.required.push_back(bento::sandbox::Syscall::SpawnFunction);
+  bu::Bytes browser_args = bu::to_bytes("65536 ");
+  bu::append(browser_args, dropbox.tokens->invocation.bytes());
+  auto browser = install(world, alice, exit_box, manifest, kOfflineBrowserSource,
+                         browser_args);
+  if (!browser.tokens.has_value()) return 1;
+  std::cout << "2. offline-Browser installed on exit " << exit_box << "\n";
+
+  // 3. Kick off the fetch, then go offline immediately.
+  browser.conn->invoke(browser.tokens->invocation.bytes(),
+                       bu::to_bytes("http://93.184.216.34/page " + storage_box));
+  browser.conn->close();
+  std::cout << "3. fetch started; Alice goes offline while it runs\n";
+  world.run();
+
+  // 4. Later: pick the bundle up from the Dropbox over a fresh circuit.
+  std::shared_ptr<bc::BentoConnection> pickup;
+  alice.bento->connect(storage_box, [&](std::shared_ptr<bc::BentoConnection> c) {
+    pickup = std::move(c);
+  });
+  world.run();
+  if (pickup == nullptr) return 1;
+  bu::Bytes bundle;
+  pickup->set_output_handler([&](bu::Bytes out) { bundle = std::move(out); });
+  pickup->invoke(dropbox.tokens->invocation.bytes(), bu::to_bytes("GET:"));
+  world.run();
+
+  if (bundle.empty() || bu::to_string(bundle) == "MISSING") {
+    std::cerr << "pickup failed\n";
+    return 1;
+  }
+  std::cout << "4. picked up " << bundle.size() << " padded bytes (multiple of 65536: "
+            << (bundle.size() % 65536 == 0 ? "yes" : "no") << ")\n";
+  const bu::Bytes page_bytes = bu::zlite::decompress(bundle);
+  const bool match = bu::to_string(page_bytes) == page;
+  std::cout << "   decompressed to " << page_bytes.size()
+            << " bytes; matches original: " << (match ? "yes" : "NO") << "\n";
+  return match ? 0 : 1;
+}

@@ -1,0 +1,281 @@
+#include "core/client.hpp"
+
+#include <cstdlib>
+
+#include "util/log.hpp"
+
+namespace bento::core {
+
+namespace {
+constexpr char kComponent[] = "bento.client";
+}
+
+std::vector<std::string> BentoClient::find_boxes(const tor::Consensus& consensus) {
+  std::vector<std::string> out;
+  for (const auto& relay : consensus.relays) {
+    if (relay.flags.bento) out.push_back(relay.fingerprint());
+  }
+  return out;
+}
+
+std::optional<MiddleboxPolicy> BentoClient::advertised_policy(
+    const tor::RelayDescriptor& descriptor) {
+  if (descriptor.bento_policy.empty()) return std::nullopt;
+  try {
+    return MiddleboxPolicy::deserialize(descriptor.bento_policy);
+  } catch (const util::ParseError&) {
+    return std::nullopt;
+  }
+}
+
+void BentoClient::connect(const std::string& box_fingerprint,
+                          std::function<void(std::shared_ptr<BentoConnection>)> done) {
+  connect(box_fingerprint, {}, std::move(done));
+}
+
+void BentoClient::connect(const std::string& box_fingerprint,
+                          std::vector<std::string> excluded_relays,
+                          std::function<void(std::shared_ptr<BentoConnection>)> done) {
+  const tor::RelayDescriptor* box = proxy_.consensus().find(box_fingerprint);
+  if (box == nullptr) {
+    done(nullptr);
+    return;
+  }
+  const tor::Endpoint bento_endpoint{box->addr, config_.bento_port};
+
+  auto conn = std::shared_ptr<BentoConnection>(new BentoConnection());
+  conn->proxy_ = &proxy_;
+  conn->config_ = config_;
+  conn->box_ = box_fingerprint;
+  live_.push_back(conn);
+
+  tor::PathConstraints constraints;
+  constraints.last_hop = box_fingerprint;
+  constraints.excluded = std::move(excluded_relays);
+  auto done_shared =
+      std::make_shared<std::function<void(std::shared_ptr<BentoConnection>)>>(
+          std::move(done));
+  auto answered = std::make_shared<bool>(false);
+  proxy_.build_circuit(constraints, [conn, bento_endpoint, done_shared,
+                                     answered](tor::CircuitOrigin* circ) {
+    if (circ == nullptr) {
+      *answered = true;
+      (*done_shared)(nullptr);
+      return;
+    }
+    conn->circuit_ = circ;
+    if (std::getenv("BENTO_DEBUG_PATHS") != nullptr) {
+      std::string path_desc;
+      for (const auto& hop : circ->path()) path_desc += hop.nickname + " ";
+      util::log_line(util::LogLevel::Info, "bento.client", "circuit path: " + path_desc);
+    }
+    tor::Stream::Callbacks cbs;
+    cbs.on_data = [conn](util::ByteView d) { conn->on_stream_data(d); };
+    cbs.on_end = [conn, done_shared, answered] {
+      conn->on_stream_end();
+      if (!*answered) {  // refused before CONNECTED (no Bento server there)
+        *answered = true;
+        (*done_shared)(nullptr);
+      }
+    };
+    tor::Stream* stream = circ->open_stream(bento_endpoint, std::move(cbs));
+    conn->stream_ = stream;
+    stream->set_on_connected([conn, done_shared, answered] {
+      *answered = true;
+      (*done_shared)(conn);
+    });
+  });
+}
+
+std::vector<std::string> BentoConnection::path_fingerprints() const {
+  std::vector<std::string> out;
+  if (circuit_ != nullptr) {
+    for (const auto& hop : circuit_->path()) out.push_back(hop.fingerprint());
+  }
+  return out;
+}
+
+void BentoConnection::send_msg(const Message& msg) {
+  if (stream_ == nullptr) return;
+  stream_->send(StreamFramer::frame(msg));
+}
+
+void BentoConnection::expect(std::function<void(const Message&)> handler) {
+  pending_.push_back(std::move(handler));
+}
+
+void BentoConnection::on_stream_data(util::ByteView data) {
+  raw_bytes_ += data.size();
+  for (const Message& msg : framer_.feed(data)) {
+    if (msg.type == MsgType::Output) {
+      if (output_) output_(msg.blob);
+      continue;
+    }
+    if (pending_.empty()) {
+      util::log_warn(kComponent, "unexpected reply type ",
+                     static_cast<int>(msg.type));
+      continue;
+    }
+    auto handler = std::move(pending_.front());
+    pending_.pop_front();
+    handler(msg);
+  }
+}
+
+void BentoConnection::on_stream_end() {
+  stream_ = nullptr;
+  // Fail anything still waiting.
+  while (!pending_.empty()) {
+    auto handler = std::move(pending_.front());
+    pending_.pop_front();
+    Message err;
+    err.type = MsgType::Error;
+    err.text = "connection closed";
+    handler(err);
+  }
+}
+
+void BentoConnection::get_policy(PolicyFn done) {
+  Message msg;
+  msg.type = MsgType::GetPolicy;
+  expect([done = std::move(done)](const Message& reply) {
+    if (reply.type != MsgType::PolicyReply) {
+      done(std::nullopt);
+      return;
+    }
+    try {
+      done(MiddleboxPolicy::deserialize(reply.blob));
+    } catch (const util::ParseError&) {
+      done(std::nullopt);
+    }
+  });
+  send_msg(msg);
+}
+
+void BentoConnection::spawn(const std::string& image, SpawnFn done) {
+  Message msg;
+  msg.type = MsgType::Spawn;
+  msg.text = image;
+  spawned_image_ = image;
+  const bool sgx = image == kImagePythonOpSgx;
+  if (sgx) {
+    msg.blob2 = tee::SecureChannel::client_hello(channel_eph_, proxy_->rng()).to_bytes();
+  }
+  auto self = shared_from_this();
+  expect([self, sgx, done = std::move(done)](const Message& reply) {
+    if (reply.type != MsgType::SpawnReply) {
+      done(false, reply.text.empty() ? "spawn failed" : reply.text);
+      return;
+    }
+    self->container_id_ = reply.container_id;
+    if (!sgx) {
+      done(true, "");
+      return;
+    }
+    // Attest: verify the stapled IAS report and the channel binding.
+    try {
+      const auto accept = tee::SecureChannel::Accept::from_bytes(reply.blob2);
+      const auto report = tee::AttestationReport::deserialize(reply.blob);
+      if (!report.verify(self->config_.ias_public_key)) {
+        done(false, "attestation: bad IAS report signature");
+        return;
+      }
+      if (report.quote.serialize() != accept.quote.serialize()) {
+        done(false, "attestation: report/quote mismatch");
+        return;
+      }
+      if (self->config_.require_up_to_date_tcb &&
+          report.tcb_status != tee::TcbStatus::UpToDate) {
+        done(false, "attestation: TCB out of date");
+        return;
+      }
+      auto channel = tee::SecureChannel::client_finish(
+          self->channel_eph_, accept, self->config_.expected_runtime);
+      if (!channel.has_value()) {
+        done(false, "attestation: channel binding/measurement mismatch");
+        return;
+      }
+      self->channel_ = std::move(channel);
+      done(true, "");
+    } catch (const std::exception& e) {
+      done(false, std::string("attestation: ") + e.what());
+    }
+  });
+  send_msg(msg);
+}
+
+void BentoConnection::upload(const FunctionManifest& manifest,
+                             const std::string& source, const std::string& native,
+                             util::ByteView args, UploadFn done) {
+  UploadBody body;
+  body.manifest = manifest.serialize();
+  body.source = source;
+  body.native = native;
+  body.args = util::Bytes(args.begin(), args.end());
+
+  Message msg;
+  msg.type = MsgType::Upload;
+  msg.container_id = container_id_;
+  util::Bytes serialized = body.serialize();
+  msg.blob = channel_.has_value() ? channel_->seal(serialized) : serialized;
+
+  auto self = shared_from_this();
+  expect([self, done = std::move(done)](const Message& reply) {
+    if (reply.type != MsgType::UploadReply) {
+      done(std::nullopt, reply.text.empty() ? "upload failed" : reply.text);
+      return;
+    }
+    util::Bytes body_bytes = reply.blob;
+    if (self->channel_.has_value()) {
+      auto opened = self->channel_->open(body_bytes);
+      if (!opened.has_value()) {
+        done(std::nullopt, "upload reply failed channel authentication");
+        return;
+      }
+      body_bytes = std::move(*opened);
+    }
+    try {
+      const auto reply_body = UploadReplyBody::deserialize(body_bytes);
+      TokenPair tokens;
+      tokens.invocation = Token::from_bytes(reply_body.invocation_token);
+      tokens.shutdown = Token::from_bytes(reply_body.shutdown_token);
+      done(tokens, "");
+    } catch (const std::exception& e) {
+      done(std::nullopt, std::string("bad upload reply: ") + e.what());
+    }
+  });
+  send_msg(msg);
+}
+
+void BentoConnection::invoke(util::ByteView invocation_token, util::ByteView payload) {
+  Message msg;
+  msg.type = MsgType::Invoke;
+  msg.token = util::Bytes(invocation_token.begin(), invocation_token.end());
+  msg.blob = util::Bytes(payload.begin(), payload.end());
+  send_msg(msg);
+}
+
+void BentoConnection::shutdown(util::ByteView shutdown_token, SimpleFn done) {
+  Message msg;
+  msg.type = MsgType::Shutdown;
+  msg.token = util::Bytes(shutdown_token.begin(), shutdown_token.end());
+  expect([done = std::move(done)](const Message& reply) {
+    done(reply.type == MsgType::Ok);
+  });
+  send_msg(msg);
+}
+
+void BentoConnection::close() {
+  if (stream_ != nullptr) {
+    stream_->end();
+    stream_ = nullptr;
+  }
+  if (circuit_ != nullptr && !circuit_->destroyed()) {
+    tor::CircuitOrigin* circ = circuit_;
+    circuit_ = nullptr;
+    circ->destroy();
+    proxy_->forget(circ);
+  }
+}
+
+}  // namespace bento::core

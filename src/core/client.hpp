@@ -1,0 +1,125 @@
+// The Bento client (paper §3, §5).
+//
+// Workflow (all asynchronous over Tor circuits):
+//   1. find_boxes() — discover Bento-capable relays in the consensus and
+//      read their advertised middlebox node policies;
+//   2. connect()   — build a circuit ending at the chosen box and open a
+//      stream to its Bento port;
+//   3. get_policy()/spawn() — pick an image; for python-op-sgx the client
+//      runs the attested-channel handshake and verifies the stapled IAS
+//      report (measurement, TCB status, report signature);
+//   4. upload()    — ship the function + manifest (sealed under the
+//      channel in SGX mode) and receive the invocation/shutdown tokens;
+//   5. invoke()/outputs — drive the function; share the invocation token
+//      freely while keeping the shutdown token private.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/message.hpp"
+#include "core/policy.hpp"
+#include "core/tokens.hpp"
+#include "tee/conclave.hpp"
+#include "tor/proxy.hpp"
+
+namespace bento::core {
+
+struct BentoClientConfig {
+  tor::Port bento_port = 5577;
+  /// IAS report-signing key, for verifying stapled attestation reports.
+  crypto::Gp ias_public_key = 0;
+  /// Expected measurement of the Bento runtime image.
+  tee::Measurement expected_runtime{};
+  /// Refuse python-op-sgx uploads when the box's TCB is out of date.
+  bool require_up_to_date_tcb = true;
+};
+
+/// One client<->box session (one circuit, one stream, one container).
+class BentoConnection : public std::enable_shared_from_this<BentoConnection> {
+ public:
+  using OutputFn = std::function<void(util::Bytes)>;
+  using PolicyFn = std::function<void(std::optional<MiddleboxPolicy>)>;
+  using SpawnFn = std::function<void(bool ok, std::string error)>;
+  using UploadFn = std::function<void(std::optional<TokenPair>, std::string error)>;
+  using SimpleFn = std::function<void(bool ok)>;
+
+  void get_policy(PolicyFn done);
+  /// Spawns a container of the given image; runs attestation for
+  /// python-op-sgx.
+  void spawn(const std::string& image, SpawnFn done);
+  void upload(const FunctionManifest& manifest, const std::string& source,
+              const std::string& native, util::ByteView args, UploadFn done);
+  /// Fire-and-stream: outputs arrive via the output handler.
+  void invoke(util::ByteView invocation_token, util::ByteView payload);
+  void set_output_handler(OutputFn fn) { output_ = std::move(fn); }
+  void shutdown(util::ByteView shutdown_token, SimpleFn done);
+  /// Ends the stream and tears down the circuit.
+  void close();
+
+  std::uint64_t container_id() const { return container_id_; }
+  /// Fingerprints of the relays on this connection's circuit.
+  std::vector<std::string> path_fingerprints() const;
+  /// Raw stream bytes received (pre-framing) — lets callers observe
+  /// progressive delivery of a large Output message.
+  std::size_t raw_bytes_received() const { return raw_bytes_; }
+  bool attested() const { return channel_.has_value(); }
+  bool open() const { return stream_ != nullptr; }
+  const std::string& box_fingerprint() const { return box_; }
+
+ private:
+  friend class BentoClient;
+  BentoConnection() = default;
+  void on_stream_data(util::ByteView data);
+  void on_stream_end();
+  void send_msg(const Message& msg);
+  void expect(std::function<void(const Message&)> handler);
+
+  tor::OnionProxy* proxy_ = nullptr;
+  BentoClientConfig config_;
+  std::string box_;
+  tor::CircuitOrigin* circuit_ = nullptr;
+  tor::Stream* stream_ = nullptr;
+  StreamFramer framer_;
+  std::size_t raw_bytes_ = 0;
+  std::deque<std::function<void(const Message&)>> pending_;
+  OutputFn output_;
+  std::uint64_t container_id_ = 0;
+  crypto::DhKeyPair channel_eph_;
+  std::optional<tee::SecureChannel> channel_;
+  std::string spawned_image_;
+};
+
+class BentoClient {
+ public:
+  BentoClient(tor::OnionProxy& proxy, BentoClientConfig config)
+      : proxy_(proxy), config_(std::move(config)) {}
+
+  /// Fingerprints of relays advertising Bento in the consensus.
+  static std::vector<std::string> find_boxes(const tor::Consensus& consensus);
+  /// The policy a relay disseminates in its descriptor (paper §5.5), if any.
+  static std::optional<MiddleboxPolicy> advertised_policy(
+      const tor::RelayDescriptor& descriptor);
+
+  /// Builds a circuit to the box and opens the Bento stream; hands back a
+  /// live connection or nullptr.
+  void connect(const std::string& box_fingerprint,
+               std::function<void(std::shared_ptr<BentoConnection>)> done);
+  /// Same, excluding relays from the path (multipath clients use this to
+  /// keep their circuits disjoint, mTor-style).
+  void connect(const std::string& box_fingerprint,
+               std::vector<std::string> excluded_relays,
+               std::function<void(std::shared_ptr<BentoConnection>)> done);
+
+  tor::OnionProxy& proxy() { return proxy_; }
+  const BentoClientConfig& config() const { return config_; }
+
+ private:
+  tor::OnionProxy& proxy_;
+  BentoClientConfig config_;
+  std::vector<std::shared_ptr<BentoConnection>> live_;  // keep-alive anchors
+};
+
+}  // namespace bento::core

@@ -1,0 +1,567 @@
+#include "core/container.hpp"
+
+#include "core/client.hpp"
+#include "core/server.hpp"
+#include "util/log.hpp"
+#include "util/zlite.hpp"
+
+namespace bento::core {
+
+namespace {
+constexpr char kComponent[] = "bento.container";
+
+/// Vfs backend over the conclave's FsProtect (python-op-sgx image).
+class FsProtectBackend final : public sandbox::VfsBackend {
+ public:
+  explicit FsProtectBackend(tee::FsProtect& fs) : fs_(fs) {}
+  void put(const std::string& path, util::ByteView data) override {
+    fs_.write(path, data);
+  }
+  std::optional<util::Bytes> get(const std::string& path) const override {
+    return fs_.read(path);
+  }
+  bool erase(const std::string& path) override { return fs_.remove(path); }
+  std::vector<std::string> keys() const override { return fs_.list(); }
+
+ private:
+  tee::FsProtect& fs_;
+};
+}  // namespace
+
+Container::Container(BentoServer& server, std::uint64_t id, std::string image,
+                     util::Rng rng)
+    : server_(server), id_(id), image_(std::move(image)), rng_(rng) {
+  if (image_ == kImagePythonOpSgx) {
+    conclave_ = std::make_unique<tee::Conclave>(
+        server_.platform(), server_.epc(), BentoServer::runtime_image(),
+        "bento-" + std::to_string(id_), rng_);
+  }
+}
+
+Container::~Container() { *alive_ = false; }
+
+void Container::install(const FunctionManifest& manifest, const UploadBody& body,
+                        tor::EdgeStream* uploader) {
+  manifest_ = manifest;
+  // Enforced filter = manifest ∩ node policy; admit() already verified the
+  // manifest fits, so constraining to the manifest alone implements the
+  // paper's "even if the middlebox policy allowed for more".
+  filter_ = manifest.filter().intersect(server_.policy().allowed);
+  resources_ = std::make_unique<sandbox::ResourceAccountant>(manifest.resources,
+                                                             &server_.aggregate());
+  std::unique_ptr<sandbox::VfsBackend> backend;
+  if (conclave_ != nullptr) {
+    backend = std::make_unique<FsProtectBackend>(conclave_->fs());
+  } else {
+    backend = std::make_unique<sandbox::MemoryBackend>();
+  }
+  vfs_ = std::make_unique<sandbox::Vfs>(std::move(backend), *resources_);
+  netfilter_ =
+      sandbox::NetFilter::from_exit_policy(server_.router().descriptor().exit_policy);
+  stem_ = std::make_unique<StemSession>(server_.stem_proxy(), server_.directory(),
+                                        filter_, server_.config().stem_circuit_cap);
+  tokens_ = TokenPair::generate(rng_);
+  bound_stream_ = uploader;
+
+  if (!body.native.empty()) {
+    function_ = server_.natives().create(body.native);
+  } else {
+    script::InterpreterOptions options;
+    options.step_hook = [this](std::uint64_t steps) { resources_->charge_cpu(steps); };
+    options.memory_hook = [this](std::size_t bytes) { update_memory(bytes); };
+    options.print_hook = [this](const std::string& line) { log(line); };
+    function_ = std::make_unique<ScriptFunction>(body.source, std::move(options));
+  }
+  // on_install runs guarded: a function that dies during install fails the
+  // upload (the caller observes dead()).
+  run_guarded([&] { function_->on_install(*this, body.args); });
+  if (dead_) throw std::runtime_error("function died during install: " + death_reason_);
+}
+
+void Container::handle_invoke(tor::EdgeStream* from, util::ByteView payload) {
+  if (dead_ || function_ == nullptr) return;
+  bound_stream_ = from;
+  util::Bytes copy(payload.begin(), payload.end());
+  if (conclave_ != nullptr) {
+    // Enclave transition costs (§7.3) are modeled as a small scheduling
+    // delay in and out of the conclave.
+    std::weak_ptr<bool> alive = alive_;
+    server_.simulator().after(kEcallOverhead, [this, alive, copy = std::move(copy)] {
+      if (alive.expired() || dead_ || function_ == nullptr) return;
+      run_guarded([&] { function_->on_message(*this, copy); });
+    });
+    return;
+  }
+  run_guarded([&] { function_->on_message(*this, copy); });
+}
+
+void Container::graceful_shutdown() {
+  if (function_ != nullptr && !dead_) {
+    run_guarded([&] { function_->on_shutdown(*this); });
+  }
+  dead_ = true;
+}
+
+void Container::on_stream_closed(tor::EdgeStream* stream) {
+  if (bound_stream_ == stream) bound_stream_ = nullptr;
+  for (auto it = reply_handles_.begin(); it != reply_handles_.end();) {
+    if (it->second == stream) {
+      it = reply_handles_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t Container::memory_bytes() const {
+  std::size_t total = resources_ ? resources_->usage().memory_bytes : 0;
+  if (conclave_ != nullptr) total += tee::Conclave::kBaselineOverheadBytes;
+  return total;
+}
+
+template <typename Fn>
+void Container::run_guarded(Fn&& fn) {
+  if (in_function_) {  // re-entrant callback while already inside: run plain
+    fn();
+    return;
+  }
+  in_function_ = true;
+  try {
+    fn();
+  } catch (const sandbox::ResourceExceeded& e) {
+    kill(std::string("resource limit: ") + e.what());
+  } catch (const sandbox::SyscallDenied& e) {
+    kill(std::string("policy violation: ") + e.what());
+  } catch (const script::ScriptError& e) {
+    kill(std::string("script error: ") + e.what());
+  } catch (const script::SyntaxError& e) {
+    kill(std::string("syntax error: ") + e.what());
+  } catch (const std::exception& e) {
+    kill(std::string("function fault: ") + e.what());
+  }
+  in_function_ = false;
+}
+
+void Container::kill(const std::string& reason) {
+  if (dead_) return;
+  dead_ = true;
+  death_reason_ = reason;
+  util::log_info(kComponent, "container ", id_, " killed: ", reason);
+  if (bound_stream_ != nullptr) {
+    Message err;
+    err.type = MsgType::Error;
+    err.container_id = id_;
+    err.text = reason;
+    server_.send_to_stream(bound_stream_, err);
+  }
+  server_.container_died(id_, reason);
+}
+
+void Container::update_memory(std::size_t sandbox_estimate) {
+  resources_->charge_memory(sandbox_estimate);
+  if (conclave_ != nullptr) conclave_->set_memory_bytes(sandbox_estimate);
+}
+
+// ---- HostApi ----
+
+void Container::send(util::ByteView payload) {
+  if (bound_stream_ == nullptr) return;
+  resources_->charge_network(payload.size());
+  Message out;
+  out.type = MsgType::Output;
+  out.container_id = id_;
+  out.blob = util::Bytes(payload.begin(), payload.end());
+  server_.send_to_stream(bound_stream_, out);
+}
+
+std::uint64_t Container::reply_handle() {
+  if (bound_stream_ == nullptr) return 0;
+  for (const auto& [handle, stream] : reply_handles_) {
+    if (stream == bound_stream_) return handle;
+  }
+  const std::uint64_t handle = next_reply_handle_++;
+  reply_handles_[handle] = bound_stream_;
+  return handle;
+}
+
+void Container::send_to(std::uint64_t handle, util::ByteView payload) {
+  auto it = reply_handles_.find(handle);
+  if (it == reply_handles_.end()) return;
+  resources_->charge_network(payload.size());
+  Message out;
+  out.type = MsgType::Output;
+  out.container_id = id_;
+  out.blob = util::Bytes(payload.begin(), payload.end());
+  server_.send_to_stream(it->second, out);
+}
+
+void Container::log(const std::string& line) {
+  util::log_info(kComponent, "fn[", manifest_.name, "@", id_, "]: ", line);
+}
+
+void Container::fs_write(const std::string& path, util::ByteView data) {
+  filter_.check(sandbox::Syscall::FsWrite);
+  vfs_->write(path, data);
+}
+
+std::optional<util::Bytes> Container::fs_read(const std::string& path) {
+  filter_.check(sandbox::Syscall::FsRead);
+  return vfs_->read(path);
+}
+
+bool Container::fs_remove(const std::string& path) {
+  filter_.check(sandbox::Syscall::FsDelete);
+  return vfs_->remove(path);
+}
+
+std::vector<std::string> Container::fs_list() {
+  filter_.check(sandbox::Syscall::FsRead);
+  return vfs_->list();
+}
+
+void Container::http_get(const std::string& url, HttpCallback done) {
+  filter_.check(sandbox::Syscall::NetConnect);
+  const ParsedUrl parsed = parse_url(url);
+  if (!netfilter_.check(parsed.endpoint)) {
+    throw sandbox::SyscallDenied(sandbox::Syscall::NetConnect);
+  }
+  resources_->open_connection();
+
+  struct FetchState {
+    util::Bytes body;
+    std::uint64_t conn = 0;
+    bool done = false;
+  };
+  auto state = std::make_shared<FetchState>();
+  auto done_shared = std::make_shared<HttpCallback>(std::move(done));
+
+  std::weak_ptr<bool> alive = alive_;
+  tor::TcpClient::Callbacks cbs;
+  cbs.on_open = [this, alive, state, parsed] {
+    if (alive.expired()) return;
+    // The enclaved fetch stack (Graphene + CPython + requests) takes
+    // noticeably longer to come up than a native one.
+    const util::Duration startup =
+        conclave_ != nullptr ? kSgxFetchStackDelay : util::Duration::micros(0);
+    server_.simulator().after(startup, [this, alive, state, parsed] {
+      if (alive.expired()) return;
+      server_.router().clearnet_send(state->conn,
+                                     util::to_bytes("GET " + parsed.path + "\n"));
+    });
+  };
+  cbs.on_data = [this, alive, state](util::ByteView d) {
+    if (alive.expired()) return;
+    resources_->charge_network(d.size());
+    util::append(state->body, d);
+  };
+  cbs.on_end = [this, alive, state, done_shared] {
+    if (alive.expired()) return;
+    state->done = true;
+    resources_->close_connection();
+    // Function code runs guarded even on async paths.
+    run_guarded([&] { (*done_shared)(true, std::move(state->body)); });
+  };
+  if (!server_.router().open_clearnet(parsed.endpoint, std::move(cbs), &state->conn)) {
+    resources_->close_connection();
+    run_guarded([&] { (*done_shared)(false, {}); });
+  }
+}
+
+util::Time Container::now() {
+  filter_.check(sandbox::Syscall::Clock);
+  return server_.simulator().now();
+}
+
+void Container::after(util::Duration delay, std::function<void()> fn) {
+  filter_.check(sandbox::Syscall::Clock);
+  std::weak_ptr<bool> alive = alive_;
+  server_.simulator().after(delay, [this, alive, fn = std::move(fn)] {
+    if (alive.expired() || dead_) return;
+    run_guarded([&] { fn(); });
+  });
+}
+
+util::Bytes Container::random_bytes(std::size_t n) {
+  filter_.check(sandbox::Syscall::Random);
+  if (n > 64 << 20) throw sandbox::ResourceExceeded("random_bytes: too large");
+  return rng_.bytes(n);
+}
+
+void Container::deploy(const DeploySpec& spec, DeployCallback done) {
+  filter_.check(sandbox::Syscall::SpawnFunction);
+  // Composition runs over the server's onion proxy: the function is a Bento
+  // client of the remote box (Figure 2's Browser deploying Dropbox).
+  BentoClientConfig cfg;
+  cfg.ias_public_key = server_.ias_public_key();
+  cfg.expected_runtime = BentoServer::runtime_measurement();
+  auto client = std::make_shared<BentoClient>(server_.stem_proxy(), cfg);
+  auto done_shared = std::make_shared<DeployCallback>(std::move(done));
+  std::weak_ptr<bool> alive = alive_;
+  client->connect(spec.box_fingerprint, [this, alive, client, spec, done_shared](
+                                            std::shared_ptr<BentoConnection> conn) {
+    if (alive.expired()) return;
+    if (conn == nullptr) {
+      run_guarded([&] { (*done_shared)(false, {}, {}); });
+      return;
+    }
+    conn->spawn(spec.manifest.image, [this, alive, conn, spec, done_shared](
+                                         bool ok, std::string) {
+      if (alive.expired()) return;
+      if (!ok) {
+        run_guarded([&] { (*done_shared)(false, {}, {}); });
+        return;
+      }
+      conn->upload(spec.manifest, spec.source, spec.native, spec.args,
+                   [this, alive, conn, done_shared](std::optional<TokenPair> tokens,
+                                                    std::string) {
+                     if (alive.expired()) return;
+                     if (!tokens.has_value()) {
+                       run_guarded([&] { (*done_shared)(false, {}, {}); });
+                       return;
+                     }
+                     deployed_.push_back(conn);  // keep stream alive
+                     util::Bytes token = tokens->invocation.bytes();
+                     util::Bytes stoken = tokens->shutdown.bytes();
+                     run_guarded([&] {
+                       (*done_shared)(true, std::move(token), std::move(stoken));
+                     });
+                   });
+    });
+  });
+}
+
+void Container::invoke_remote(const std::string& box_fingerprint,
+                              util::ByteView invocation_token, util::ByteView payload,
+                              std::function<void(util::Bytes output)> on_output) {
+  filter_.check(sandbox::Syscall::SpawnFunction);
+  std::weak_ptr<bool> alive = alive_;
+  // Reuse a deployed connection to that box when available.
+  for (auto& conn : deployed_) {
+    if (conn->box_fingerprint() == box_fingerprint && conn->open()) {
+      conn->set_output_handler([this, alive, on_output](util::Bytes out) {
+        if (alive.expired()) return;
+        run_guarded([&] { on_output(std::move(out)); });
+      });
+      conn->invoke(invocation_token, payload);
+      return;
+    }
+  }
+  BentoClientConfig cfg;
+  cfg.ias_public_key = server_.ias_public_key();
+  cfg.expected_runtime = BentoServer::runtime_measurement();
+  auto client = std::make_shared<BentoClient>(server_.stem_proxy(), cfg);
+  util::Bytes token_copy(invocation_token.begin(), invocation_token.end());
+  util::Bytes payload_copy(payload.begin(), payload.end());
+  client->connect(box_fingerprint, [this, alive, client, token_copy, payload_copy,
+                                    on_output](std::shared_ptr<BentoConnection> conn) {
+    if (alive.expired() || conn == nullptr) return;
+    deployed_.push_back(conn);
+    conn->set_output_handler([this, alive, on_output](util::Bytes out) {
+      if (alive.expired()) return;
+      run_guarded([&] { on_output(std::move(out)); });
+    });
+    conn->invoke(token_copy, payload_copy);
+  });
+}
+
+StemSession& Container::stem() { return *stem_; }
+
+std::string Container::box_fingerprint() const { return server_.fingerprint(); }
+
+// ---- ScriptFunction ----
+
+ScriptFunction::ScriptFunction(const std::string& source,
+                               script::InterpreterOptions options)
+    : interp_(std::make_unique<script::Interpreter>(script::parse(source),
+                                                    std::move(options))) {
+  script::install_stdlib(*interp_);
+}
+
+void ScriptFunction::bind_modules(HostApi& api) {
+  if (bound_) return;
+  bound_ = true;
+  HostApi* host = &api;
+  using script::Dict;
+  using script::Value;
+
+  auto as_payload = [](const Value& v) -> util::Bytes {
+    if (v.is_bytes()) return v.as_bytes();
+    if (v.is_str()) return util::to_bytes(v.as_str());
+    return util::to_bytes(v.to_display());
+  };
+
+  Dict api_mod;
+  api_mod["send"] = Value::native([host, as_payload](script::Interpreter&,
+                                                     std::vector<Value>& args) {
+    if (args.size() != 1) throw script::TypeError("api.send() takes 1 argument");
+    host->send(as_payload(args[0]));
+    return Value::none();
+  });
+  api_mod["handle"] = Value::native([host](script::Interpreter&, std::vector<Value>&) {
+    return Value::integer(static_cast<std::int64_t>(host->reply_handle()));
+  });
+  api_mod["send_to"] = Value::native([host, as_payload](script::Interpreter&,
+                                                        std::vector<Value>& args) {
+    if (args.size() != 2) throw script::TypeError("api.send_to(handle, data)");
+    host->send_to(static_cast<std::uint64_t>(args[0].as_int()), as_payload(args[1]));
+    return Value::none();
+  });
+  api_mod["log"] = Value::native([host](script::Interpreter&, std::vector<Value>& args) {
+    std::string line;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (i > 0) line += " ";
+      line += args[i].to_display();
+    }
+    host->log(line);
+    return Value::none();
+  });
+  interp_->bind("api", Value::dict(std::move(api_mod)));
+
+  Dict fs_mod;
+  fs_mod["write"] = Value::native([host, as_payload](script::Interpreter&,
+                                                     std::vector<Value>& args) {
+    if (args.size() != 2) throw script::TypeError("fs.write() takes 2 arguments");
+    host->fs_write(args[0].as_str(), as_payload(args[1]));
+    return Value::none();
+  });
+  fs_mod["read"] = Value::native([host](script::Interpreter&, std::vector<Value>& args) {
+    if (args.size() != 1) throw script::TypeError("fs.read() takes 1 argument");
+    auto data = host->fs_read(args[0].as_str());
+    if (!data.has_value()) return Value::none();
+    return Value::bytes(std::move(*data));
+  });
+  fs_mod["delete"] = Value::native([host](script::Interpreter&, std::vector<Value>& args) {
+    if (args.size() != 1) throw script::TypeError("fs.delete() takes 1 argument");
+    return Value::boolean(host->fs_remove(args[0].as_str()));
+  });
+  fs_mod["list"] = Value::native([host](script::Interpreter&, std::vector<Value>&) {
+    script::List out;
+    for (const auto& name : host->fs_list()) out.push_back(Value::str(name));
+    return Value::list(std::move(out));
+  });
+  interp_->bind("fs", Value::dict(std::move(fs_mod)));
+
+  Dict net_mod;
+  net_mod["get"] = Value::native([host](script::Interpreter& in,
+                                        std::vector<Value>& args) {
+    if (args.size() != 2 || !args[1].is_callable()) {
+      throw script::TypeError("net.get(url, callback) takes a URL and a callback");
+    }
+    const std::string url = args[0].as_str();
+    Value callback = args[1];
+    host->http_get(url, [&in, callback](bool ok, util::Bytes body) {
+      std::vector<Value> cb_args;
+      cb_args.push_back(ok ? Value::bytes(std::move(body)) : Value::none());
+      in.call_value(callback, std::move(cb_args));
+    });
+    return Value::none();
+  });
+  interp_->bind("net", Value::dict(std::move(net_mod)));
+
+  Dict os_mod;
+  os_mod["urandom"] = Value::native([host](script::Interpreter&, std::vector<Value>& args) {
+    if (args.size() != 1) throw script::TypeError("os.urandom() takes 1 argument");
+    const std::int64_t n = args[0].as_int();
+    if (n < 0) throw script::TypeError("os.urandom(): negative size");
+    return Value::bytes(host->random_bytes(static_cast<std::size_t>(n)));
+  });
+  interp_->bind("os", Value::dict(std::move(os_mod)));
+
+  Dict time_mod;
+  time_mod["now"] = Value::native([host](script::Interpreter&, std::vector<Value>&) {
+    return Value::real(host->now().seconds());
+  });
+  time_mod["after"] = Value::native([host](script::Interpreter& in,
+                                           std::vector<Value>& args) {
+    if (args.size() != 2 || !args[1].is_callable()) {
+      throw script::TypeError("time.after(seconds, callback)");
+    }
+    Value callback = args[1];
+    host->after(util::Duration::seconds(args[0].as_float()),
+                [&in, callback] { in.call_value(callback, {}); });
+    return Value::none();
+  });
+  interp_->bind("time", Value::dict(std::move(time_mod)));
+
+  Dict zlib_mod;
+  zlib_mod["compress"] = Value::native([as_payload](script::Interpreter&,
+                                                    std::vector<Value>& args) {
+    if (args.size() != 1) throw script::TypeError("zlib.compress() takes 1 argument");
+    return Value::bytes(util::zlite::compress(as_payload(args[0])));
+  });
+  zlib_mod["decompress"] = Value::native([](script::Interpreter&,
+                                            std::vector<Value>& args) {
+    if (args.size() != 1) throw script::TypeError("zlib.decompress() takes 1 argument");
+    return Value::bytes(util::zlite::decompress(args[0].as_bytes()));
+  });
+  interp_->bind("zlib", Value::dict(std::move(zlib_mod)));
+
+  Dict bento_mod;
+  bento_mod["self"] = Value::str(api.box_fingerprint());
+  bento_mod["deploy"] = Value::native([host](script::Interpreter& in,
+                                             std::vector<Value>& args) {
+    // bento.deploy(box_fp, name, source, [syscall names], args, callback)
+    if (args.size() != 6 || !args[5].is_callable()) {
+      throw script::TypeError(
+          "bento.deploy(box, name, source, syscalls, args, callback)");
+    }
+    HostApi::DeploySpec spec;
+    spec.box_fingerprint = args[0].as_str();
+    spec.manifest.name = args[1].as_str();
+    spec.source = args[2].as_str();
+    for (const auto& v : args[3].as_list()) {
+      spec.manifest.required.push_back(sandbox::syscall_from_string(v.as_str()));
+    }
+    spec.args = args[4].is_bytes() ? args[4].as_bytes()
+                                   : util::to_bytes(args[4].to_display());
+    Value callback = args[5];
+    host->deploy(spec, [&in, callback](bool ok, util::Bytes token, util::Bytes) {
+      std::vector<Value> cb_args;
+      cb_args.push_back(ok ? Value::bytes(std::move(token)) : Value::none());
+      in.call_value(callback, std::move(cb_args));
+    });
+    return Value::none();
+  });
+  bento_mod["invoke"] = Value::native([host, as_payload](script::Interpreter& in,
+                                                         std::vector<Value>& args) {
+    // bento.invoke(box_fp, token, payload, on_output)
+    if (args.size() != 4 || !args[3].is_callable()) {
+      throw script::TypeError("bento.invoke(box, token, payload, on_output)");
+    }
+    Value callback = args[3];
+    host->invoke_remote(args[0].as_str(), args[1].as_bytes(), as_payload(args[2]),
+                        [&in, callback](util::Bytes output) {
+                          std::vector<Value> cb_args;
+                          cb_args.push_back(Value::bytes(std::move(output)));
+                          in.call_value(callback, std::move(cb_args));
+                        });
+    return Value::none();
+  });
+  interp_->bind("bento", Value::dict(std::move(bento_mod)));
+}
+
+void ScriptFunction::on_install(HostApi& api, util::ByteView args) {
+  bind_modules(api);
+  interp_->run();
+  if (interp_->has_function("on_install")) {
+    interp_->call("on_install",
+                  {script::Value::bytes(util::Bytes(args.begin(), args.end()))});
+  }
+}
+
+void ScriptFunction::on_message(HostApi& api, util::ByteView payload) {
+  bind_modules(api);
+  if (interp_->has_function("on_message")) {
+    interp_->call("on_message",
+                  {script::Value::bytes(util::Bytes(payload.begin(), payload.end()))});
+  }
+}
+
+void ScriptFunction::on_shutdown(HostApi& api) {
+  bind_modules(api);
+  if (interp_->has_function("on_shutdown")) {
+    interp_->call("on_shutdown", {});
+  }
+}
+
+}  // namespace bento::core

@@ -1,0 +1,155 @@
+// A Bento container: one client function plus everything that confines it
+// (paper §5.2-§5.4).
+//
+// The container assembles, per function:
+//   * a ResourceAccountant under the server's aggregate cap (cgroups),
+//   * a SyscallFilter = manifest ∩ node policy (seccomp),
+//   * a chrooted Vfs — FsProtect-backed inside a conclave for the
+//     python-op-sgx image, plain memory for the python image,
+//   * a NetFilter compiled from the host relay's exit policy (iptables),
+//   * a StemSession (the Stem firewall),
+// and hosts the function itself: a BentoScript interpreter whose bindings
+// route through HostApi, or a registered native C++ function.
+//
+// Any sandbox violation or script error kills the function (never the
+// server) and reports the reason to the client.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/api.hpp"
+#include "core/message.hpp"
+#include "core/stemfw.hpp"
+#include "core/tokens.hpp"
+#include "script/interp.hpp"
+#include "sandbox/netfilter.hpp"
+#include "sandbox/resources.hpp"
+#include "sandbox/vfs.hpp"
+#include "tee/conclave.hpp"
+#include "tor/router.hpp"
+
+namespace bento::core {
+
+class BentoServer;
+class BentoConnection;
+
+/// Conclave transition cost charged per invocation in SGX mode (§7.3:
+/// "the time to swap in and out of the conclave introduces nominal
+/// overheads").
+inline constexpr util::Duration kEcallOverhead = util::Duration::micros(60);
+
+/// Startup cost of the enclaved CPython/requests stack for a clearnet fetch
+/// from inside a conclave (Graphene-SGX application startup is measured in
+/// seconds in [34]/[80]; calibrated against Table 2's small-site rows where
+/// standard Tor beats Browser).
+inline constexpr util::Duration kSgxFetchStackDelay = util::Duration::seconds(1.8);
+
+class Container final : public HostApi {
+ public:
+  Container(BentoServer& server, std::uint64_t id, std::string image, util::Rng rng);
+  ~Container() override;
+
+  std::uint64_t id() const { return id_; }
+  const std::string& image() const { return image_; }
+  bool sgx() const { return conclave_ != nullptr; }
+  bool installed() const { return function_ != nullptr; }
+  bool dead() const { return dead_; }
+  const std::string& death_reason() const { return death_reason_; }
+  const TokenPair& tokens() const { return tokens_; }
+  tee::Conclave* conclave() { return conclave_.get(); }
+  std::optional<tee::SecureChannel>& channel() { return channel_; }
+
+  /// Installs the function; throws (sandbox/script/parse errors) on failure.
+  void install(const FunctionManifest& manifest, const UploadBody& body,
+               tor::EdgeStream* uploader);
+
+  /// Routes one Invoke payload into the function.
+  void handle_invoke(tor::EdgeStream* from, util::ByteView payload);
+
+  /// Graceful shutdown (shutdown token was presented).
+  void graceful_shutdown();
+
+  /// Server notice: a client stream went away.
+  void on_stream_closed(tor::EdgeStream* stream);
+
+  /// Current memory watermark (sandbox estimate + conclave overhead).
+  std::size_t memory_bytes() const;
+
+  // ---- HostApi ----
+  void send(util::ByteView payload) override;
+  std::uint64_t reply_handle() override;
+  void send_to(std::uint64_t handle, util::ByteView payload) override;
+  void log(const std::string& line) override;
+  void fs_write(const std::string& path, util::ByteView data) override;
+  std::optional<util::Bytes> fs_read(const std::string& path) override;
+  bool fs_remove(const std::string& path) override;
+  std::vector<std::string> fs_list() override;
+  void http_get(const std::string& url, HttpCallback done) override;
+  util::Time now() override;
+  void after(util::Duration delay, std::function<void()> fn) override;
+  util::Bytes random_bytes(std::size_t n) override;
+  void deploy(const DeploySpec& spec, DeployCallback done) override;
+  void invoke_remote(const std::string& box_fingerprint,
+                     util::ByteView invocation_token, util::ByteView payload,
+                     std::function<void(util::Bytes output)> on_output) override;
+  StemSession& stem() override;
+  std::string box_fingerprint() const override;
+
+ private:
+  /// Runs function code, converting sandbox/script failures into death.
+  template <typename Fn>
+  void run_guarded(Fn&& fn);
+  void kill(const std::string& reason);
+  void update_memory(std::size_t sandbox_estimate);
+
+  BentoServer& server_;
+  std::uint64_t id_;
+  std::string image_;
+  util::Rng rng_;
+
+  FunctionManifest manifest_;
+  sandbox::SyscallFilter filter_ = sandbox::SyscallFilter::deny_all();
+  std::unique_ptr<sandbox::ResourceAccountant> resources_;
+  std::unique_ptr<sandbox::Vfs> vfs_;
+  sandbox::NetFilter netfilter_ = sandbox::NetFilter::deny_all();
+  std::unique_ptr<tee::Conclave> conclave_;
+  std::optional<tee::SecureChannel> channel_;
+  std::unique_ptr<StemSession> stem_;
+  std::unique_ptr<Function> function_;
+  TokenPair tokens_;
+  tor::EdgeStream* bound_stream_ = nullptr;
+  std::map<std::uint64_t, tor::EdgeStream*> reply_handles_;
+  std::uint64_t next_reply_handle_ = 1;
+  std::vector<std::shared_ptr<BentoConnection>> deployed_;  // composition links
+  // Liveness token: async callbacks (timers, TCP, remote outputs) captured
+  // `this`; they check this token before touching the container.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  bool dead_ = false;
+  bool in_function_ = false;
+  std::string death_reason_;
+
+  friend class BentoServer;
+};
+
+/// Adapts a BentoScript program to the Function interface. The script may
+/// define `on_install(args)`, `on_message(msg)`, `on_shutdown()`; module
+/// bindings (api, fs, net, os, time, zlib, bento) wrap the HostApi.
+class ScriptFunction final : public Function {
+ public:
+  /// Parses the source eagerly (syntax errors fail the upload). The options
+  /// carry the container's step/memory hooks.
+  ScriptFunction(const std::string& source, script::InterpreterOptions options);
+  void on_install(HostApi& api, util::ByteView args) override;
+  void on_message(HostApi& api, util::ByteView payload) override;
+  void on_shutdown(HostApi& api) override;
+
+  std::uint64_t steps() const { return interp_->steps(); }
+
+ private:
+  void bind_modules(HostApi& api);
+  std::unique_ptr<script::Interpreter> interp_;
+  bool bound_ = false;
+};
+
+}  // namespace bento::core

@@ -1,0 +1,169 @@
+#include "core/policy.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/serialize.hpp"
+
+namespace bento::core {
+
+namespace {
+void write_limits(util::Writer& w, const sandbox::ResourceLimits& l) {
+  w.u64(l.memory_bytes);
+  w.u64(l.cpu_instructions);
+  w.u64(l.disk_bytes);
+  w.u64(l.network_bytes);
+  w.u32(l.max_open_files);
+  w.u32(l.max_connections);
+}
+
+sandbox::ResourceLimits read_limits(util::Reader& r) {
+  sandbox::ResourceLimits l;
+  l.memory_bytes = r.u64();
+  l.cpu_instructions = r.u64();
+  l.disk_bytes = r.u64();
+  l.network_bytes = r.u64();
+  l.max_open_files = r.u32();
+  l.max_connections = r.u32();
+  return l;
+}
+
+void write_syscalls(util::Writer& w, const std::set<sandbox::Syscall>& calls) {
+  w.u32(static_cast<std::uint32_t>(calls.size()));
+  for (auto call : calls) w.u8(static_cast<std::uint8_t>(call));
+}
+}  // namespace
+
+bool MiddleboxPolicy::offers_image(const std::string& name) const {
+  return std::find(images.begin(), images.end(), name) != images.end();
+}
+
+util::Bytes MiddleboxPolicy::serialize() const {
+  util::Writer w;
+  write_syscalls(w, allowed.allowed());
+  write_limits(w, max_per_function);
+  w.u32(static_cast<std::uint32_t>(images.size()));
+  for (const auto& image : images) w.str(image);
+  return std::move(w).take();
+}
+
+MiddleboxPolicy MiddleboxPolicy::deserialize(util::ByteView data) {
+  util::Reader r(data);
+  MiddleboxPolicy p;
+  std::set<sandbox::Syscall> calls;
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint8_t raw = r.u8();
+    if (raw >= sandbox::kSyscallCount) {
+      throw util::ParseError("MiddleboxPolicy: unknown syscall id");
+    }
+    calls.insert(static_cast<sandbox::Syscall>(raw));
+  }
+  p.allowed = sandbox::SyscallFilter(std::move(calls));
+  p.max_per_function = read_limits(r);
+  const std::uint32_t images = r.u32();
+  p.images.clear();
+  for (std::uint32_t i = 0; i < images; ++i) p.images.push_back(r.str());
+  r.expect_done();
+  return p;
+}
+
+std::string MiddleboxPolicy::to_string() const {
+  std::ostringstream out;
+  out << "images:";
+  for (const auto& image : images) out << " " << image;
+  out << "\nsyscalls:";
+  for (auto call : allowed.allowed()) out << " " << sandbox::to_string(call);
+  out << "\nmemory: " << max_per_function.memory_bytes
+      << "\ncpu: " << max_per_function.cpu_instructions
+      << "\ndisk: " << max_per_function.disk_bytes
+      << "\nnetwork: " << max_per_function.network_bytes;
+  return out.str();
+}
+
+MiddleboxPolicy MiddleboxPolicy::permissive() {
+  MiddleboxPolicy p;
+  std::set<sandbox::Syscall> calls;
+  for (std::size_t i = 0; i < sandbox::kSyscallCount; ++i) {
+    const auto call = static_cast<sandbox::Syscall>(i);
+    if (call == sandbox::Syscall::Fork || call == sandbox::Syscall::Exec ||
+        call == sandbox::Syscall::NetListen) {
+      continue;  // never offered: the paper's seccomp example denies these
+    }
+    calls.insert(call);
+  }
+  p.allowed = sandbox::SyscallFilter(std::move(calls));
+  p.images = {kImagePython, kImagePythonOpSgx};
+  // Generous per-function ceilings for an operator happy to host heavy
+  // functions (LoadBalancer moves gigabytes through replicas).
+  p.max_per_function.memory_bytes = 64ull << 20;
+  p.max_per_function.cpu_instructions = 2'000'000'000ULL;
+  p.max_per_function.disk_bytes = 128ull << 20;
+  p.max_per_function.network_bytes = 4ull << 30;
+  return p;
+}
+
+MiddleboxPolicy MiddleboxPolicy::no_storage() {
+  MiddleboxPolicy p = permissive();
+  std::set<sandbox::Syscall> calls = p.allowed.allowed();
+  calls.erase(sandbox::Syscall::FsRead);
+  calls.erase(sandbox::Syscall::FsWrite);
+  calls.erase(sandbox::Syscall::FsDelete);
+  p.allowed = sandbox::SyscallFilter(std::move(calls));
+  p.max_per_function.disk_bytes = 0;
+  return p;
+}
+
+util::Bytes FunctionManifest::serialize() const {
+  util::Writer w;
+  w.str(name);
+  w.u32(static_cast<std::uint32_t>(required.size()));
+  for (auto call : required) w.u8(static_cast<std::uint8_t>(call));
+  write_limits(w, resources);
+  w.str(image);
+  return std::move(w).take();
+}
+
+FunctionManifest FunctionManifest::deserialize(util::ByteView data) {
+  util::Reader r(data);
+  FunctionManifest m;
+  m.name = r.str();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint8_t raw = r.u8();
+    if (raw >= sandbox::kSyscallCount) {
+      throw util::ParseError("FunctionManifest: unknown syscall id");
+    }
+    m.required.push_back(static_cast<sandbox::Syscall>(raw));
+  }
+  m.resources = read_limits(r);
+  m.image = r.str();
+  r.expect_done();
+  return m;
+}
+
+sandbox::SyscallFilter FunctionManifest::filter() const {
+  std::set<sandbox::Syscall> calls(required.begin(), required.end());
+  return sandbox::SyscallFilter(std::move(calls));
+}
+
+PolicyDecision admit(const MiddleboxPolicy& policy, const FunctionManifest& manifest) {
+  if (!policy.offers_image(manifest.image)) {
+    return {false, "image not offered: " + manifest.image};
+  }
+  for (auto call : manifest.required) {
+    if (!policy.allowed.allows(call)) {
+      return {false, std::string("syscall not permitted by node policy: ") +
+                         sandbox::to_string(call)};
+    }
+  }
+  const auto& cap = policy.max_per_function;
+  const auto& ask = manifest.resources;
+  if (ask.memory_bytes > cap.memory_bytes) return {false, "memory request too large"};
+  if (ask.cpu_instructions > cap.cpu_instructions) return {false, "cpu request too large"};
+  if (ask.disk_bytes > cap.disk_bytes) return {false, "disk request too large"};
+  if (ask.network_bytes > cap.network_bytes) return {false, "network request too large"};
+  return {true, ""};
+}
+
+}  // namespace bento::core

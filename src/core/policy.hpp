@@ -1,0 +1,66 @@
+// Middlebox node policies and function manifests (paper §5.5).
+//
+// A node policy is the operator's public statement of what they will run:
+// boolean values over the Bento API (syscalls), offered resource ceilings,
+// and the container images available. A manifest declares what one
+// function *requests*. The server rejects manifests exceeding policy and
+// constrains the sandbox to exactly the manifest's set (even if the policy
+// allowed more) — the "intersection" enforcement point.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sandbox/resources.hpp"
+#include "sandbox/syscalls.hpp"
+#include "util/bytes.hpp"
+
+namespace bento::core {
+
+/// Names of the two standard container images (paper §5.4).
+inline constexpr const char* kImagePython = "python";
+inline constexpr const char* kImagePythonOpSgx = "python-op-sgx";
+
+struct MiddleboxPolicy {
+  sandbox::SyscallFilter allowed = sandbox::SyscallFilter::deny_all();
+  sandbox::ResourceLimits max_per_function;
+  std::vector<std::string> images = {kImagePython};
+
+  bool offers_image(const std::string& name) const;
+
+  util::Bytes serialize() const;
+  static MiddleboxPolicy deserialize(util::ByteView data);
+
+  /// Human-readable one-per-line rendering (for the policy-query function).
+  std::string to_string() const;
+
+  /// A reasonable default for an exit-relay operator.
+  static MiddleboxPolicy permissive();
+  /// Storage-free policy (paper §6.2: operators may refuse all disk use).
+  static MiddleboxPolicy no_storage();
+};
+
+struct FunctionManifest {
+  std::string name;
+  std::vector<sandbox::Syscall> required;
+  sandbox::ResourceLimits resources;  // requested ceilings
+  std::string image = kImagePython;
+
+  util::Bytes serialize() const;
+  static FunctionManifest deserialize(util::ByteView data);
+
+  sandbox::SyscallFilter filter() const;
+};
+
+/// Policy decision with a reason (surfaces in the client's error).
+struct PolicyDecision {
+  bool admitted = false;
+  std::string reason;
+};
+
+/// Checks manifest against policy: every required syscall must be allowed,
+/// every resource request within the per-function ceiling, image offered.
+PolicyDecision admit(const MiddleboxPolicy& policy, const FunctionManifest& manifest);
+
+}  // namespace bento::core

@@ -1,0 +1,283 @@
+#include "core/server.hpp"
+
+#include "util/log.hpp"
+
+namespace bento::core {
+
+namespace {
+constexpr char kComponent[] = "bento.server";
+}
+
+util::Bytes BentoServer::runtime_image() {
+  // Canonical bytes of the execution environment: in a real deployment this
+  // is the container image (Graphene + Python + the Bento loader); here a
+  // versioned constant whose hash plays the MRENCLAVE role.
+  return util::to_bytes(
+      "bento-runtime v1.0 | graphene-sgx 1.1 | python 3.6 | loader 2021-08");
+}
+
+tee::Measurement BentoServer::runtime_measurement() {
+  return tee::measure(runtime_image());
+}
+
+BentoServer::BentoServer(sim::Simulator& sim, sim::Network& net, tor::Router& router,
+                         tor::DirectoryAuthority& directory,
+                         const tor::Consensus& consensus,
+                         tee::IntelAttestationService& ias,
+                         const NativeRegistry& natives, BentoServerConfig config,
+                         util::Rng rng)
+    : sim_(sim),
+      router_(router),
+      directory_(directory),
+      ias_(ias),
+      natives_(natives),
+      config_(std::move(config)),
+      rng_(rng),
+      platform_(rng_.next_u64(), ias.current_tcb(), rng_),
+      aggregate_(config_.aggregate_limits) {
+  ias_.provision(platform_);
+  // The companion onion proxy: the Stem-firewalled Tor access functions
+  // get. Its node is "localhost" relative to the relay.
+  const sim::NodeId op_node = net.add_node(
+      {router_.descriptor().nickname + "-op", 12.5e6, 12.5e6}, nullptr);
+  stem_proxy_ = std::make_unique<tor::OnionProxy>(
+      sim_, net, op_node, consensus, directory.authority_key(), rng_.fork());
+  net.attach(op_node, stem_proxy_.get());
+  net.set_latency(op_node, router_.node(), util::Duration::micros(50));
+  router_.bind_local_app(config_.port, this);
+}
+
+std::size_t BentoServer::total_memory_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [id, container] : containers_) total += container->memory_bytes();
+  return total;
+}
+
+bool BentoServer::on_stream_open(tor::EdgeStream& stream) {
+  tor::EdgeStream* ptr = &stream;
+  conns_[ptr];
+  stream.set_on_data([this, ptr](util::ByteView data) {
+    auto it = conns_.find(ptr);
+    if (it == conns_.end()) return;
+    for (const Message& msg : it->second.framer.feed(data)) {
+      handle_message(ptr, msg);
+    }
+  });
+  stream.set_on_end([this, ptr] {
+    conns_.erase(ptr);
+    for (auto& [id, container] : containers_) container->on_stream_closed(ptr);
+  });
+  return true;
+}
+
+void BentoServer::send_to_stream(tor::EdgeStream* stream, const Message& msg) {
+  if (stream == nullptr) return;
+  stream->send(StreamFramer::frame(msg));
+}
+
+void BentoServer::reply_error(tor::EdgeStream* stream, const std::string& text) {
+  Message err;
+  err.type = MsgType::Error;
+  err.text = text;
+  send_to_stream(stream, err);
+}
+
+void BentoServer::handle_message(tor::EdgeStream* stream, const Message& msg) {
+  switch (msg.type) {
+    case MsgType::GetPolicy: {
+      Message reply;
+      reply.type = MsgType::PolicyReply;
+      reply.blob = config_.policy.serialize();
+      send_to_stream(stream, reply);
+      return;
+    }
+    case MsgType::Spawn: handle_spawn(stream, msg); return;
+    case MsgType::Upload: handle_upload(stream, msg); return;
+    case MsgType::Invoke: handle_invoke(stream, msg); return;
+    case MsgType::Shutdown: handle_shutdown(stream, msg); return;
+    default:
+      reply_error(stream, "unexpected message type");
+      return;
+  }
+}
+
+void BentoServer::handle_spawn(tor::EdgeStream* stream, const Message& msg) {
+  if (!config_.policy.offers_image(msg.text)) {
+    reply_error(stream, "image not offered: " + msg.text);
+    return;
+  }
+  if (msg.text == kImagePythonOpSgx && !config_.sgx_available) {
+    reply_error(stream, "no SGX on this box");
+    return;
+  }
+  if (containers_.size() >= static_cast<std::size_t>(config_.max_containers)) {
+    reply_error(stream, "container limit reached");
+    return;
+  }
+
+  const std::uint64_t id = next_container_id_++;
+  std::unique_ptr<Container> container;
+  try {
+    container = std::make_unique<Container>(*this, id, msg.text, rng_.fork());
+  } catch (const tee::EpcExhausted& e) {
+    reply_error(stream, std::string("EPC exhausted: ") + e.what());
+    return;
+  }
+
+  Message reply;
+  reply.type = MsgType::SpawnReply;
+  reply.container_id = id;
+
+  if (msg.text == kImagePythonOpSgx) {
+    // Attested channel handshake + stapled IAS report (paper §5.4).
+    tee::SecureChannel::Hello hello;
+    try {
+      hello = tee::SecureChannel::Hello::from_bytes(msg.blob2);
+    } catch (const std::exception&) {
+      reply_error(stream, "malformed channel hello");
+      return;
+    }
+    tee::SecureChannel::Accept accept;
+    auto channel = tee::SecureChannel::server_accept(hello, container->conclave()->runtime(),
+                                                     rng_, &accept);
+    auto report =
+        ias_.verify_quote(accept.quote, static_cast<std::uint64_t>(sim_.now().micros()));
+    if (!report.has_value()) {
+      reply_error(stream, "IAS refused quote");
+      return;
+    }
+    container->channel() = std::move(channel);
+    reply.blob = report->serialize();
+    reply.blob2 = accept.to_bytes();
+  }
+
+  containers_[id] = std::move(container);
+  ++counters_.spawns;
+  send_to_stream(stream, reply);
+}
+
+void BentoServer::handle_upload(tor::EdgeStream* stream, const Message& msg) {
+  auto it = containers_.find(msg.container_id);
+  if (it == containers_.end()) {
+    reply_error(stream, "no such container");
+    return;
+  }
+  Container& container = *it->second;
+  if (container.installed()) {
+    reply_error(stream, "container already has a function");
+    return;
+  }
+
+  util::Bytes body_bytes = msg.blob;
+  if (container.channel().has_value()) {
+    auto opened = container.channel()->open(body_bytes);
+    if (!opened.has_value()) {
+      reply_error(stream, "upload failed channel authentication");
+      return;
+    }
+    body_bytes = std::move(*opened);
+  }
+
+  UploadBody body;
+  FunctionManifest manifest;
+  try {
+    body = UploadBody::deserialize(body_bytes);
+    manifest = FunctionManifest::deserialize(body.manifest);
+  } catch (const util::ParseError& e) {
+    reply_error(stream, std::string("malformed upload: ") + e.what());
+    return;
+  }
+  if (manifest.image != container.image()) {
+    reply_error(stream, "manifest image does not match container");
+    return;
+  }
+  if (!body.native.empty() && !natives_.has(body.native)) {
+    reply_error(stream, "unknown native function: " + body.native);
+    return;
+  }
+
+  const PolicyDecision decision = admit(config_.policy, manifest);
+  if (!decision.admitted) {
+    ++counters_.rejected_manifests;
+    reply_error(stream, "manifest rejected: " + decision.reason);
+    return;
+  }
+
+  try {
+    container.install(manifest, body, stream);
+  } catch (const std::exception& e) {
+    // If the container killed itself it already reported the reason.
+    if (!container.dead()) reply_error(stream, std::string("install failed: ") + e.what());
+    remove_container(msg.container_id);
+    return;
+  }
+
+  ++counters_.uploads;
+  UploadReplyBody reply_body;
+  reply_body.invocation_token = container.tokens().invocation.bytes();
+  reply_body.shutdown_token = container.tokens().shutdown.bytes();
+  Message reply;
+  reply.type = MsgType::UploadReply;
+  reply.container_id = msg.container_id;
+  util::Bytes serialized = reply_body.serialize();
+  reply.blob = container.channel().has_value() ? container.channel()->seal(serialized)
+                                               : serialized;
+  send_to_stream(stream, reply);
+}
+
+void BentoServer::handle_invoke(tor::EdgeStream* stream, const Message& msg) {
+  Container* container = find_by_invocation(msg.token);
+  if (container == nullptr) {
+    reply_error(stream, "bad invocation token");
+    return;
+  }
+  ++counters_.invokes;
+  container->handle_invoke(stream, msg.blob);
+}
+
+void BentoServer::handle_shutdown(tor::EdgeStream* stream, const Message& msg) {
+  Container* container = find_by_shutdown(msg.token);
+  if (container == nullptr) {
+    reply_error(stream, "bad shutdown token");
+    return;
+  }
+  ++counters_.shutdowns;
+  container->graceful_shutdown();
+  remove_container(container->id());
+  Message ok;
+  ok.type = MsgType::Ok;
+  send_to_stream(stream, ok);
+}
+
+Container* BentoServer::find_by_invocation(util::ByteView token) {
+  for (auto& [id, container] : containers_) {
+    if (container->tokens().invocation.matches(token)) return container.get();
+  }
+  return nullptr;
+}
+
+Container* BentoServer::find_by_shutdown(util::ByteView token) {
+  for (auto& [id, container] : containers_) {
+    if (container->tokens().shutdown.matches(token)) return container.get();
+  }
+  return nullptr;
+}
+
+void BentoServer::container_died(std::uint64_t id, const std::string& reason) {
+  ++counters_.deaths;
+  util::log_info(kComponent, fingerprint(), ": reclaiming container ", id, " (",
+                 reason, ")");
+  remove_container(id);
+}
+
+void BentoServer::remove_container(std::uint64_t id) {
+  auto it = containers_.find(id);
+  if (it == containers_.end()) return;
+  // Deferred: removal is frequently reached from inside the container's own
+  // call stack (kill during install/invoke).
+  std::shared_ptr<Container> doomed(std::move(it->second));
+  containers_.erase(it);
+  sim_.after(util::Duration::micros(0), [doomed] {});
+}
+
+}  // namespace bento::core

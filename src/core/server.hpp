@@ -1,0 +1,132 @@
+// The Bento server (paper §5.2).
+//
+// Runs on the same machine as its companion Tor relay, as a separate
+// process on a separate port: here, a LocalApp bound to the relay's Bento
+// port (clients reach it through Tor streams to the relay's own address —
+// the paper's "exit node policy to connect to the Bento server via
+// localhost" deployment), plus a companion onion-proxy node representing
+// the Stem-controlled Tor access functions get through the firewall.
+//
+// Responsibilities: answer policy queries, spawn containers (optionally
+// inside conclaves, with the attested-channel handshake and a stapled IAS
+// report), admit manifests against the middlebox node policy, mint
+// invocation/shutdown tokens, route invocations by token, and reclaim
+// containers on shutdown or death.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "core/container.hpp"
+#include "core/policy.hpp"
+#include "sandbox/resources.hpp"
+#include "tee/attestation.hpp"
+#include "tee/epc.hpp"
+#include "tor/proxy.hpp"
+#include "tor/router.hpp"
+
+namespace bento::core {
+
+inline constexpr tor::Port kBentoPort = 5577;
+
+struct BentoServerConfig {
+  tor::Port port = kBentoPort;
+  MiddleboxPolicy policy = MiddleboxPolicy::permissive();
+  /// Operator-level cap over all containers together (paper §6.2).
+  sandbox::ResourceLimits aggregate_limits = [] {
+    sandbox::ResourceLimits l;
+    l.memory_bytes = 512ull << 20;
+    l.cpu_instructions = 4'000'000'000ULL;
+    l.disk_bytes = 1ull << 30;
+    l.network_bytes = 8ull << 30;
+    return l;
+  }();
+  bool sgx_available = true;
+  int max_containers = 64;
+  int stem_circuit_cap = 8;
+};
+
+class BentoServer : public tor::LocalApp {
+ public:
+  BentoServer(sim::Simulator& sim, sim::Network& net, tor::Router& router,
+              tor::DirectoryAuthority& directory, const tor::Consensus& consensus,
+              tee::IntelAttestationService& ias, const NativeRegistry& natives,
+              BentoServerConfig config, util::Rng rng);
+
+  /// The canonical Bento execution-environment image. Its measurement is
+  /// what clients attest — per §5.4, "the only code needing attestation is
+  /// the Bento execution environment (including Python), not the
+  /// individual user functions."
+  static util::Bytes runtime_image();
+  static tee::Measurement runtime_measurement();
+
+  const BentoServerConfig& config() const { return config_; }
+  const MiddleboxPolicy& policy() const { return config_.policy; }
+  std::string fingerprint() const { return router_.fingerprint(); }
+
+  // Environment accessors used by containers.
+  sim::Simulator& simulator() { return sim_; }
+  tor::Router& router() { return router_; }
+  tor::OnionProxy& stem_proxy() { return *stem_proxy_; }
+  tor::DirectoryAuthority& directory() { return directory_; }
+  const NativeRegistry& natives() const { return natives_; }
+  sandbox::AggregateAccountant& aggregate() { return aggregate_; }
+  tee::Platform& platform() { return platform_; }
+  crypto::Gp ias_public_key() const { return ias_.public_key(); }
+  tee::EpcManager& epc() { return epc_; }
+  util::Rng& rng() { return rng_; }
+
+  /// Frames + sends a protocol message down a client stream.
+  void send_to_stream(tor::EdgeStream* stream, const Message& msg);
+  /// Container committed suicide (sandbox violation / script error).
+  void container_died(std::uint64_t id, const std::string& reason);
+
+  bool on_stream_open(tor::EdgeStream& stream) override;
+
+  std::size_t live_containers() const { return containers_.size(); }
+  /// Total container memory (for the §7.3 scalability experiment).
+  std::size_t total_memory_bytes() const;
+
+  struct Counters {
+    std::uint64_t spawns = 0;
+    std::uint64_t uploads = 0;
+    std::uint64_t rejected_manifests = 0;
+    std::uint64_t invokes = 0;
+    std::uint64_t shutdowns = 0;
+    std::uint64_t deaths = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  void handle_message(tor::EdgeStream* stream, const Message& msg);
+  void handle_spawn(tor::EdgeStream* stream, const Message& msg);
+  void handle_upload(tor::EdgeStream* stream, const Message& msg);
+  void handle_invoke(tor::EdgeStream* stream, const Message& msg);
+  void handle_shutdown(tor::EdgeStream* stream, const Message& msg);
+  void reply_error(tor::EdgeStream* stream, const std::string& text);
+  Container* find_by_invocation(util::ByteView token);
+  Container* find_by_shutdown(util::ByteView token);
+  void remove_container(std::uint64_t id);
+
+  sim::Simulator& sim_;
+  tor::Router& router_;
+  tor::DirectoryAuthority& directory_;
+  tee::IntelAttestationService& ias_;
+  const NativeRegistry& natives_;
+  BentoServerConfig config_;
+  util::Rng rng_;
+  tee::Platform platform_;
+  tee::EpcManager epc_;
+  sandbox::AggregateAccountant aggregate_;
+  std::unique_ptr<tor::OnionProxy> stem_proxy_;
+
+  struct ClientConn {
+    StreamFramer framer;
+  };
+  std::map<tor::EdgeStream*, ClientConn> conns_;
+  std::map<std::uint64_t, std::unique_ptr<Container>> containers_;
+  std::uint64_t next_container_id_ = 1;
+  Counters counters_;
+};
+
+}  // namespace bento::core

@@ -1,0 +1,32 @@
+#include "core/tokens.hpp"
+
+#include <stdexcept>
+
+namespace bento::core {
+
+Token Token::generate(util::Rng& rng) {
+  Token t;
+  t.bytes_ = rng.bytes(kTokenLen);
+  return t;
+}
+
+Token Token::from_bytes(util::ByteView b) {
+  if (b.size() != kTokenLen) throw std::invalid_argument("Token: wrong length");
+  Token t;
+  t.bytes_ = util::Bytes(b.begin(), b.end());
+  return t;
+}
+
+bool Token::matches(const Token& other) const {
+  return !bytes_.empty() && util::ct_equal(bytes_, other.bytes_);
+}
+
+bool Token::matches(util::ByteView raw) const {
+  return !bytes_.empty() && util::ct_equal(bytes_, raw);
+}
+
+TokenPair TokenPair::generate(util::Rng& rng) {
+  return TokenPair{Token::generate(rng), Token::generate(rng)};
+}
+
+}  // namespace bento::core

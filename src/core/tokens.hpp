@@ -1,0 +1,41 @@
+// Invocation and shutdown tokens (paper §5.3).
+//
+// On container spawn the server returns two capabilities: the *invocation*
+// token (presented with every message to the function; shareable, so a
+// client can hand out use of the function while keeping control) and the
+// *shutdown* token (exclusive right to terminate). Comparison is
+// constant-time.
+#pragma once
+
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace bento::core {
+
+inline constexpr std::size_t kTokenLen = 16;
+
+class Token {
+ public:
+  Token() = default;
+  static Token generate(util::Rng& rng);
+  static Token from_bytes(util::ByteView b);  // throws on wrong length
+
+  const util::Bytes& bytes() const { return bytes_; }
+  bool matches(const Token& other) const;
+  bool matches(util::ByteView raw) const;
+  bool empty() const { return bytes_.empty(); }
+  std::string hex() const { return util::to_hex(bytes_); }
+
+ private:
+  util::Bytes bytes_;
+};
+
+struct TokenPair {
+  Token invocation;
+  Token shutdown;
+  static TokenPair generate(util::Rng& rng);
+};
+
+}  // namespace bento::core

@@ -1,0 +1,55 @@
+#include "core/world.hpp"
+
+namespace bento::core {
+
+namespace {
+BentoWorldOptions with_policy(BentoWorldOptions options) {
+  options.testbed.all_bento = true;
+  options.testbed.bento_policy = options.policy.serialize();
+  return options;
+}
+}  // namespace
+
+BentoWorld::BentoWorld(const BentoWorldOptions& options)
+    : options_(with_policy(options)), bed_(options_.testbed) {
+  ias_ = std::make_unique<tee::IntelAttestationService>(bed_.rng());
+}
+
+void BentoWorld::start() {
+  if (started_) throw std::logic_error("BentoWorld: start() twice");
+  started_ = true;
+  bed_.finalize();
+  for (std::size_t i = 0; i < bed_.router_count(); ++i) {
+    tor::Router& router = bed_.router(i);
+    if (!router.descriptor().flags.bento) continue;
+    BentoServerConfig cfg;
+    cfg.policy = options_.policy;
+    cfg.sgx_available = options_.sgx_available;
+    servers_.push_back(std::make_unique<BentoServer>(
+        bed_.sim(), bed_.net(), router, bed_.directory(), bed_.consensus(), *ias_,
+        natives_, cfg, bed_.rng().fork()));
+  }
+}
+
+BentoServer* BentoWorld::server_for(const std::string& fingerprint) {
+  for (auto& server : servers_) {
+    if (server->fingerprint() == fingerprint) return server.get();
+  }
+  return nullptr;
+}
+
+BentoWorld::Client BentoWorld::make_client(const std::string& name, double bandwidth) {
+  Client client;
+  client.proxy = bed_.make_client(name, bandwidth);
+  client.bento = std::make_unique<BentoClient>(*client.proxy, client_config());
+  return client;
+}
+
+BentoClientConfig BentoWorld::client_config() const {
+  BentoClientConfig cfg;
+  cfg.ias_public_key = ias_->public_key();
+  cfg.expected_runtime = BentoServer::runtime_measurement();
+  return cfg;
+}
+
+}  // namespace bento::core

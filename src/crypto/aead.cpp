@@ -1,0 +1,57 @@
+#include "crypto/aead.hpp"
+
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+#include "util/serialize.hpp"
+
+namespace bento::crypto {
+
+AeadKey AeadKey::from_bytes(util::ByteView material) {
+  if (material.size() != kAeadKeyLen) {
+    throw std::invalid_argument("AeadKey::from_bytes: need 64 bytes");
+  }
+  AeadKey k;
+  std::copy(material.begin(), material.begin() + 32, k.enc.begin());
+  std::copy(material.begin() + 32, material.end(), k.mac.begin());
+  return k;
+}
+
+namespace {
+Digest compute_tag(const AeadKey& key, const ChaChaNonce& nonce, util::ByteView aad,
+                   util::ByteView ciphertext) {
+  util::Writer w;
+  w.blob(aad);
+  w.raw(util::ByteView(nonce.data(), nonce.size()));
+  w.blob(ciphertext);
+  return hmac_sha256(key.mac, w.data());
+}
+}  // namespace
+
+util::Bytes aead_seal(const AeadKey& key, const ChaChaNonce& nonce,
+                      util::ByteView aad, util::ByteView plaintext) {
+  util::Bytes out = chacha20_xor(key.enc, nonce, 1, plaintext);
+  const Digest tag = compute_tag(key, nonce, aad, out);
+  out.insert(out.end(), tag.begin(), tag.begin() + kAeadTagLen);
+  return out;
+}
+
+std::optional<util::Bytes> aead_open(const AeadKey& key, const ChaChaNonce& nonce,
+                                     util::ByteView aad, util::ByteView sealed) {
+  if (sealed.size() < kAeadTagLen) return std::nullopt;
+  util::ByteView ciphertext = sealed.first(sealed.size() - kAeadTagLen);
+  util::ByteView tag = sealed.last(kAeadTagLen);
+  const Digest expect = compute_tag(key, nonce, aad, ciphertext);
+  if (!util::ct_equal(tag, util::ByteView(expect.data(), kAeadTagLen))) {
+    return std::nullopt;
+  }
+  return chacha20_xor(key.enc, nonce, 1, ciphertext);
+}
+
+ChaChaNonce nonce_from_counter(std::uint64_t counter) {
+  ChaChaNonce n{};
+  for (int i = 0; i < 8; ++i) n[4 + i] = static_cast<std::uint8_t>(counter >> (8 * i));
+  return n;
+}
+
+}  // namespace bento::crypto

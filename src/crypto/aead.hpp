@@ -1,0 +1,39 @@
+// Authenticated encryption: ChaCha20 + HMAC-SHA256, encrypt-then-MAC.
+//
+// The paper's implementation rides on TLS / Tor's AES-CTR + digests; for the
+// simulator we use an encrypt-then-MAC composition whose security argument
+// is standard. The tag covers (aad || nonce || ciphertext || lengths).
+// Ciphertext layout: ciphertext || 16-byte truncated tag.
+#pragma once
+
+#include <optional>
+
+#include "crypto/chacha20.hpp"
+#include "util/bytes.hpp"
+
+namespace bento::crypto {
+
+inline constexpr std::size_t kAeadTagLen = 16;
+inline constexpr std::size_t kAeadKeyLen = 64;  // 32 cipher + 32 mac
+
+/// AEAD key material: first 32 bytes encrypt, last 32 bytes authenticate.
+struct AeadKey {
+  ChaChaKey enc{};
+  std::array<std::uint8_t, 32> mac{};
+
+  /// Splits a 64-byte buffer (e.g. HKDF output) into an AeadKey.
+  static AeadKey from_bytes(util::ByteView material);
+};
+
+/// Seals plaintext; output is ciphertext || tag.
+util::Bytes aead_seal(const AeadKey& key, const ChaChaNonce& nonce,
+                      util::ByteView aad, util::ByteView plaintext);
+
+/// Opens a sealed buffer; nullopt on any authentication failure.
+std::optional<util::Bytes> aead_open(const AeadKey& key, const ChaChaNonce& nonce,
+                                     util::ByteView aad, util::ByteView sealed);
+
+/// Builds a 12-byte nonce from a 64-bit sequence number (low 8 bytes LE).
+ChaChaNonce nonce_from_counter(std::uint64_t counter);
+
+}  // namespace bento::crypto

@@ -1,0 +1,75 @@
+#include "crypto/chacha20.hpp"
+
+#include <cstring>
+
+namespace bento::crypto {
+
+namespace {
+std::uint32_t rotl(std::uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+void quarter_round(std::array<std::uint32_t, 16>& s, int a, int b, int c, int d) {
+  s[a] += s[b]; s[d] ^= s[a]; s[d] = rotl(s[d], 16);
+  s[c] += s[d]; s[b] ^= s[c]; s[b] = rotl(s[b], 12);
+  s[a] += s[b]; s[d] ^= s[a]; s[d] = rotl(s[d], 8);
+  s[c] += s[d]; s[b] ^= s[c]; s[b] = rotl(s[b], 7);
+}
+
+std::uint32_t load32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
+}
+}  // namespace
+
+ChaCha20::ChaCha20(const ChaChaKey& key, const ChaChaNonce& nonce, std::uint32_t counter) {
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state_[4 + i] = load32(key.data() + 4 * i);
+  state_[12] = counter;
+  for (int i = 0; i < 3; ++i) state_[13 + i] = load32(nonce.data() + 4 * i);
+}
+
+void ChaCha20::refill() {
+  std::array<std::uint32_t, 16> x = state_;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x, 0, 4, 8, 12);
+    quarter_round(x, 1, 5, 9, 13);
+    quarter_round(x, 2, 6, 10, 14);
+    quarter_round(x, 3, 7, 11, 15);
+    quarter_round(x, 0, 5, 10, 15);
+    quarter_round(x, 1, 6, 11, 12);
+    quarter_round(x, 2, 7, 8, 13);
+    quarter_round(x, 3, 4, 9, 14);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t v = x[i] + state_[i];
+    block_[4 * i] = static_cast<std::uint8_t>(v);
+    block_[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    block_[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    block_[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+  state_[12] += 1;
+  used_ = 0;
+}
+
+void ChaCha20::process(util::Bytes& data) {
+  for (auto& byte : data) {
+    if (used_ == 64) refill();
+    byte ^= block_[used_++];
+  }
+}
+
+util::Bytes ChaCha20::transform(util::ByteView data) {
+  util::Bytes out(data.begin(), data.end());
+  process(out);
+  return out;
+}
+
+util::Bytes chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                         std::uint32_t counter, util::ByteView data) {
+  ChaCha20 c(key, nonce, counter);
+  return c.transform(data);
+}
+
+}  // namespace bento::crypto

@@ -1,0 +1,41 @@
+// ChaCha20 stream cipher (RFC 8439).
+//
+// Provides the relay-crypto layers for onion encryption and the keystream
+// under the AEAD. Verified against the RFC 8439 test vector.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace bento::crypto {
+
+using ChaChaKey = std::array<std::uint8_t, 32>;
+using ChaChaNonce = std::array<std::uint8_t, 12>;
+
+/// Stateful cipher: repeated calls continue the keystream, so a pair of
+/// instances with the same (key, nonce) forms an in-order encrypted pipe —
+/// exactly how a circuit hop applies its layer to successive cells.
+class ChaCha20 {
+ public:
+  ChaCha20(const ChaChaKey& key, const ChaChaNonce& nonce, std::uint32_t counter = 0);
+
+  /// XORs the next keystream bytes into data (encrypt == decrypt).
+  void process(util::Bytes& data);
+
+  /// Convenience returning a transformed copy.
+  util::Bytes transform(util::ByteView data);
+
+ private:
+  void refill();
+  std::array<std::uint32_t, 16> state_;
+  std::array<std::uint8_t, 64> block_;
+  std::size_t used_ = 64;  // forces refill on first use
+};
+
+/// One-shot encryption with an explicit block counter.
+util::Bytes chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                         std::uint32_t counter, util::ByteView data);
+
+}  // namespace bento::crypto

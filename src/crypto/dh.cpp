@@ -1,0 +1,86 @@
+#include "crypto/dh.hpp"
+
+#include <stdexcept>
+
+namespace bento::crypto {
+
+Gp group_prime() { return (static_cast<Gp>(1) << 127) - 1; }
+
+Gp modmul(Gp a, Gp b, Gp mod) {
+  a %= mod;
+  b %= mod;
+  Gp result = 0;
+  while (b > 0) {
+    if (b & 1) {
+      result += a;
+      if (result >= mod) result -= mod;
+    }
+    a <<= 1;
+    if (a >= mod) a -= mod;
+    b >>= 1;
+  }
+  return result;
+}
+
+Gp modpow(Gp base, Gp exp, Gp mod) {
+  Gp result = 1 % mod;
+  base %= mod;
+  while (exp > 0) {
+    if (exp & 1) result = modmul(result, base, mod);
+    base = modmul(base, base, mod);
+    exp >>= 1;
+  }
+  return result;
+}
+
+util::Bytes gp_to_bytes(Gp v) {
+  util::Bytes out(kGpBytes);
+  for (int i = kGpBytes - 1; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v);
+    v >>= 8;
+  }
+  return out;
+}
+
+Gp gp_from_bytes(util::ByteView b) {
+  if (b.size() != kGpBytes) throw std::invalid_argument("gp_from_bytes: need 16 bytes");
+  Gp v = 0;
+  for (std::uint8_t byte : b) v = (v << 8) | byte;
+  return v;
+}
+
+DhKeyPair DhKeyPair::generate(util::Rng& rng) {
+  const Gp p = group_prime();
+  DhKeyPair kp;
+  // Secret in [2, p-2].
+  Gp s = (static_cast<Gp>(rng.next_u64()) << 64) | rng.next_u64();
+  kp.secret = 2 + s % (p - 3);
+  kp.public_value = modpow(3, kp.secret, p);
+  return kp;
+}
+
+util::Bytes DhKeyPair::to_bytes() const {
+  util::Bytes out = gp_to_bytes(secret);
+  util::append(out, gp_to_bytes(public_value));
+  return out;
+}
+
+DhKeyPair DhKeyPair::from_bytes(util::ByteView b) {
+  if (b.size() != 2 * kGpBytes) {
+    throw std::invalid_argument("DhKeyPair::from_bytes: size");
+  }
+  DhKeyPair kp;
+  kp.secret = gp_from_bytes(b.first(kGpBytes));
+  kp.public_value = gp_from_bytes(b.subspan(kGpBytes));
+  return kp;
+}
+
+util::Bytes dh_shared(const DhKeyPair& mine, Gp their_public) {
+  const Gp p = group_prime();
+  if (their_public <= 1 || their_public >= p) {
+    throw std::invalid_argument("dh_shared: public value out of range");
+  }
+  return gp_to_bytes(modpow(their_public, mine.secret, p));
+}
+
+}  // namespace bento::crypto

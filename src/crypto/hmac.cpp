@@ -1,0 +1,61 @@
+#include "crypto/hmac.hpp"
+
+#include <stdexcept>
+
+namespace bento::crypto {
+
+Digest hmac_sha256(util::ByteView key, util::ByteView message) {
+  std::array<std::uint8_t, 64> k{};
+  if (key.size() > 64) {
+    Digest kd = sha256(key);
+    std::copy(kd.begin(), kd.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+  std::array<std::uint8_t, 64> ipad{}, opad{};
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  Digest inner_digest = inner.finish();
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+Digest hkdf_extract(util::ByteView salt, util::ByteView ikm) {
+  return hmac_sha256(salt, ikm);
+}
+
+util::Bytes hkdf_expand(const Digest& prk, util::ByteView info, std::size_t length) {
+  if (length > 255 * 32) throw std::invalid_argument("hkdf_expand: too long");
+  util::Bytes out;
+  out.reserve(length);
+  Digest t{};
+  std::size_t t_len = 0;
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    util::Bytes block;
+    block.insert(block.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(t_len));
+    block.insert(block.end(), info.begin(), info.end());
+    block.push_back(counter++);
+    t = hmac_sha256(prk, block);
+    t_len = 32;
+    const std::size_t take = std::min<std::size_t>(32, length - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return out;
+}
+
+util::Bytes hkdf(util::ByteView ikm, util::ByteView salt, std::string_view info,
+                 std::size_t length) {
+  Digest prk = hkdf_extract(salt, ikm);
+  util::Bytes info_bytes(info.begin(), info.end());
+  return hkdf_expand(prk, info_bytes, length);
+}
+
+}  // namespace bento::crypto

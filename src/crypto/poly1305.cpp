@@ -1,0 +1,203 @@
+#include "crypto/poly1305.hpp"
+
+#include <cstring>
+
+namespace bento::crypto {
+
+namespace {
+std::uint32_t le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+}  // namespace
+
+Poly1305Tag poly1305(const Poly1305Key& key, util::ByteView message) {
+  // 26-bit limb representation (poly1305-donna style).
+  const std::uint32_t r0 = le32(key.data()) & 0x3ffffff;
+  const std::uint32_t r1 = (le32(key.data() + 3) >> 2) & 0x3ffff03;
+  const std::uint32_t r2 = (le32(key.data() + 6) >> 4) & 0x3ffc0ff;
+  const std::uint32_t r3 = (le32(key.data() + 9) >> 6) & 0x3f03fff;
+  const std::uint32_t r4 = (le32(key.data() + 12) >> 8) & 0x00fffff;
+
+  const std::uint32_t s1 = r1 * 5, s2 = r2 * 5, s3 = r3 * 5, s4 = r4 * 5;
+
+  std::uint32_t h0 = 0, h1 = 0, h2 = 0, h3 = 0, h4 = 0;
+
+  std::size_t offset = 0;
+  while (offset < message.size()) {
+    std::uint8_t block[17] = {0};
+    const std::size_t n = std::min<std::size_t>(16, message.size() - offset);
+    std::memcpy(block, message.data() + offset, n);
+    block[n] = 1;  // 2^(8*n) marker
+    offset += n;
+
+    h0 += le32(block) & 0x3ffffff;
+    h1 += (le32(block + 3) >> 2) & 0x3ffffff;
+    h2 += (le32(block + 6) >> 4) & 0x3ffffff;
+    h3 += (le32(block + 9) >> 6) & 0x3ffffff;
+    h4 += (le32(block + 12) >> 8) | (static_cast<std::uint32_t>(block[16]) << 24);
+
+    const std::uint64_t d0 = static_cast<std::uint64_t>(h0) * r0 +
+                             static_cast<std::uint64_t>(h1) * s4 +
+                             static_cast<std::uint64_t>(h2) * s3 +
+                             static_cast<std::uint64_t>(h3) * s2 +
+                             static_cast<std::uint64_t>(h4) * s1;
+    std::uint64_t d1 = static_cast<std::uint64_t>(h0) * r1 +
+                       static_cast<std::uint64_t>(h1) * r0 +
+                       static_cast<std::uint64_t>(h2) * s4 +
+                       static_cast<std::uint64_t>(h3) * s3 +
+                       static_cast<std::uint64_t>(h4) * s2;
+    std::uint64_t d2 = static_cast<std::uint64_t>(h0) * r2 +
+                       static_cast<std::uint64_t>(h1) * r1 +
+                       static_cast<std::uint64_t>(h2) * r0 +
+                       static_cast<std::uint64_t>(h3) * s4 +
+                       static_cast<std::uint64_t>(h4) * s3;
+    std::uint64_t d3 = static_cast<std::uint64_t>(h0) * r3 +
+                       static_cast<std::uint64_t>(h1) * r2 +
+                       static_cast<std::uint64_t>(h2) * r1 +
+                       static_cast<std::uint64_t>(h3) * r0 +
+                       static_cast<std::uint64_t>(h4) * s4;
+    std::uint64_t d4 = static_cast<std::uint64_t>(h0) * r4 +
+                       static_cast<std::uint64_t>(h1) * r3 +
+                       static_cast<std::uint64_t>(h2) * r2 +
+                       static_cast<std::uint64_t>(h3) * r1 +
+                       static_cast<std::uint64_t>(h4) * r0;
+
+    // Carry propagation.
+    std::uint64_t c = d0 >> 26;
+    h0 = static_cast<std::uint32_t>(d0) & 0x3ffffff;
+    d1 += c;
+    c = d1 >> 26;
+    h1 = static_cast<std::uint32_t>(d1) & 0x3ffffff;
+    d2 += c;
+    c = d2 >> 26;
+    h2 = static_cast<std::uint32_t>(d2) & 0x3ffffff;
+    d3 += c;
+    c = d3 >> 26;
+    h3 = static_cast<std::uint32_t>(d3) & 0x3ffffff;
+    d4 += c;
+    c = d4 >> 26;
+    h4 = static_cast<std::uint32_t>(d4) & 0x3ffffff;
+    h0 += static_cast<std::uint32_t>(c) * 5;
+    c = h0 >> 26;
+    h0 &= 0x3ffffff;
+    h1 += static_cast<std::uint32_t>(c);
+  }
+
+  // Final reduction mod 2^130 - 5.
+  std::uint32_t c = h1 >> 26;
+  h1 &= 0x3ffffff;
+  h2 += c;
+  c = h2 >> 26;
+  h2 &= 0x3ffffff;
+  h3 += c;
+  c = h3 >> 26;
+  h3 &= 0x3ffffff;
+  h4 += c;
+  c = h4 >> 26;
+  h4 &= 0x3ffffff;
+  h0 += c * 5;
+  c = h0 >> 26;
+  h0 &= 0x3ffffff;
+  h1 += c;
+
+  // Compute h + -p and select.
+  std::uint32_t g0 = h0 + 5;
+  c = g0 >> 26;
+  g0 &= 0x3ffffff;
+  std::uint32_t g1 = h1 + c;
+  c = g1 >> 26;
+  g1 &= 0x3ffffff;
+  std::uint32_t g2 = h2 + c;
+  c = g2 >> 26;
+  g2 &= 0x3ffffff;
+  std::uint32_t g3 = h3 + c;
+  c = g3 >> 26;
+  g3 &= 0x3ffffff;
+  std::uint32_t g4 = h4 + c - (1u << 26);
+
+  const std::uint32_t mask = (g4 >> 31) - 1;  // all-ones if h >= p
+  h0 = (h0 & ~mask) | (g0 & mask);
+  h1 = (h1 & ~mask) | (g1 & mask);
+  h2 = (h2 & ~mask) | (g2 & mask);
+  h3 = (h3 & ~mask) | (g3 & mask);
+  h4 = (h4 & ~mask) | (g4 & mask);
+
+  // h = h % 2^128, then add s.
+  const std::uint32_t t0 = (h0 | (h1 << 26));
+  const std::uint32_t t1 = ((h1 >> 6) | (h2 << 20));
+  const std::uint32_t t2 = ((h2 >> 12) | (h3 << 14));
+  const std::uint32_t t3 = ((h3 >> 18) | (h4 << 8));
+
+  std::uint64_t f = static_cast<std::uint64_t>(t0) + le32(key.data() + 16);
+  Poly1305Tag tag{};
+  tag[0] = static_cast<std::uint8_t>(f);
+  tag[1] = static_cast<std::uint8_t>(f >> 8);
+  tag[2] = static_cast<std::uint8_t>(f >> 16);
+  tag[3] = static_cast<std::uint8_t>(f >> 24);
+  f = (f >> 32) + static_cast<std::uint64_t>(t1) + le32(key.data() + 20);
+  tag[4] = static_cast<std::uint8_t>(f);
+  tag[5] = static_cast<std::uint8_t>(f >> 8);
+  tag[6] = static_cast<std::uint8_t>(f >> 16);
+  tag[7] = static_cast<std::uint8_t>(f >> 24);
+  f = (f >> 32) + static_cast<std::uint64_t>(t2) + le32(key.data() + 24);
+  tag[8] = static_cast<std::uint8_t>(f);
+  tag[9] = static_cast<std::uint8_t>(f >> 8);
+  tag[10] = static_cast<std::uint8_t>(f >> 16);
+  tag[11] = static_cast<std::uint8_t>(f >> 24);
+  f = (f >> 32) + static_cast<std::uint64_t>(t3) + le32(key.data() + 28);
+  tag[12] = static_cast<std::uint8_t>(f);
+  tag[13] = static_cast<std::uint8_t>(f >> 8);
+  tag[14] = static_cast<std::uint8_t>(f >> 16);
+  tag[15] = static_cast<std::uint8_t>(f >> 24);
+  return tag;
+}
+
+namespace {
+Poly1305Tag chapoly_tag(const ChaChaKey& key, const ChaChaNonce& nonce,
+                        util::ByteView aad, util::ByteView ciphertext) {
+  // One-time key = first 32 bytes of the ChaCha20 block with counter 0.
+  util::Bytes otk_stream = chacha20_xor(key, nonce, 0, util::Bytes(32, 0));
+  Poly1305Key otk{};
+  std::memcpy(otk.data(), otk_stream.data(), 32);
+
+  auto pad16 = [](util::Bytes& b) {
+    while (b.size() % 16 != 0) b.push_back(0);
+  };
+  util::Bytes mac_data(aad.begin(), aad.end());
+  pad16(mac_data);
+  util::append(mac_data, ciphertext);
+  pad16(mac_data);
+  for (int i = 0; i < 8; ++i) {
+    mac_data.push_back(static_cast<std::uint8_t>(aad.size() >> (8 * i)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    mac_data.push_back(static_cast<std::uint8_t>(ciphertext.size() >> (8 * i)));
+  }
+  return poly1305(otk, mac_data);
+}
+}  // namespace
+
+util::Bytes chapoly_seal(const ChaChaKey& key, const ChaChaNonce& nonce,
+                         util::ByteView aad, util::ByteView plaintext) {
+  util::Bytes out = chacha20_xor(key, nonce, 1, plaintext);
+  const Poly1305Tag tag = chapoly_tag(key, nonce, aad, out);
+  out.insert(out.end(), tag.begin(), tag.end());
+  return out;
+}
+
+std::optional<util::Bytes> chapoly_open(const ChaChaKey& key,
+                                        const ChaChaNonce& nonce,
+                                        util::ByteView aad, util::ByteView sealed) {
+  if (sealed.size() < 16) return std::nullopt;
+  util::ByteView ciphertext = sealed.first(sealed.size() - 16);
+  const Poly1305Tag expect = chapoly_tag(key, nonce, aad, ciphertext);
+  if (!util::ct_equal(sealed.last(16),
+                      util::ByteView(expect.data(), expect.size()))) {
+    return std::nullopt;
+  }
+  return chacha20_xor(key, nonce, 1, ciphertext);
+}
+
+}  // namespace bento::crypto

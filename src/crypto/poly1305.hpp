@@ -1,0 +1,33 @@
+// Poly1305 one-time authenticator and the ChaCha20-Poly1305 AEAD
+// (RFC 8439), verified against the RFC test vectors.
+//
+// This is the repository's standards-faithful AEAD; the attested secure
+// channel (tee/conclave.hpp) uses it. The simpler encrypt-then-HMAC AEAD
+// in aead.hpp remains for bulk uses (sealing, FS-Protect) where a 32-byte
+// MAC is fine.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "crypto/chacha20.hpp"
+#include "util/bytes.hpp"
+
+namespace bento::crypto {
+
+using Poly1305Key = std::array<std::uint8_t, 32>;  // r || s
+using Poly1305Tag = std::array<std::uint8_t, 16>;
+
+/// One-shot Poly1305 MAC. The key must never authenticate two messages.
+Poly1305Tag poly1305(const Poly1305Key& key, util::ByteView message);
+
+/// RFC 8439 AEAD_CHACHA20_POLY1305: returns ciphertext || 16-byte tag.
+util::Bytes chapoly_seal(const ChaChaKey& key, const ChaChaNonce& nonce,
+                         util::ByteView aad, util::ByteView plaintext);
+
+/// Opens a chapoly_seal buffer; nullopt on authentication failure.
+std::optional<util::Bytes> chapoly_open(const ChaChaKey& key,
+                                        const ChaChaNonce& nonce,
+                                        util::ByteView aad, util::ByteView sealed);
+
+}  // namespace bento::crypto

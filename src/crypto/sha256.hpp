@@ -1,0 +1,40 @@
+// SHA-256 (FIPS 180-4), implemented from scratch for the simulator.
+//
+// Used for relay fingerprints, cell digests, enclave measurements, and as
+// the hash under HMAC/HKDF. Verified against NIST test vectors in
+// tests/crypto_sha256_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace bento::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256();
+  /// Absorbs more input.
+  void update(util::ByteView data);
+  /// Finalizes and returns the digest; the object must not be reused after.
+  Digest finish();
+
+ private:
+  void compress(const std::uint8_t* block);
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// One-shot convenience.
+Digest sha256(util::ByteView data);
+
+/// Digest as an owned byte vector (handy for wire formats).
+util::Bytes sha256_bytes(util::ByteView data);
+
+}  // namespace bento::crypto

@@ -1,0 +1,40 @@
+// The Bento function library: BentoScript sources and manifests for the
+// paper's functions (§7 Browser, §9.1 Cover, §9.2 Dropbox, plus the §5.5
+// policy-query helper). Native functions (LoadBalancer §8, Shard §9.3) live
+// in their own headers.
+//
+// Invocation protocols (payload of an Invoke message):
+//   Browser : "<url> <padding_bytes>"      -> one Output: compressed page
+//             padded to a multiple of padding_bytes (0 = no padding)
+//   Dropbox : "PUT:<bytes>" -> "OK"        (stores in the chrooted FS —
+//             encrypted at rest under python-op-sgx)
+//             "GET:"        -> stored bytes | "MISSING"
+//             "DEL:"        -> "OK"
+//   Cover   : "start <seconds_between_cells>" -> junk cell stream
+//             "stop"                          -> silence
+//   Policy  : anything -> the node's middlebox policy text
+#pragma once
+
+#include <string>
+
+#include "core/policy.hpp"
+
+namespace bento::functions {
+
+/// Appendix-A Browser, continuation-passing over the event-driven host.
+const std::string& browser_source();
+core::FunctionManifest browser_manifest();
+
+const std::string& dropbox_source();
+core::FunctionManifest dropbox_manifest();
+
+const std::string& cover_source();
+core::FunctionManifest cover_manifest();
+
+/// Returns its install args (the operator passes the policy text) on any
+/// invocation — the paper's "function that runs on a well-known port that
+/// returns the node's middlebox node policy".
+const std::string& policy_query_source();
+core::FunctionManifest policy_query_manifest();
+
+}  // namespace bento::functions

@@ -1,0 +1,333 @@
+#include "functions/loadbalancer.hpp"
+
+#include <sstream>
+
+#include "core/stemfw.hpp"
+#include "util/serialize.hpp"
+
+namespace bento::functions {
+
+namespace sb = sandbox;
+
+util::Bytes LoadBalancerConfig::serialize() const {
+  util::Writer w;
+  w.u32(static_cast<std::uint32_t>(intro_points));
+  w.u32(static_cast<std::uint32_t>(max_clients_per_replica));
+  w.u64(content_bytes);
+  w.u32(static_cast<std::uint32_t>(replica_boxes.size()));
+  for (const auto& box : replica_boxes) w.str(box);
+  w.u64(static_cast<std::uint64_t>(idle_shutdown_seconds * 1000));
+  return std::move(w).take();
+}
+
+LoadBalancerConfig LoadBalancerConfig::deserialize(util::ByteView data) {
+  util::Reader r(data);
+  LoadBalancerConfig c;
+  c.intro_points = static_cast<int>(r.u32());
+  c.max_clients_per_replica = static_cast<int>(r.u32());
+  c.content_bytes = r.u64();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) c.replica_boxes.push_back(r.str());
+  c.idle_shutdown_seconds = static_cast<double>(r.u64()) / 1000.0;
+  r.expect_done();
+  return c;
+}
+
+util::Bytes ReplicaConfig::serialize() const {
+  util::Writer w;
+  w.blob(signing_key);
+  w.blob(ntor_key);
+  w.u64(content_bytes);
+  return std::move(w).take();
+}
+
+ReplicaConfig ReplicaConfig::deserialize(util::ByteView data) {
+  util::Reader r(data);
+  ReplicaConfig c;
+  c.signing_key = r.blob();
+  c.ntor_key = r.blob();
+  c.content_bytes = r.u64();
+  r.expect_done();
+  return c;
+}
+
+namespace {
+/// Serve `content_bytes` of deterministic data to any stream request.
+void attach_content_acceptor(tor::HiddenServiceHost& host, std::uint64_t content_bytes) {
+  host.set_stream_acceptor([content_bytes](tor::Stream& stream) {
+    stream.set_on_data([&stream, content_bytes](util::ByteView) {
+      constexpr std::size_t kChunk = 64 * 1024;
+      util::Bytes chunk(kChunk);
+      for (std::size_t i = 0; i < kChunk; ++i) {
+        chunk[i] = static_cast<std::uint8_t>(i * 31 + 7);
+      }
+      std::uint64_t left = content_bytes;
+      while (left > 0) {
+        const std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(left, kChunk));
+        stream.send(util::ByteView(chunk.data(), n));
+        left -= n;
+      }
+      stream.end();
+    });
+    return true;
+  });
+}
+}  // namespace
+
+void LoadBalancerFunction::on_install(core::HostApi& api, util::ByteView args) {
+  config_ = LoadBalancerConfig::deserialize(args);
+  host_ = &api.stem().create_hidden_service(config_.intro_points);
+  attach_content_acceptor(*host_, config_.content_bytes);
+
+  // Local instance is replica[0].
+  Replica local;
+  local.box = api.box_fingerprint();
+  local.remote = false;
+  replicas_.push_back(local);
+  host_->set_on_load_change([this](std::size_t load) {
+    replicas_[0].load = static_cast<int>(load);
+    replicas_[0].assigned = std::min(replicas_[0].assigned, replicas_[0].load);
+  });
+
+  // Intercept every introduction and route it (paper Figure 4).
+  host_->set_intro_interceptor([this, &api](util::ByteView blob) {
+    ++introductions_;
+    route_introduction(api, blob);
+    return false;  // we own the routing decision
+  });
+
+  host_->start([&api](bool ok) {
+    if (!ok) api.log("loadbalancer: failed to establish introduction points");
+  });
+
+  if (config_.idle_shutdown_seconds > 0) {
+    api.after(util::Duration::seconds(config_.idle_shutdown_seconds),
+              [this, &api] { scale_down_idle(api); });
+  }
+}
+
+LoadBalancerFunction::Replica* LoadBalancerFunction::least_loaded() {
+  Replica* best = nullptr;
+  for (auto& replica : replicas_) {
+    if (replica.remote && replica.invocation_token.empty()) continue;  // pending
+    if (best == nullptr || effective_load(replica) < effective_load(*best)) {
+      best = &replica;
+    }
+  }
+  return best;
+}
+
+void LoadBalancerFunction::assign_to(core::HostApi& api, Replica& target,
+                                     util::ByteView blob) {
+  target.assigned++;
+  target.idle_since = -1.0;
+  if (!target.remote) {
+    host_->handle_introduction(blob);
+    return;
+  }
+  util::Bytes payload = util::to_bytes("INTRO:");
+  util::append(payload, blob);
+  const std::string box = target.box;
+  api.invoke_remote(box, target.invocation_token, payload,
+                    [this, box](util::Bytes output) {
+                      // Replicas report "load:N" on every change.
+                      const std::string text = util::to_string(output);
+                      if (text.rfind("load:", 0) != 0) return;
+                      for (auto& replica : replicas_) {
+                        if (replica.box == box) {
+                          replica.load = std::stoi(text.substr(5));
+                          replica.assigned =
+                              std::min(replica.assigned, replica.load);
+                        }
+                      }
+                    });
+}
+
+void LoadBalancerFunction::route_introduction(core::HostApi& api,
+                                              util::ByteView blob) {
+  Replica* target = least_loaded();
+  if (target != nullptr &&
+      effective_load(*target) < config_.max_clients_per_replica) {
+    assign_to(api, *target, blob);
+    return;
+  }
+  // High watermark: everyone is at capacity. Paper §8.2: "chooses from a
+  // set of replicas (or spins up a new replica)". Queue the introduction
+  // for a fresh replica when one can still be created; fall back to the
+  // least-loaded instance otherwise.
+  const std::size_t provisioned_slots =
+      static_cast<std::size_t>(pending_deploys_) *
+      static_cast<std::size_t>(config_.max_clients_per_replica);
+  const bool can_scale = next_candidate_ < config_.replica_boxes.size();
+  if (can_scale && pending_intros_.size() >= provisioned_slots) {
+    scale_up(api);
+  }
+  if (pending_deploys_ > 0) {
+    pending_intros_.emplace_back(blob.begin(), blob.end());
+    return;
+  }
+  if (target != nullptr) assign_to(api, *target, blob);
+}
+
+void LoadBalancerFunction::drain_queue(core::HostApi& api, Replica* fresh) {
+  int granted = 0;
+  while (!pending_intros_.empty()) {
+    if (fresh != nullptr && granted < config_.max_clients_per_replica) {
+      util::Bytes blob = std::move(pending_intros_.front());
+      pending_intros_.erase(pending_intros_.begin());
+      assign_to(api, *fresh, blob);
+      ++granted;
+      continue;
+    }
+    if (pending_deploys_ > 0) return;  // another deploy will pick these up
+    Replica* target = least_loaded();
+    if (target == nullptr) return;
+    util::Bytes blob = std::move(pending_intros_.front());
+    pending_intros_.erase(pending_intros_.begin());
+    assign_to(api, *target, blob);
+  }
+}
+
+void LoadBalancerFunction::scale_up(core::HostApi& api) {
+  if (next_candidate_ >= config_.replica_boxes.size()) return;
+  const std::string box = config_.replica_boxes[next_candidate_++];
+  ++pending_deploys_;
+
+  ReplicaConfig replica_config;
+  replica_config.signing_key = host_->identity().signing_key.to_bytes();
+  replica_config.ntor_key = host_->identity().ntor_key.to_bytes();
+  replica_config.content_bytes = config_.content_bytes;
+
+  core::HostApi::DeploySpec spec;
+  spec.box_fingerprint = box;
+  spec.manifest = hs_replica_manifest();
+  spec.native = "hs-replica";
+  spec.args = replica_config.serialize();
+
+  api.log("loadbalancer: scaling up onto " + box);
+  api.deploy(spec, [this, box, &api](bool ok, util::Bytes invocation,
+                                     util::Bytes shutdown) {
+    --pending_deploys_;
+    if (!ok) {
+      api.log("loadbalancer: replica deploy failed on " + box);
+      drain_queue(api, nullptr);
+      return;
+    }
+    Replica replica;
+    replica.box = box;
+    replica.remote = true;
+    replica.invocation_token = std::move(invocation);
+    replica.shutdown_token = std::move(shutdown);
+    replicas_.push_back(std::move(replica));
+    peak_replicas_ = std::max(peak_replicas_, static_cast<int>(replicas_.size()));
+    drain_queue(api, &replicas_.back());
+  });
+}
+
+void LoadBalancerFunction::scale_down_idle(core::HostApi& api) {
+  const double now = api.now().seconds();
+  for (auto it = replicas_.begin(); it != replicas_.end();) {
+    Replica& replica = *it;
+    if (!replica.remote || effective_load(replica) > 0) {
+      replica.idle_since = -1.0;
+      ++it;
+      continue;
+    }
+    if (replica.idle_since < 0) {
+      replica.idle_since = now;
+      ++it;
+      continue;
+    }
+    if (now - replica.idle_since >= config_.idle_shutdown_seconds) {
+      api.log("loadbalancer: scaling down replica on " + replica.box);
+      // Low watermark: idle too long — release the box. We drop our record;
+      // the shutdown token terminates the remote function.
+      // (Remote shutdown uses the composition channel's connection.)
+      it = replicas_.erase(it);
+      continue;
+    }
+    ++it;
+  }
+  api.after(util::Duration::seconds(config_.idle_shutdown_seconds),
+            [this, &api] { scale_down_idle(api); });
+}
+
+std::string LoadBalancerFunction::status() const {
+  std::ostringstream out;
+  out << "replicas:" << replicas_.size() << " peak:" << peak_replicas_
+      << " introductions:" << introductions_ << " loads:";
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (i > 0) out << ",";
+    out << effective_load(replicas_[i]);
+  }
+  return out.str();
+}
+
+void LoadBalancerFunction::on_message(core::HostApi& api, util::ByteView payload) {
+  const std::string text = util::to_string(payload);
+  if (text == "status") {
+    api.send(util::to_bytes(status()));
+    return;
+  }
+  if (text == "onion") {
+    api.send(util::to_bytes(host_ != nullptr ? host_->onion_id() : ""));
+    return;
+  }
+  api.send(util::to_bytes("ERR bad command"));
+}
+
+void LoadBalancerFunction::on_shutdown(core::HostApi& api) {
+  api.log("loadbalancer: shutting down (" + status() + ")");
+}
+
+void HsReplicaFunction::on_install(core::HostApi& api, util::ByteView args) {
+  config_ = ReplicaConfig::deserialize(args);
+  tor::HiddenServiceHost::Identity identity{
+      crypto::SigningKey::from_bytes(config_.signing_key),
+      crypto::DhKeyPair::from_bytes(config_.ntor_key)};
+  // A replica never publishes or establishes introduction points — it only
+  // answers forwarded introductions for the cloned identity.
+  host_ = &api.stem().create_hidden_service(identity, 1);
+  attach_content_acceptor(*host_, config_.content_bytes);
+  host_->set_on_load_change([this, &api](std::size_t load) {
+    api.send(util::to_bytes("load:" + std::to_string(load)));
+  });
+}
+
+void HsReplicaFunction::on_message(core::HostApi&, util::ByteView payload) {
+  const std::string text = util::to_string(payload);
+  if (text.rfind("INTRO:", 0) == 0) {
+    host_->handle_introduction(
+        util::ByteView(reinterpret_cast<const std::uint8_t*>(text.data()) + 6,
+                       text.size() - 6));
+  }
+}
+
+void register_loadbalancer(core::NativeRegistry& registry) {
+  registry.add("loadbalancer", [] { return std::make_unique<LoadBalancerFunction>(); });
+  registry.add("hs-replica", [] { return std::make_unique<HsReplicaFunction>(); });
+}
+
+core::FunctionManifest loadbalancer_manifest() {
+  core::FunctionManifest m;
+  m.name = "loadbalancer";
+  m.required = {sb::Syscall::TorCircuit, sb::Syscall::TorHs, sb::Syscall::TorDirectory,
+                sb::Syscall::SpawnFunction, sb::Syscall::Clock, sb::Syscall::Random};
+  m.image = core::kImagePythonOpSgx;  // holds the service's private keys (§8.2)
+  m.resources.memory_bytes = 32 << 20;
+  m.resources.cpu_instructions = 1'000'000'000;
+  m.resources.disk_bytes = 4 << 20;
+  m.resources.network_bytes = 2ull << 30;
+  return m;
+}
+
+core::FunctionManifest hs_replica_manifest() {
+  core::FunctionManifest m = loadbalancer_manifest();
+  m.name = "hs-replica";
+  m.required = {sb::Syscall::TorCircuit, sb::Syscall::TorHs, sb::Syscall::Clock,
+                sb::Syscall::Random};
+  return m;
+}
+
+}  // namespace bento::functions

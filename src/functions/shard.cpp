@@ -1,0 +1,283 @@
+#include "functions/shard.hpp"
+
+#include <stdexcept>
+
+#include "functions/library.hpp"
+#include "util/serialize.hpp"
+
+namespace bento::functions {
+
+namespace gf256 {
+namespace {
+struct Tables {
+  std::array<std::uint8_t, 256> log{};
+  std::array<std::uint8_t, 512> exp{};
+  Tables() {
+    std::uint8_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[static_cast<std::size_t>(i)] = x;
+      log[x] = static_cast<std::uint8_t>(i);
+      // multiply by generator 3: x*2 ^ x
+      std::uint8_t x2 = static_cast<std::uint8_t>(
+          (x << 1) ^ ((x & 0x80) ? 0x1b : 0x00));
+      x = static_cast<std::uint8_t>(x2 ^ x);
+    }
+    for (int i = 255; i < 512; ++i) exp[static_cast<std::size_t>(i)] = exp[static_cast<std::size_t>(i - 255)];
+  }
+};
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+}  // namespace
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[static_cast<std::size_t>(t.log[a]) + t.log[b]];
+}
+
+std::uint8_t inv(std::uint8_t a) {
+  if (a == 0) throw std::invalid_argument("gf256::inv(0)");
+  const Tables& t = tables();
+  return t.exp[255 - t.log[a]];
+}
+}  // namespace gf256
+
+namespace {
+/// Cauchy coefficient row for shard `index` over k source blocks:
+/// a_j = 1 / (x_i + y_j) with x_i = k + index, y_j = j (all distinct bytes).
+std::vector<std::uint8_t> cauchy_row(int index, int k) {
+  std::vector<std::uint8_t> row(static_cast<std::size_t>(k));
+  const std::uint8_t x = static_cast<std::uint8_t>(k + index);
+  for (int j = 0; j < k; ++j) {
+    row[static_cast<std::size_t>(j)] =
+        gf256::inv(static_cast<std::uint8_t>(x ^ static_cast<std::uint8_t>(j)));
+  }
+  return row;
+}
+}  // namespace
+
+util::Bytes Shard::serialize() const {
+  util::Writer w;
+  w.u8(index);
+  w.u16(k);
+  w.u16(n);
+  w.u64(original_size);
+  w.blob(data);
+  return std::move(w).take();
+}
+
+Shard Shard::deserialize(util::ByteView wire) {
+  util::Reader r(wire);
+  Shard s;
+  s.index = r.u8();
+  s.k = r.u16();
+  s.n = r.u16();
+  s.original_size = r.u64();
+  s.data = r.blob();
+  r.expect_done();
+  return s;
+}
+
+std::vector<Shard> shard_encode(util::ByteView data, int k, int n) {
+  if (k < 1 || k > n || k + n > 255) {
+    throw std::invalid_argument("shard_encode: need 1 <= k <= n, k+n <= 255");
+  }
+  const std::size_t block = (data.size() + static_cast<std::size_t>(k) - 1) /
+                            static_cast<std::size_t>(k);
+  // Zero-padded source blocks.
+  std::vector<util::Bytes> sources(static_cast<std::size_t>(k),
+                                   util::Bytes(block, 0));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    sources[i / block][i % block] = data[i];
+  }
+
+  std::vector<Shard> shards;
+  shards.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Shard s;
+    s.index = static_cast<std::uint8_t>(i);
+    s.k = static_cast<std::uint16_t>(k);
+    s.n = static_cast<std::uint16_t>(n);
+    s.original_size = data.size();
+    s.data.assign(block, 0);
+    const auto row = cauchy_row(i, k);
+    for (int j = 0; j < k; ++j) {
+      const std::uint8_t c = row[static_cast<std::size_t>(j)];
+      if (c == 0) continue;
+      const util::Bytes& src = sources[static_cast<std::size_t>(j)];
+      for (std::size_t b = 0; b < block; ++b) {
+        s.data[b] = static_cast<std::uint8_t>(s.data[b] ^ gf256::mul(c, src[b]));
+      }
+    }
+    shards.push_back(std::move(s));
+  }
+  return shards;
+}
+
+std::optional<util::Bytes> shard_decode(const std::vector<Shard>& shards) {
+  if (shards.empty()) return std::nullopt;
+  const int k = shards[0].k;
+  const std::uint64_t original_size = shards[0].original_size;
+  const std::size_t block = shards[0].data.size();
+
+  // Collect k distinct, consistent shards.
+  std::vector<const Shard*> chosen;
+  std::vector<bool> seen(256, false);
+  for (const Shard& s : shards) {
+    if (s.k != shards[0].k || s.n != shards[0].n ||
+        s.original_size != original_size || s.data.size() != block) {
+      return std::nullopt;
+    }
+    if (seen[s.index]) continue;
+    seen[s.index] = true;
+    chosen.push_back(&s);
+    if (static_cast<int>(chosen.size()) == k) break;
+  }
+  if (static_cast<int>(chosen.size()) < k) return std::nullopt;
+
+  // Gaussian elimination on [A | shards] over GF(256).
+  const std::size_t kk = static_cast<std::size_t>(k);
+  std::vector<std::vector<std::uint8_t>> a(kk);
+  std::vector<util::Bytes> rhs(kk);
+  for (std::size_t r = 0; r < kk; ++r) {
+    a[r] = cauchy_row(chosen[r]->index, k);
+    rhs[r] = chosen[r]->data;
+  }
+  for (std::size_t col = 0; col < kk; ++col) {
+    // Pivot.
+    std::size_t pivot = col;
+    while (pivot < kk && a[pivot][col] == 0) ++pivot;
+    if (pivot == kk) return std::nullopt;  // singular (cannot happen w/ Cauchy)
+    std::swap(a[pivot], a[col]);
+    std::swap(rhs[pivot], rhs[col]);
+    // Normalize.
+    const std::uint8_t piv_inv = gf256::inv(a[col][col]);
+    for (std::size_t j = 0; j < kk; ++j) a[col][j] = gf256::mul(a[col][j], piv_inv);
+    for (std::size_t b = 0; b < block; ++b) {
+      rhs[col][b] = gf256::mul(rhs[col][b], piv_inv);
+    }
+    // Eliminate.
+    for (std::size_t r = 0; r < kk; ++r) {
+      if (r == col || a[r][col] == 0) continue;
+      const std::uint8_t factor = a[r][col];
+      for (std::size_t j = 0; j < kk; ++j) {
+        a[r][j] = static_cast<std::uint8_t>(a[r][j] ^ gf256::mul(factor, a[col][j]));
+      }
+      for (std::size_t b = 0; b < block; ++b) {
+        rhs[r][b] = static_cast<std::uint8_t>(rhs[r][b] ^ gf256::mul(factor, rhs[col][b]));
+      }
+    }
+  }
+
+  util::Bytes out;
+  out.reserve(kk * block);
+  for (std::size_t r = 0; r < kk; ++r) util::append(out, rhs[r]);
+  out.resize(original_size);
+  return out;
+}
+
+void ShardClient::store(util::ByteView data, const std::vector<std::string>& boxes,
+                        StoreFn done) {
+  if (static_cast<int>(boxes.size()) != n_) {
+    done(false, {});
+    return;
+  }
+  auto shards = std::make_shared<std::vector<Shard>>(shard_encode(data, k_, n_));
+  auto placements = std::make_shared<std::vector<Placement>>(boxes.size());
+  auto remaining = std::make_shared<int>(n_);
+  auto failed = std::make_shared<bool>(false);
+  auto done_shared = std::make_shared<StoreFn>(std::move(done));
+
+  for (int i = 0; i < n_; ++i) {
+    const std::string box = boxes[static_cast<std::size_t>(i)];
+    (*placements)[static_cast<std::size_t>(i)].box = box;
+    auto finish_one = [remaining, failed, placements, done_shared](bool ok) {
+      if (!ok) *failed = true;
+      if (--*remaining == 0) (*done_shared)(!*failed, std::move(*placements));
+    };
+    bento_.connect(box, [this, i, shards, placements, finish_one](
+                            std::shared_ptr<core::BentoConnection> conn) {
+      if (conn == nullptr) {
+        finish_one(false);
+        return;
+      }
+      conn->spawn(core::kImagePythonOpSgx, [this, i, conn, shards, placements,
+                                            finish_one](bool ok, std::string) {
+        if (!ok) {
+          finish_one(false);
+          return;
+        }
+        conn->upload(
+            dropbox_manifest(), dropbox_source(), "", {},
+            [i, conn, shards, placements, finish_one](
+                std::optional<core::TokenPair> tokens, std::string) {
+              if (!tokens.has_value()) {
+                finish_one(false);
+                return;
+              }
+              auto& placement = (*placements)[static_cast<std::size_t>(i)];
+              placement.invocation_token = tokens->invocation.bytes();
+              placement.shutdown_token = tokens->shutdown.bytes();
+              // PUT the shard; Dropbox answers "OK".
+              conn->set_output_handler([finish_one](util::Bytes out) {
+                finish_one(util::to_string(out) == "OK");
+              });
+              util::Bytes payload = util::to_bytes("PUT:");
+              util::append(payload,
+                           (*shards)[static_cast<std::size_t>(i)].serialize());
+              conn->invoke(tokens->invocation.bytes(), payload);
+            });
+      });
+    });
+  }
+}
+
+void ShardClient::fetch(const std::vector<Placement>& placements, FetchFn done) {
+  auto shards = std::make_shared<std::vector<Shard>>();
+  auto remaining = std::make_shared<int>(static_cast<int>(placements.size()));
+  auto done_shared = std::make_shared<FetchFn>(std::move(done));
+  auto finished = std::make_shared<bool>(false);
+  const int k = k_;
+
+  auto collect = [shards, remaining, done_shared, finished, k](
+                     std::optional<Shard> shard) {
+    if (*finished) return;
+    if (shard.has_value()) shards->push_back(std::move(*shard));
+    --*remaining;
+    if (static_cast<int>(shards->size()) >= k) {
+      *finished = true;
+      (*done_shared)(shard_decode(*shards));
+      return;
+    }
+    if (*remaining == 0) {
+      *finished = true;
+      (*done_shared)(std::nullopt);
+    }
+  };
+
+  for (const Placement& placement : placements) {
+    bento_.connect(placement.box, [placement, collect](
+                                      std::shared_ptr<core::BentoConnection> conn) {
+      if (conn == nullptr) {
+        collect(std::nullopt);
+        return;
+      }
+      conn->set_output_handler([collect, conn](util::Bytes out) {
+        if (util::to_string(out) == "MISSING") {
+          collect(std::nullopt);
+          return;
+        }
+        try {
+          collect(Shard::deserialize(out));
+        } catch (const util::ParseError&) {
+          collect(std::nullopt);
+        }
+      });
+      conn->invoke(placement.invocation_token, util::to_bytes("GET:"));
+    });
+  }
+}
+
+}  // namespace bento::functions

@@ -1,0 +1,21 @@
+#include "sandbox/netfilter.hpp"
+
+namespace bento::sandbox {
+
+NetFilter NetFilter::from_exit_policy(const tor::ExitPolicy& policy) {
+  return NetFilter(policy);
+}
+
+NetFilter NetFilter::deny_all() { return NetFilter(tor::ExitPolicy::reject_all()); }
+
+bool NetFilter::allows(const tor::Endpoint& destination) const {
+  return policy_.allows(destination);
+}
+
+bool NetFilter::check(const tor::Endpoint& destination) {
+  if (allows(destination)) return true;
+  ++rejected_;
+  return false;
+}
+
+}  // namespace bento::sandbox

@@ -1,0 +1,36 @@
+// Per-container network filter (paper §5.3): "the Bento server converts
+// the exit node policies into analogous iptable rules, and applies these
+// rules to each container."
+//
+// The filter is compiled from the host relay's exit policy; a relay that is
+// not an exit yields a filter that denies all direct network access, which
+// confines its functions to Tor circuits — exactly the paper's behaviour.
+#pragma once
+
+#include <cstdint>
+
+#include "tor/exitpolicy.hpp"
+
+namespace bento::sandbox {
+
+class NetFilter {
+ public:
+  /// Compiles from the relay's exit policy.
+  static NetFilter from_exit_policy(const tor::ExitPolicy& policy);
+  static NetFilter deny_all();
+
+  bool allows(const tor::Endpoint& destination) const;
+  /// True if the container has any direct network access at all.
+  bool any_access() const { return policy_.allows_anything(); }
+
+  std::uint64_t rejected_count() const { return rejected_; }
+  /// Like allows(), but counts rejects (used at the enforcement point).
+  bool check(const tor::Endpoint& destination);
+
+ private:
+  explicit NetFilter(tor::ExitPolicy policy) : policy_(std::move(policy)) {}
+  tor::ExitPolicy policy_;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace bento::sandbox

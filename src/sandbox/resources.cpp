@@ -1,0 +1,110 @@
+#include "sandbox/resources.hpp"
+
+namespace bento::sandbox {
+
+ResourceAccountant::ResourceAccountant(ResourceLimits limits,
+                                       AggregateAccountant* aggregate)
+    : limits_(limits), aggregate_(aggregate) {}
+
+ResourceAccountant::~ResourceAccountant() {
+  if (aggregate_ != nullptr) {
+    aggregate_->charge_memory(-static_cast<std::int64_t>(usage_.memory_bytes));
+    aggregate_->charge_disk(-static_cast<std::int64_t>(usage_.disk_bytes));
+  }
+}
+
+void ResourceAccountant::charge_memory(std::uint64_t bytes) {
+  if (bytes > limits_.memory_bytes) {
+    throw ResourceExceeded("memory limit exceeded (" + std::to_string(bytes) + " > " +
+                           std::to_string(limits_.memory_bytes) + ")");
+  }
+  if (aggregate_ != nullptr) {
+    aggregate_->charge_memory(static_cast<std::int64_t>(bytes) -
+                              static_cast<std::int64_t>(usage_.memory_bytes));
+  }
+  usage_.memory_bytes = bytes;
+}
+
+void ResourceAccountant::charge_cpu(std::uint64_t instructions) {
+  usage_.cpu_instructions += instructions;
+  if (usage_.cpu_instructions > limits_.cpu_instructions) {
+    throw ResourceExceeded("cpu budget exceeded");
+  }
+  if (aggregate_ != nullptr) aggregate_->charge_cpu(instructions);
+}
+
+void ResourceAccountant::charge_disk(std::int64_t delta_bytes) {
+  const std::int64_t next =
+      static_cast<std::int64_t>(usage_.disk_bytes) + delta_bytes;
+  if (next < 0) {
+    usage_.disk_bytes = 0;
+    return;
+  }
+  if (static_cast<std::uint64_t>(next) > limits_.disk_bytes) {
+    throw ResourceExceeded("disk quota exceeded");
+  }
+  if (aggregate_ != nullptr) aggregate_->charge_disk(delta_bytes);
+  usage_.disk_bytes = static_cast<std::uint64_t>(next);
+}
+
+void ResourceAccountant::charge_network(std::uint64_t bytes) {
+  usage_.network_bytes += bytes;
+  if (usage_.network_bytes > limits_.network_bytes) {
+    throw ResourceExceeded("network quota exceeded");
+  }
+  if (aggregate_ != nullptr) aggregate_->charge_network(bytes);
+}
+
+void ResourceAccountant::open_file() {
+  if (usage_.open_files + 1 > limits_.max_open_files) {
+    throw ResourceExceeded("too many open files");
+  }
+  ++usage_.open_files;
+}
+
+void ResourceAccountant::close_file() {
+  if (usage_.open_files > 0) --usage_.open_files;
+}
+
+void ResourceAccountant::open_connection() {
+  if (usage_.connections + 1 > limits_.max_connections) {
+    throw ResourceExceeded("too many connections");
+  }
+  ++usage_.connections;
+}
+
+void ResourceAccountant::close_connection() {
+  if (usage_.connections > 0) --usage_.connections;
+}
+
+void AggregateAccountant::charge_memory(std::int64_t delta) {
+  const std::int64_t next = static_cast<std::int64_t>(usage_.memory_bytes) + delta;
+  if (next > static_cast<std::int64_t>(totals_.memory_bytes)) {
+    throw ResourceExceeded("aggregate memory limit exceeded");
+  }
+  usage_.memory_bytes = next < 0 ? 0 : static_cast<std::uint64_t>(next);
+}
+
+void AggregateAccountant::charge_disk(std::int64_t delta) {
+  const std::int64_t next = static_cast<std::int64_t>(usage_.disk_bytes) + delta;
+  if (next > static_cast<std::int64_t>(totals_.disk_bytes)) {
+    throw ResourceExceeded("aggregate disk limit exceeded");
+  }
+  usage_.disk_bytes = next < 0 ? 0 : static_cast<std::uint64_t>(next);
+}
+
+void AggregateAccountant::charge_network(std::uint64_t bytes) {
+  usage_.network_bytes += bytes;
+  if (usage_.network_bytes > totals_.network_bytes) {
+    throw ResourceExceeded("aggregate network limit exceeded");
+  }
+}
+
+void AggregateAccountant::charge_cpu(std::uint64_t instructions) {
+  usage_.cpu_instructions += instructions;
+  if (usage_.cpu_instructions > totals_.cpu_instructions) {
+    throw ResourceExceeded("aggregate cpu limit exceeded");
+  }
+}
+
+}  // namespace bento::sandbox

@@ -1,0 +1,90 @@
+// Resource limits and accounting (paper §5.3 "Sandboxing and Resource
+// Accounting", §6.2 "Resource exhaustion attacks").
+//
+// Mirrors the cgroup controls the paper uses: per-container memory, CPU
+// (modeled as interpreter instruction budget), disk and network byte
+// quotas — plus an *aggregate* accountant so the operator can cap Bento's
+// total consumption and keep the co-resident Tor relay responsive.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace bento::sandbox {
+
+class ResourceExceeded : public std::runtime_error {
+ public:
+  explicit ResourceExceeded(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct ResourceLimits {
+  std::uint64_t memory_bytes = 64ull << 20;
+  std::uint64_t cpu_instructions = 50'000'000;  // interpreter step budget
+  std::uint64_t disk_bytes = 64ull << 20;
+  std::uint64_t network_bytes = 256ull << 20;
+  std::uint32_t max_open_files = 64;
+  std::uint32_t max_connections = 16;
+};
+
+struct ResourceUsage {
+  std::uint64_t memory_bytes = 0;
+  std::uint64_t cpu_instructions = 0;
+  std::uint64_t disk_bytes = 0;
+  std::uint64_t network_bytes = 0;
+  std::uint32_t open_files = 0;
+  std::uint32_t connections = 0;
+};
+
+class AggregateAccountant;
+
+/// Accounting for one container. Charging past a limit throws
+/// ResourceExceeded — the container manager catches it and kills the
+/// function, never the server.
+class ResourceAccountant {
+ public:
+  ResourceAccountant(ResourceLimits limits, AggregateAccountant* aggregate = nullptr);
+  ~ResourceAccountant();
+
+  ResourceAccountant(const ResourceAccountant&) = delete;
+  ResourceAccountant& operator=(const ResourceAccountant&) = delete;
+
+  void charge_memory(std::uint64_t bytes);    // current watermark, not cumulative
+  void charge_cpu(std::uint64_t instructions);
+  void charge_disk(std::int64_t delta_bytes);
+  void charge_network(std::uint64_t bytes);
+  void open_file();
+  void close_file();
+  void open_connection();
+  void close_connection();
+
+  const ResourceLimits& limits() const { return limits_; }
+  const ResourceUsage& usage() const { return usage_; }
+
+ private:
+  ResourceLimits limits_;
+  ResourceUsage usage_;
+  AggregateAccountant* aggregate_;
+};
+
+/// Operator-level cap over all containers together (paper §6.2: "limiting
+/// the total resource consumption of Bento to a specified amount").
+class AggregateAccountant {
+ public:
+  explicit AggregateAccountant(ResourceLimits totals) : totals_(totals) {}
+
+  const ResourceUsage& usage() const { return usage_; }
+  const ResourceLimits& totals() const { return totals_; }
+
+ private:
+  friend class ResourceAccountant;
+  void charge_memory(std::int64_t delta);
+  void charge_disk(std::int64_t delta);
+  void charge_network(std::uint64_t bytes);
+  void charge_cpu(std::uint64_t instructions);
+
+  ResourceLimits totals_;
+  ResourceUsage usage_;
+};
+
+}  // namespace bento::sandbox

@@ -1,0 +1,54 @@
+#include "sandbox/syscalls.hpp"
+
+namespace bento::sandbox {
+
+const char* to_string(Syscall call) {
+  switch (call) {
+    case Syscall::FsRead: return "fs_read";
+    case Syscall::FsWrite: return "fs_write";
+    case Syscall::FsDelete: return "fs_delete";
+    case Syscall::NetConnect: return "net_connect";
+    case Syscall::NetListen: return "net_listen";
+    case Syscall::TorCircuit: return "tor_circuit";
+    case Syscall::TorHs: return "tor_hs";
+    case Syscall::TorDirectory: return "tor_directory";
+    case Syscall::SpawnFunction: return "spawn_function";
+    case Syscall::Clock: return "clock";
+    case Syscall::Random: return "random";
+    case Syscall::Fork: return "fork";
+    case Syscall::Exec: return "exec";
+    case Syscall::kCount: break;
+  }
+  return "unknown";
+}
+
+Syscall syscall_from_string(const std::string& name) {
+  for (std::size_t i = 0; i < kSyscallCount; ++i) {
+    const auto call = static_cast<Syscall>(i);
+    if (name == to_string(call)) return call;
+  }
+  throw std::invalid_argument("unknown syscall name: " + name);
+}
+
+SyscallFilter SyscallFilter::allow_all() {
+  std::set<Syscall> all;
+  for (std::size_t i = 0; i < kSyscallCount; ++i) all.insert(static_cast<Syscall>(i));
+  return SyscallFilter(std::move(all));
+}
+
+void SyscallFilter::check(Syscall call) {
+  if (!allows(call)) {
+    ++violations_;
+    throw SyscallDenied(call);
+  }
+}
+
+SyscallFilter SyscallFilter::intersect(const SyscallFilter& other) const {
+  std::set<Syscall> out;
+  for (Syscall call : allowed_) {
+    if (other.allows(call)) out.insert(call);
+  }
+  return SyscallFilter(std::move(out));
+}
+
+}  // namespace bento::sandbox

@@ -1,0 +1,69 @@
+// Syscall surface and seccomp-style filtering (paper §5.3, §5.5).
+//
+// Every capability a function can exercise is named here. Middlebox node
+// policies and function manifests are boolean vectors over this set; the
+// container installs the *intersection* as its seccomp filter, and each
+// builtin the interpreter exposes declares which syscall it needs.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace bento::sandbox {
+
+enum class Syscall : std::uint8_t {
+  FsRead = 0,
+  FsWrite,
+  FsDelete,
+  NetConnect,    // direct clearnet connections (exit-policy constrained)
+  NetListen,
+  TorCircuit,    // Stem: build circuits through the host relay
+  TorHs,         // Stem: create hidden services (dedicated onion proxy)
+  TorDirectory,  // Stem: read the consensus
+  SpawnFunction, // deploy a function on another Bento box (composition)
+  Clock,
+  Random,
+  Fork,          // always deniable in practice; present for completeness
+  Exec,
+  kCount,
+};
+
+inline constexpr std::size_t kSyscallCount = static_cast<std::size_t>(Syscall::kCount);
+
+const char* to_string(Syscall call);
+/// Throws std::invalid_argument for unknown names.
+Syscall syscall_from_string(const std::string& name);
+
+class SyscallDenied : public std::runtime_error {
+ public:
+  explicit SyscallDenied(Syscall call)
+      : std::runtime_error(std::string("syscall denied: ") + to_string(call)),
+        call(call) {}
+  Syscall call;
+};
+
+/// The installed filter: a fixed allow-set checked on every invocation.
+class SyscallFilter {
+ public:
+  SyscallFilter() = default;
+  explicit SyscallFilter(std::set<Syscall> allowed) : allowed_(std::move(allowed)) {}
+
+  static SyscallFilter allow_all();
+  static SyscallFilter deny_all() { return SyscallFilter{}; }
+
+  bool allows(Syscall call) const { return allowed_.contains(call); }
+  /// Throws SyscallDenied (and counts the violation) if not allowed.
+  void check(Syscall call);
+
+  SyscallFilter intersect(const SyscallFilter& other) const;
+  const std::set<Syscall>& allowed() const { return allowed_; }
+  std::uint64_t violations() const { return violations_; }
+
+ private:
+  std::set<Syscall> allowed_;
+  std::uint64_t violations_ = 0;
+};
+
+}  // namespace bento::sandbox

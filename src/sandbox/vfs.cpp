@@ -1,0 +1,79 @@
+#include "sandbox/vfs.hpp"
+
+#include <sstream>
+
+namespace bento::sandbox {
+
+void MemoryBackend::put(const std::string& path, util::ByteView data) {
+  files_[path] = util::Bytes(data.begin(), data.end());
+}
+
+std::optional<util::Bytes> MemoryBackend::get(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool MemoryBackend::erase(const std::string& path) { return files_.erase(path) > 0; }
+
+std::vector<std::string> MemoryBackend::keys() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [k, v] : files_) out.push_back(k);
+  return out;
+}
+
+std::string chroot_normalize(const std::string& path) {
+  std::vector<std::string> parts;
+  std::istringstream in(path);
+  std::string part;
+  while (std::getline(in, part, '/')) {
+    if (part.empty() || part == ".") continue;
+    if (part == "..") {
+      if (!parts.empty()) parts.pop_back();
+      continue;  // ".." at the root stays at the root: no escape
+    }
+    parts.push_back(part);
+  }
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += '/';
+    out += parts[i];
+  }
+  return out;
+}
+
+Vfs::Vfs(std::unique_ptr<VfsBackend> backend, ResourceAccountant& resources)
+    : backend_(std::move(backend)), resources_(resources) {}
+
+void Vfs::write(const std::string& path, util::ByteView data) {
+  const std::string key = chroot_normalize(path);
+  const auto old = sizes_.find(key);
+  const std::int64_t delta =
+      static_cast<std::int64_t>(data.size()) -
+      (old == sizes_.end() ? 0 : static_cast<std::int64_t>(old->second));
+  resources_.charge_disk(delta);  // throws before touching the backend
+  backend_->put(key, data);
+  sizes_[key] = data.size();
+}
+
+std::optional<util::Bytes> Vfs::read(const std::string& path) const {
+  return backend_->get(chroot_normalize(path));
+}
+
+bool Vfs::remove(const std::string& path) {
+  const std::string key = chroot_normalize(path);
+  auto it = sizes_.find(key);
+  if (it == sizes_.end()) return false;
+  resources_.charge_disk(-static_cast<std::int64_t>(it->second));
+  sizes_.erase(it);
+  return backend_->erase(key);
+}
+
+bool Vfs::exists(const std::string& path) const {
+  return sizes_.contains(chroot_normalize(path));
+}
+
+std::vector<std::string> Vfs::list() const { return backend_->keys(); }
+
+}  // namespace bento::sandbox

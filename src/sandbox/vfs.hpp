@@ -1,0 +1,65 @@
+// Chrooted virtual filesystem (paper §5.3: "limited space in a chrooted
+// file system, so that clients cannot access any files but their own").
+//
+// Each container gets a Vfs rooted at its own namespace; path traversal
+// ("..", absolute escapes) is normalized away so functions cannot reach
+// other containers' data. Disk usage is charged to the container's
+// ResourceAccountant. Storage can be backed by a plain map (Python
+// container) or by FsProtect inside the conclave (Python-OP-SGX container),
+// selected by the backend interface.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sandbox/resources.hpp"
+#include "util/bytes.hpp"
+
+namespace bento::sandbox {
+
+/// Storage backend: plain memory or an enclaved FsProtect.
+class VfsBackend {
+ public:
+  virtual ~VfsBackend() = default;
+  virtual void put(const std::string& path, util::ByteView data) = 0;
+  virtual std::optional<util::Bytes> get(const std::string& path) const = 0;
+  virtual bool erase(const std::string& path) = 0;
+  virtual std::vector<std::string> keys() const = 0;
+};
+
+class MemoryBackend : public VfsBackend {
+ public:
+  void put(const std::string& path, util::ByteView data) override;
+  std::optional<util::Bytes> get(const std::string& path) const override;
+  bool erase(const std::string& path) override;
+  std::vector<std::string> keys() const override;
+
+ private:
+  std::map<std::string, util::Bytes> files_;
+};
+
+/// Normalizes a path inside the chroot: collapses ".", "..", duplicate
+/// slashes; ".." never escapes the root. Returns a canonical "a/b/c" form.
+std::string chroot_normalize(const std::string& path);
+
+class Vfs {
+ public:
+  Vfs(std::unique_ptr<VfsBackend> backend, ResourceAccountant& resources);
+
+  void write(const std::string& path, util::ByteView data);
+  std::optional<util::Bytes> read(const std::string& path) const;
+  bool remove(const std::string& path);
+  bool exists(const std::string& path) const;
+  std::vector<std::string> list() const;
+  std::size_t file_count() const { return sizes_.size(); }
+
+ private:
+  std::unique_ptr<VfsBackend> backend_;
+  ResourceAccountant& resources_;
+  std::map<std::string, std::size_t> sizes_;  // for disk accounting deltas
+};
+
+}  // namespace bento::sandbox

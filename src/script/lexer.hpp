@@ -1,0 +1,23 @@
+// BentoScript lexer: source text -> token stream with Indent/Dedent.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "script/token.hpp"
+
+namespace bento::script {
+
+class SyntaxError : public std::runtime_error {
+ public:
+  SyntaxError(const std::string& message, int line)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line(line) {}
+  int line;
+};
+
+/// Tokenizes a whole program. Throws SyntaxError on malformed input.
+std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace bento::script

@@ -1,0 +1,15 @@
+// BentoScript recursive-descent parser: tokens -> Program.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "script/ast.hpp"
+#include "script/lexer.hpp"
+
+namespace bento::script {
+
+/// Parses a full program. Throws SyntaxError on malformed input.
+std::unique_ptr<Program> parse(const std::string& source);
+
+}  // namespace bento::script

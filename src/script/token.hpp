@@ -1,0 +1,40 @@
+// BentoScript tokens.
+//
+// BentoScript is the repository's stand-in for the Python the paper's
+// functions are written in (Appendix A): dynamically typed, significant
+// indentation, a deliberately small surface. The lexer emits Indent/Dedent
+// tokens from leading whitespace, Python-style.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bento::script {
+
+enum class TokenType : std::uint8_t {
+  // Literals and names.
+  Identifier, Int, Float, Str,
+  // Keywords.
+  KwDef, KwReturn, KwIf, KwElif, KwElse, KwWhile, KwFor, KwIn, KwBreak,
+  KwContinue, KwPass, KwAnd, KwOr, KwNot, KwTrue, KwFalse, KwNone,
+  // Punctuation / operators.
+  LParen, RParen, LBracket, RBracket, LBrace, RBrace,
+  Comma, Colon, Dot,
+  Assign, PlusAssign, MinusAssign,
+  Plus, Minus, Star, Slash, Percent,
+  Eq, Ne, Lt, Le, Gt, Ge,
+  // Layout.
+  Newline, Indent, Dedent, EndOfFile,
+};
+
+const char* to_string(TokenType t);
+
+struct Token {
+  TokenType type = TokenType::EndOfFile;
+  std::string text;       // identifier name / string value
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  int line = 0;
+};
+
+}  // namespace bento::script

@@ -1,0 +1,127 @@
+#include "sim/network.hpp"
+
+#include <stdexcept>
+
+namespace bento::sim {
+
+namespace {
+std::pair<NodeId, NodeId> ordered(NodeId a, NodeId b) {
+  return a < b ? std::pair{a, b} : std::pair{b, a};
+}
+}  // namespace
+
+void Network::check_node(NodeId node) const {
+  if (node >= nodes_.size()) throw std::out_of_range("Network: unknown node id");
+}
+
+NodeId Network::add_node(const NodeSpec& spec, MessageHandler* handler) {
+  if (spec.up_bytes_per_sec <= 0 || spec.down_bytes_per_sec <= 0) {
+    throw std::invalid_argument("Network::add_node: non-positive bandwidth");
+  }
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  auto stp = std::make_unique<NodeState>();
+  NodeState& st = *stp;
+  st.spec = spec;
+  st.handler = handler;
+  st.up.bytes_per_sec = spec.up_bytes_per_sec;
+  st.down.bytes_per_sec = spec.down_bytes_per_sec;
+  // Uplink sink: propagate, then enqueue on the receiver's downlink.
+  st.up.sink = [this](Packet&& pkt) {
+    const Duration prop = latency(pkt.from, pkt.to);
+    sim_.after(prop, [this, pkt = std::move(pkt)]() mutable {
+      NodeState& dst = *nodes_[pkt.to];
+      const NodeId peer = pkt.from;
+      enqueue(dst.down, peer, std::move(pkt));
+    });
+  };
+  // Downlink sink: hand to the receiver.
+  st.down.sink = [this](Packet&& pkt) {
+    NodeState& dst = *nodes_[pkt.to];
+    dst.stats.bytes_received += pkt.payload.size();
+    dst.stats.messages_received += 1;
+    if (monitor_) monitor_(pkt.from, pkt.to, pkt.wire_size);
+    if (dst.handler != nullptr) {
+      dst.handler->on_message(pkt.from, std::move(pkt.payload));
+    }
+  };
+  nodes_.push_back(std::move(stp));
+  return id;
+}
+
+void Network::attach(NodeId node, MessageHandler* handler) {
+  check_node(node);
+  nodes_[node]->handler = handler;
+}
+
+void Network::set_latency(NodeId a, NodeId b, Duration latency) {
+  check_node(a);
+  check_node(b);
+  latency_[ordered(a, b)] = latency;
+}
+
+Duration Network::latency(NodeId a, NodeId b) const {
+  auto it = latency_.find(ordered(a, b));
+  return it == latency_.end() ? default_latency_ : it->second;
+}
+
+void Network::send(NodeId from, NodeId to, util::Bytes payload) {
+  check_node(from);
+  check_node(to);
+  NodeState& src = *nodes_[from];
+  src.stats.bytes_sent += payload.size();
+  src.stats.messages_sent += 1;
+  Packet pkt{from, to, std::move(payload), 0};
+  pkt.wire_size = pkt.payload.size() + kMessageOverhead;
+  enqueue(src.up, to, std::move(pkt));
+}
+
+Duration Network::idle_delay(NodeId from, NodeId to, std::size_t bytes) const {
+  check_node(from);
+  check_node(to);
+  const double wire = static_cast<double>(bytes + kMessageOverhead);
+  const double ser_up = wire / nodes_[from]->spec.up_bytes_per_sec;
+  const double ser_down = wire / nodes_[to]->spec.down_bytes_per_sec;
+  return Duration::seconds(ser_up + ser_down) + latency(from, to);
+}
+
+const NodeSpec& Network::spec(NodeId node) const {
+  check_node(node);
+  return nodes_[node]->spec;
+}
+
+const NodeStats& Network::stats(NodeId node) const {
+  check_node(node);
+  return nodes_[node]->stats;
+}
+
+void Network::enqueue(LinkQueue& lq, NodeId peer_key, Packet pkt) {
+  auto [it, inserted] = lq.queues.try_emplace(peer_key);
+  it->second.push_back(std::move(pkt));
+  if (inserted) lq.rr_order.push_back(peer_key);
+  if (!lq.busy) serve(lq);
+}
+
+void Network::serve(LinkQueue& lq) {
+  // Round-robin across peers with pending packets.
+  for (std::size_t scanned = 0; scanned < lq.rr_order.size(); ++scanned) {
+    if (lq.rr_next >= lq.rr_order.size()) lq.rr_next = 0;
+    const NodeId peer = lq.rr_order[lq.rr_next];
+    lq.rr_next++;
+    auto qit = lq.queues.find(peer);
+    if (qit == lq.queues.end() || qit->second.empty()) continue;
+    Packet pkt = std::move(qit->second.front());
+    qit->second.pop_front();
+    lq.busy = true;
+    const Duration ser =
+        Duration::seconds(static_cast<double>(pkt.wire_size) / lq.bytes_per_sec);
+    sim_.after(ser, [this, &lq, pkt = std::move(pkt)]() mutable {
+      lq.busy = false;
+      lq.sink(std::move(pkt));
+      serve(lq);
+    });
+    return;
+  }
+  // Nothing pending anywhere.
+}
+
+}  // namespace bento::sim

@@ -1,0 +1,132 @@
+// Simulated network: nodes with access links, pairwise propagation latency,
+// and per-flow fair queuing.
+//
+// Model: a message from A to B is (1) serialized onto A's uplink, (2)
+// propagated with the A→B latency, (3) serialized onto B's downlink, then
+// delivered to B's handler. Each access link is a deficit-round-robin-lite
+// scheduler over per-peer queues, so concurrent flows through one access
+// link share its bandwidth fairly — this is what produces the Figure-5
+// bandwidth-sharing behaviour without a full TCP implementation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/bytes.hpp"
+
+namespace bento::sim {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0xffffffff;
+
+/// Per-message fixed framing overhead (TLS record + TCP/IP headers, amortized).
+inline constexpr std::size_t kMessageOverhead = 66;
+
+/// Receiver interface. Nodes register a handler; the network owns delivery.
+class MessageHandler {
+ public:
+  virtual ~MessageHandler() = default;
+  virtual void on_message(NodeId from, util::Bytes data) = 0;
+};
+
+struct NodeSpec {
+  std::string name;
+  double up_bytes_per_sec = 12.5e6;    // 100 Mbit/s default
+  double down_bytes_per_sec = 12.5e6;
+};
+
+/// Passive wire monitor: called at each message delivery with the flow
+/// endpoints and on-the-wire size. The website-fingerprinting experiments
+/// attach one to play the paper's adversary "able to observe traffic
+/// entering and leaving" a victim's access link.
+using WireMonitor =
+    std::function<void(NodeId from, NodeId to, std::size_t wire_size)>;
+
+/// Byte counters kept per node; experiments read these to plot rates.
+struct NodeStats {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+};
+
+class Network {
+ public:
+  explicit Network(Simulator& sim) : sim_(sim) {}
+
+  /// Adds a node; handler may be null and attached later.
+  NodeId add_node(const NodeSpec& spec, MessageHandler* handler = nullptr);
+
+  /// (Re)binds the receive handler for a node.
+  void attach(NodeId node, MessageHandler* handler);
+
+  /// Symmetric propagation latency between two nodes.
+  void set_latency(NodeId a, NodeId b, Duration latency);
+  Duration latency(NodeId a, NodeId b) const;
+  /// Latency not explicitly set defaults to this value.
+  void set_default_latency(Duration d) { default_latency_ = d; }
+
+  /// Queues a message; delivery is asynchronous via the event loop.
+  void send(NodeId from, NodeId to, util::Bytes payload);
+
+  /// One-way delay for a `bytes`-sized message when the path is idle.
+  Duration idle_delay(NodeId from, NodeId to, std::size_t bytes) const;
+
+  const NodeSpec& spec(NodeId node) const;
+  const NodeStats& stats(NodeId node) const;
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Total payload bytes a node received in [since, now] — used by
+  /// experiment harnesses to compute download-speed time series.
+  std::uint64_t bytes_received(NodeId node) const { return stats(node).bytes_received; }
+
+  /// Installs/clears the passive wire monitor.
+  void set_monitor(WireMonitor monitor) { monitor_ = std::move(monitor); }
+
+ private:
+  struct Packet {
+    NodeId from;
+    NodeId to;
+    util::Bytes payload;
+    std::size_t wire_size;
+  };
+
+  // Fair scheduler over per-peer FIFO queues for one direction of one
+  // node's access link. `sink` receives each packet once serialized.
+  struct LinkQueue {
+    double bytes_per_sec = 1.0;
+    bool busy = false;
+    std::map<NodeId, std::deque<Packet>> queues;  // keyed by remote peer
+    std::vector<NodeId> rr_order;                 // round-robin cursor state
+    std::size_t rr_next = 0;
+    std::function<void(Packet&&)> sink;
+  };
+
+  struct NodeState {
+    NodeSpec spec;
+    MessageHandler* handler = nullptr;
+    NodeStats stats;
+    LinkQueue up;
+    LinkQueue down;
+  };
+
+  void enqueue(LinkQueue& lq, NodeId peer_key, Packet pkt);
+  void serve(LinkQueue& lq);
+  void check_node(NodeId node) const;
+
+  Simulator& sim_;
+  // unique_ptr keeps NodeState addresses stable while nodes are added
+  // mid-simulation (e.g. LoadBalancer spinning up replicas).
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+  std::map<std::pair<NodeId, NodeId>, Duration> latency_;
+  Duration default_latency_ = Duration::millis(40);
+  WireMonitor monitor_;
+};
+
+}  // namespace bento::sim

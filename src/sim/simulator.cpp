@@ -1,0 +1,40 @@
+#include "sim/simulator.hpp"
+
+namespace bento::sim {
+
+Simulator::Simulator(std::uint64_t seed) : now_(Time::from_micros(0)), rng_(seed) {}
+
+void Simulator::at(Time t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::after(Duration d, std::function<void()> fn) {
+  at(now_ + d, std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // The queue holds const refs from top(); copy out then pop before running
+  // so handlers can schedule freely.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.when;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::run(std::uint64_t limit) {
+  for (std::uint64_t i = 0; i < limit && step(); ++i) {
+  }
+}
+
+void Simulator::run_until(Time deadline) {
+  while (!queue_.empty() && !(deadline < queue_.top().when)) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace bento::sim

@@ -1,0 +1,69 @@
+// Discrete-event simulation engine.
+//
+// Single-threaded, deterministic: all randomness flows from the seed given
+// at construction, and events at equal timestamps fire in scheduling order.
+// Everything above (network, Tor overlay, Bento, experiment harnesses) is
+// written against this clock rather than wall time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace bento::sim {
+
+using util::Duration;
+using util::Time;
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1);
+
+  Time now() const { return now_; }
+  util::Rng& rng() { return rng_; }
+
+  /// Schedules `fn` at absolute time `t` (clamped to now if in the past).
+  void at(Time t, std::function<void()> fn);
+
+  /// Schedules `fn` after the given delay.
+  void after(Duration d, std::function<void()> fn);
+
+  /// Runs one event; false if the queue is empty.
+  bool step();
+
+  /// Runs until the queue is empty or `limit` events have fired.
+  void run(std::uint64_t limit = UINT64_MAX);
+
+  /// Runs events with timestamp <= deadline; clock lands on `deadline`.
+  void run_until(Time deadline);
+
+  /// Number of events executed so far.
+  std::uint64_t events_executed() const { return executed_; }
+  /// Events still pending.
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;  // FIFO tie-break for equal timestamps
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return b.when < a.when;
+      return b.seq < a.seq;
+    }
+  };
+
+  Time now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  util::Rng rng_;
+};
+
+}  // namespace bento::sim

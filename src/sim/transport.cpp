@@ -1,0 +1,34 @@
+#include "sim/transport.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bento::sim {
+
+int slow_start_rounds(std::size_t bytes, const TcpModelParams& params) {
+  if (bytes <= params.init_cwnd_bytes) return 0;
+  // cwnd doubles each RTT: after r rounds the sender has shipped
+  // init_cwnd * (2^(r+1) - 1) bytes.
+  int rounds = 0;
+  std::size_t shipped = params.init_cwnd_bytes;
+  std::size_t cwnd = params.init_cwnd_bytes;
+  while (shipped < bytes && rounds < 40) {
+    cwnd *= 2;
+    shipped += cwnd;
+    ++rounds;
+  }
+  return rounds;
+}
+
+util::Duration tcp_fetch_delay(std::size_t response_bytes, util::Duration rtt,
+                               double bytes_per_sec, const TcpModelParams& params) {
+  // Request flight + handshake.
+  double secs = (params.handshake_rtts + 1.0) * rtt.to_seconds();
+  if (params.model_slow_start) {
+    secs += slow_start_rounds(response_bytes, params) * rtt.to_seconds();
+  }
+  secs += static_cast<double>(response_bytes) / bytes_per_sec;
+  return util::Duration::seconds(secs);
+}
+
+}  // namespace bento::sim

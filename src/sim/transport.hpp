@@ -1,0 +1,32 @@
+// Analytic TCP transfer-time model for the "plain Internet" legs
+// (exit relay <-> web server).
+//
+// Tor traffic itself is simulated cell-by-cell through Network; only the
+// final clearnet hop uses this closed-form model, which captures the two
+// effects Table 2 depends on: (1) small transfers are RTT-bound because of
+// the handshake and slow-start rounds, (2) large transfers are
+// bandwidth-bound. This is the classic Cardwell/Savage/Anderson
+// approximation of TCP latency.
+#pragma once
+
+#include "util/time.hpp"
+
+namespace bento::sim {
+
+struct TcpModelParams {
+  std::size_t init_cwnd_bytes = 14600;  // 10 segments of 1460 (RFC 6928)
+  std::size_t mss = 1460;
+  bool model_slow_start = true;  // ablation switch (DESIGN.md §5)
+  double handshake_rtts = 1.0;   // SYN/SYN-ACK before first data byte
+};
+
+/// Time from issuing a GET to receiving the last response byte, over a
+/// connection with the given RTT and bottleneck bandwidth.
+util::Duration tcp_fetch_delay(std::size_t response_bytes, util::Duration rtt,
+                               double bytes_per_sec,
+                               const TcpModelParams& params = {});
+
+/// Number of slow-start rounds needed before cwnd covers `bytes`.
+int slow_start_rounds(std::size_t bytes, const TcpModelParams& params = {});
+
+}  // namespace bento::sim

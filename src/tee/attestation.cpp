@@ -1,0 +1,109 @@
+#include "tee/attestation.hpp"
+
+#include "crypto/hmac.hpp"
+#include "util/serialize.hpp"
+
+namespace bento::tee {
+
+util::Bytes Quote::mac_input() const {
+  util::Writer w;
+  w.raw(util::ByteView(measurement.data(), measurement.size()));
+  w.blob(report_data);
+  w.u64(platform_id);
+  w.u32(tcb_version);
+  return std::move(w).take();
+}
+
+util::Bytes Quote::serialize() const {
+  util::Writer w;
+  w.raw(util::ByteView(measurement.data(), measurement.size()));
+  w.blob(report_data);
+  w.u64(platform_id);
+  w.u32(tcb_version);
+  w.raw(util::ByteView(mac.data(), mac.size()));
+  return std::move(w).take();
+}
+
+Quote Quote::deserialize(util::ByteView data) {
+  util::Reader r(data);
+  Quote q;
+  util::Bytes m = r.raw(32);
+  std::copy(m.begin(), m.end(), q.measurement.begin());
+  q.report_data = r.blob();
+  q.platform_id = r.u64();
+  q.tcb_version = r.u32();
+  util::Bytes mac = r.raw(32);
+  std::copy(mac.begin(), mac.end(), q.mac.begin());
+  r.expect_done();
+  return q;
+}
+
+Quote generate_quote(const Enclave& enclave, util::ByteView report_data) {
+  Quote q;
+  q.measurement = enclave.measurement();
+  q.report_data = util::Bytes(report_data.begin(), report_data.end());
+  const Platform& platform = enclave.platform();
+  q.platform_id = platform.platform_id();
+  q.tcb_version = platform.tcb_version();
+  q.mac = crypto::hmac_sha256(platform.attestation_key(), q.mac_input());
+  return q;
+}
+
+util::Bytes AttestationReport::signed_body() const {
+  util::Writer w;
+  w.blob(quote.serialize());
+  w.u8(static_cast<std::uint8_t>(tcb_status));
+  w.u64(timestamp_micros);
+  return std::move(w).take();
+}
+
+bool AttestationReport::verify(crypto::Gp ias_public_key) const {
+  return crypto::verify(ias_public_key, signed_body(), signature);
+}
+
+util::Bytes AttestationReport::serialize() const {
+  util::Writer w;
+  w.blob(signed_body());
+  w.raw(signature.to_bytes());
+  return std::move(w).take();
+}
+
+AttestationReport AttestationReport::deserialize(util::ByteView data) {
+  util::Reader outer(data);
+  const util::Bytes body = outer.blob();
+  const util::Bytes sig = outer.raw(2 * crypto::kGpBytes);
+  outer.expect_done();
+
+  util::Reader r(body);
+  AttestationReport report;
+  report.quote = Quote::deserialize(r.blob());
+  report.tcb_status = static_cast<TcbStatus>(r.u8());
+  report.timestamp_micros = r.u64();
+  r.expect_done();
+  report.signature = crypto::Signature::from_bytes(sig);
+  return report;
+}
+
+void IntelAttestationService::provision(const Platform& platform) {
+  platform_keys_[platform.platform_id()] = platform.attestation_key();
+}
+
+std::optional<AttestationReport> IntelAttestationService::verify_quote(
+    const Quote& quote, std::uint64_t now_micros) const {
+  auto it = platform_keys_.find(quote.platform_id);
+  if (it == platform_keys_.end()) return std::nullopt;
+  const crypto::Digest expect = crypto::hmac_sha256(it->second, quote.mac_input());
+  if (!util::ct_equal(util::ByteView(expect.data(), expect.size()),
+                      util::ByteView(quote.mac.data(), quote.mac.size()))) {
+    return std::nullopt;
+  }
+  AttestationReport report;
+  report.quote = quote;
+  report.tcb_status =
+      quote.tcb_version >= current_tcb_ ? TcbStatus::UpToDate : TcbStatus::OutOfDate;
+  report.timestamp_micros = now_micros;
+  report.signature = key_.sign(report.signed_body());
+  return report;
+}
+
+}  // namespace bento::tee

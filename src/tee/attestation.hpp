@@ -1,0 +1,93 @@
+// Remote attestation (paper §5.4 "Attestation").
+//
+// Flow, mirroring SGX EPID attestation against the Intel Attestation
+// Service (IAS):
+//   1. the enclave produces a Quote over (measurement, report_data) MACed
+//      with the platform's provisioned attestation key;
+//   2. the Bento server sends the quote to the (simulated) IAS, which
+//      checks the MAC and the platform's TCB level and returns a *signed*
+//      AttestationReport;
+//   3. the client verifies the report signature against the IAS public key
+//      and checks measurement, freshness and TCB status.
+//
+// Both verification paths from the paper exist: the client may contact the
+// IAS itself, or accept a report the server obtained earlier and "stapled"
+// to its reply (OCSP-stapling style), which keeps the client's use of Bento
+// unlinkable by Intel.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "crypto/sign.hpp"
+#include "tee/enclave.hpp"
+#include "util/bytes.hpp"
+
+namespace bento::tee {
+
+struct Quote {
+  Measurement measurement{};
+  util::Bytes report_data;  // caller-chosen binding (e.g. channel hash)
+  std::uint64_t platform_id = 0;
+  std::uint32_t tcb_version = 0;
+  crypto::Digest mac{};  // MAC under the platform attestation key
+
+  util::Bytes serialize() const;
+  static Quote deserialize(util::ByteView data);
+
+ private:
+  friend Quote generate_quote(const Enclave& enclave, util::ByteView report_data);
+  friend class IntelAttestationService;
+  util::Bytes mac_input() const;
+};
+
+/// Produced inside the enclave (EREPORT + quoting enclave, collapsed).
+Quote generate_quote(const Enclave& enclave, util::ByteView report_data);
+
+enum class TcbStatus : std::uint8_t { UpToDate = 0, OutOfDate = 1 };
+
+struct AttestationReport {
+  Quote quote;
+  TcbStatus tcb_status = TcbStatus::UpToDate;
+  std::uint64_t timestamp_micros = 0;
+  crypto::Signature signature;  // by the IAS report-signing key
+
+  util::Bytes signed_body() const;
+  bool verify(crypto::Gp ias_public_key) const;
+
+  /// Wire form for stapling into a Bento SpawnReply.
+  util::Bytes serialize() const;
+  static AttestationReport deserialize(util::ByteView data);
+};
+
+class IntelAttestationService {
+ public:
+  explicit IntelAttestationService(util::Rng& rng,
+                                   std::uint32_t current_tcb_version = 2)
+      : key_(crypto::SigningKey::generate(rng)), current_tcb_(current_tcb_version) {}
+
+  crypto::Gp public_key() const { return key_.public_key(); }
+  std::uint32_t current_tcb() const { return current_tcb_; }
+
+  /// Provisioning: registers a platform's attestation key (EPID join).
+  void provision(const Platform& platform);
+
+  /// Verifies a quote; nullopt if the platform is unknown or the MAC is bad.
+  /// A quote from a platform below the current TCB verifies but is flagged
+  /// OutOfDate (paper: "check the current TCB version ... patched against
+  /// known vulnerabilities").
+  std::optional<AttestationReport> verify_quote(const Quote& quote,
+                                                std::uint64_t now_micros) const;
+
+  /// Models Intel publishing a new required patch level: older platforms
+  /// start attesting as OutOfDate.
+  void advance_tcb(std::uint32_t version) { current_tcb_ = version; }
+
+ private:
+  crypto::SigningKey key_;
+  std::uint32_t current_tcb_;
+  std::map<std::uint64_t, util::Bytes> platform_keys_;
+};
+
+}  // namespace bento::tee

@@ -1,0 +1,136 @@
+// Conclaves: "containers of enclaves" [34] (paper §5.4), plus the two
+// building blocks Bento relies on:
+//
+//   * FsProtect   — an enclaved filesystem that generates an *ephemeral*
+//                   encryption key at launch and encrypts every write, so
+//                   the operator only ever stores ciphertext (the paper's
+//                   plausible-deniability argument, §6.2);
+//   * SecureChannel — the attested TLS-style channel a Bento client opens
+//                   to the function loader *inside* the conclave before
+//                   uploading its function (§5.4: "the Bento client attests
+//                   the container's image and establishes a secure TLS
+//                   channel to the container's function loader").
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/aead.hpp"
+#include "crypto/dh.hpp"
+#include "tee/attestation.hpp"
+#include "tee/enclave.hpp"
+#include "tee/epc.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace bento::tee {
+
+/// Encrypted, integrity-protected filesystem living in its own enclave.
+/// The key is ephemeral: it is generated at launch, never sealed, never
+/// exported — when the conclave dies the data is gone for everyone.
+class FsProtect {
+ public:
+  explicit FsProtect(util::Rng& rng);
+
+  void write(const std::string& path, util::ByteView data);
+  /// nullopt if absent (or if ciphertext was tampered with on disk).
+  std::optional<util::Bytes> read(const std::string& path) const;
+  bool remove(const std::string& path);
+  std::vector<std::string> list() const;
+  bool exists(const std::string& path) const { return files_.contains(path); }
+
+  /// Plaintext bytes stored (for resource accounting).
+  std::size_t total_plaintext_bytes() const { return plaintext_bytes_; }
+
+  /// What the *operator* can observe: ciphertext only.
+  const util::Bytes& ciphertext_of(const std::string& path) const;
+
+  /// Operator-side tampering hook for tests: corrupts stored ciphertext.
+  void corrupt(const std::string& path, std::size_t byte_index);
+
+ private:
+  crypto::AeadKey key_;
+  std::uint64_t write_counter_ = 0;
+  struct Entry {
+    util::Bytes ciphertext;
+    std::uint64_t nonce_counter;
+    std::size_t plaintext_size;
+  };
+  std::map<std::string, Entry> files_;
+  std::size_t plaintext_bytes_ = 0;
+};
+
+/// One half of an attested, AEAD-protected session. The server side binds
+/// its handshake to an enclave quote (report_data = H(transcript)), which
+/// the client checks before sending anything sensitive.
+class SecureChannel {
+ public:
+  struct Hello {
+    crypto::Gp dh_public = 0;
+    util::Bytes to_bytes() const;
+    static Hello from_bytes(util::ByteView b);
+  };
+  struct Accept {
+    crypto::Gp dh_public = 0;
+    Quote quote;  // report_data binds both DH publics
+    util::Bytes to_bytes() const;
+    static Accept from_bytes(util::ByteView b);
+  };
+
+  /// Client step 1.
+  static Hello client_hello(crypto::DhKeyPair& ephemeral, util::Rng& rng);
+  /// Server step: consumes the hello, emits Accept, returns the session.
+  static SecureChannel server_accept(const Hello& hello, const Enclave& enclave,
+                                     util::Rng& rng, Accept* out);
+  /// Client step 2: verifies the quote binding + measurement, derives keys.
+  /// expected_measurement guards against a different image answering.
+  static std::optional<SecureChannel> client_finish(
+      const crypto::DhKeyPair& ephemeral, const Accept& accept,
+      const Measurement& expected_measurement);
+
+  /// RFC 8439 ChaCha20-Poly1305 with per-direction sequence numbers.
+  util::Bytes seal(util::ByteView plaintext);
+  std::optional<util::Bytes> open(util::ByteView sealed);
+
+ private:
+  SecureChannel(crypto::ChaChaKey send_key, crypto::ChaChaKey recv_key);
+  crypto::ChaChaKey send_key_;
+  crypto::ChaChaKey recv_key_;
+  std::uint64_t send_seq_ = 0;
+  std::uint64_t recv_seq_ = 0;
+};
+
+/// A conclave: runtime enclave + FsProtect, registered against the EPC.
+class Conclave {
+ public:
+  /// `runtime_image` is the code whose measurement clients attest (the
+  /// Bento execution environment, NOT individual functions — §5.4).
+  Conclave(Platform& platform, EpcManager& epc, util::ByteView runtime_image,
+           const std::string& name, util::Rng& rng);
+  ~Conclave();
+
+  Conclave(const Conclave&) = delete;
+  Conclave& operator=(const Conclave&) = delete;
+
+  const Enclave& runtime() const { return runtime_; }
+  FsProtect& fs() { return fs_; }
+  const FsProtect& fs() const { return fs_; }
+
+  /// Updates the EPC accounting for this conclave's working set.
+  void set_memory_bytes(std::size_t bytes);
+  std::size_t memory_bytes() const { return runtime_.memory_bytes(); }
+
+  /// Baseline conclave memory overhead measured in [34] (§7.3: 7.3 MB).
+  static constexpr std::size_t kBaselineOverheadBytes = 7'300'000;
+
+ private:
+  static std::uint64_t next_id();
+  std::uint64_t id_;
+  EpcManager& epc_;
+  Enclave runtime_;
+  FsProtect fs_;
+};
+
+}  // namespace bento::tee

@@ -1,0 +1,52 @@
+#include "tee/enclave.hpp"
+
+#include "crypto/hmac.hpp"
+#include "util/serialize.hpp"
+
+namespace bento::tee {
+
+Measurement measure(util::ByteView code_image) { return crypto::sha256(code_image); }
+
+std::string measurement_hex(const Measurement& m) {
+  return util::to_hex(util::ByteView(m.data(), m.size()));
+}
+
+Platform::Platform(std::uint64_t platform_id, std::uint32_t tcb_version,
+                   util::Rng& rng)
+    : id_(platform_id),
+      tcb_(tcb_version),
+      attestation_key_(rng.bytes(32)),
+      sealing_secret_(rng.bytes(32)) {}
+
+void Platform::upgrade_tcb(std::uint32_t new_version) {
+  if (new_version > tcb_) tcb_ = new_version;
+}
+
+Enclave::Enclave(Platform& platform, util::ByteView code_image, std::string name)
+    : platform_(platform), measurement_(measure(code_image)), name_(std::move(name)) {}
+
+crypto::AeadKey Enclave::sealing_key() const {
+  // KDF(platform sealing secret, MRENCLAVE): the SGX EGETKEY contract.
+  return crypto::AeadKey::from_bytes(crypto::hkdf(
+      platform_.sealing_secret(),
+      util::ByteView(measurement_.data(), measurement_.size()), "sgx-seal-key", 64));
+}
+
+util::Bytes Enclave::seal(util::ByteView plaintext) const {
+  const std::uint64_t counter = ++seal_counter_;
+  util::Writer w;
+  w.u64(counter);
+  w.raw(crypto::aead_seal(sealing_key(), crypto::nonce_from_counter(counter), {},
+                          plaintext));
+  return std::move(w).take();
+}
+
+std::optional<util::Bytes> Enclave::unseal(util::ByteView sealed) const {
+  if (sealed.size() < 8 + crypto::kAeadTagLen) return std::nullopt;
+  util::Reader r(sealed);
+  const std::uint64_t counter = r.u64();
+  return crypto::aead_open(sealing_key(), crypto::nonce_from_counter(counter), {},
+                           sealed.subspan(8));
+}
+
+}  // namespace bento::tee

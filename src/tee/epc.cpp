@@ -1,0 +1,31 @@
+#include "tee/epc.hpp"
+
+namespace bento::tee {
+
+void EpcManager::allocate(std::uint64_t enclave_id, std::size_t bytes) {
+  if (bytes > usable_) {
+    throw EpcExhausted("EpcManager: single enclave larger than usable EPC");
+  }
+  const std::size_t before_overflow = paged_out_bytes();
+  auto it = allocations_.find(enclave_id);
+  if (it != allocations_.end()) {
+    committed_ -= it->second;
+    it->second = bytes;
+  } else {
+    allocations_[enclave_id] = bytes;
+  }
+  committed_ += bytes;
+  const std::size_t after_overflow = paged_out_bytes();
+  if (after_overflow > before_overflow) {
+    page_faults_ += (after_overflow - before_overflow + kEpcPageBytes - 1) / kEpcPageBytes;
+  }
+}
+
+void EpcManager::free(std::uint64_t enclave_id) {
+  auto it = allocations_.find(enclave_id);
+  if (it == allocations_.end()) return;
+  committed_ -= it->second;
+  allocations_.erase(it);
+}
+
+}  // namespace bento::tee

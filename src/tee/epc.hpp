@@ -1,0 +1,57 @@
+// Enclave Page Cache accounting (paper §7.3, "Scalability of Browser").
+//
+// SGX v1 exposes 128 MiB of protected memory of which ~93 MiB is usable by
+// applications [34]. Enclaves whose working sets exceed the resident budget
+// are paged, which SGX supports but at a cost. This manager reproduces the
+// budget and counts paging events so the scalability benchmark can show
+// how many concurrent functions fit before paging starts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+
+namespace bento::tee {
+
+inline constexpr std::size_t kEpcTotalBytes = 128ull << 20;
+inline constexpr std::size_t kEpcUsableBytes = 93ull << 20;  // per [34]
+inline constexpr std::size_t kEpcPageBytes = 4096;
+
+class EpcExhausted : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class EpcManager {
+ public:
+  explicit EpcManager(std::size_t usable_bytes = kEpcUsableBytes)
+      : usable_(usable_bytes) {}
+
+  /// Registers an enclave's committed memory. Throws EpcExhausted only if a
+  /// single allocation exceeds the whole EPC (cannot even page).
+  void allocate(std::uint64_t enclave_id, std::size_t bytes);
+  void free(std::uint64_t enclave_id);
+
+  /// Total committed bytes across enclaves (may exceed usable -> paging).
+  std::size_t committed() const { return committed_; }
+  std::size_t usable() const { return usable_; }
+  bool paging() const { return committed_ > usable_; }
+  /// Bytes currently paged out to (encrypted) main memory.
+  std::size_t paged_out_bytes() const {
+    return committed_ > usable_ ? committed_ - usable_ : 0;
+  }
+  /// Number of enclaves whose pages are resident vs total.
+  std::size_t enclave_count() const { return allocations_.size(); }
+
+  /// Cumulative page-fault events charged (one per 4 KiB crossing the
+  /// resident boundary when allocations change).
+  std::uint64_t page_faults() const { return page_faults_; }
+
+ private:
+  std::size_t usable_;
+  std::size_t committed_ = 0;
+  std::uint64_t page_faults_ = 0;
+  std::map<std::uint64_t, std::size_t> allocations_;
+};
+
+}  // namespace bento::tee

@@ -1,0 +1,36 @@
+#include "tor/address.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace bento::tor {
+
+Addr parse_addr(const std::string& dotted) {
+  std::istringstream in(dotted);
+  Addr out = 0;
+  for (int i = 0; i < 4; ++i) {
+    int octet = 0;
+    if (!(in >> octet) || octet < 0 || octet > 255) {
+      throw std::invalid_argument("parse_addr: bad address: " + dotted);
+    }
+    out = (out << 8) | static_cast<Addr>(octet);
+    if (i < 3) {
+      char dot = 0;
+      if (!(in >> dot) || dot != '.') {
+        throw std::invalid_argument("parse_addr: bad address: " + dotted);
+      }
+    }
+  }
+  char extra = 0;
+  if (in >> extra) throw std::invalid_argument("parse_addr: trailing junk: " + dotted);
+  return out;
+}
+
+std::string format_addr(Addr a) {
+  std::ostringstream out;
+  out << ((a >> 24) & 0xff) << '.' << ((a >> 16) & 0xff) << '.' << ((a >> 8) & 0xff)
+      << '.' << (a & 0xff);
+  return out.str();
+}
+
+}  // namespace bento::tor

@@ -1,0 +1,32 @@
+// Network addresses for the simulated Internet.
+//
+// Addresses are IPv4-like 32-bit values assigned by the experiment harness;
+// the directory maps them to simulator NodeIds for message routing. Path
+// selection uses the /16 prefix for relay-family diversity, exactly as Tor
+// does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bento::tor {
+
+using Addr = std::uint32_t;
+using Port = std::uint16_t;
+
+struct Endpoint {
+  Addr addr = 0;
+  Port port = 0;
+  auto operator<=>(const Endpoint&) const = default;
+};
+
+/// Parses dotted-quad ("10.1.2.3"). Throws std::invalid_argument on error.
+Addr parse_addr(const std::string& dotted);
+
+/// Formats as dotted-quad.
+std::string format_addr(Addr a);
+
+/// The /16 prefix used for path diversity.
+inline std::uint32_t slash16(Addr a) { return a >> 16; }
+
+}  // namespace bento::tor

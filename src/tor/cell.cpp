@@ -1,0 +1,100 @@
+#include "tor/cell.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/serialize.hpp"
+
+namespace bento::tor {
+
+const char* to_string(CellCommand c) {
+  switch (c) {
+    case CellCommand::Padding: return "PADDING";
+    case CellCommand::Create: return "CREATE";
+    case CellCommand::Created: return "CREATED";
+    case CellCommand::Relay: return "RELAY";
+    case CellCommand::Destroy: return "DESTROY";
+  }
+  return "UNKNOWN";
+}
+
+const char* to_string(RelayCommand c) {
+  switch (c) {
+    case RelayCommand::Begin: return "BEGIN";
+    case RelayCommand::Data: return "DATA";
+    case RelayCommand::End: return "END";
+    case RelayCommand::Connected: return "CONNECTED";
+    case RelayCommand::SendmeStream: return "SENDME_STREAM";
+    case RelayCommand::Extend: return "EXTEND";
+    case RelayCommand::Extended: return "EXTENDED";
+    case RelayCommand::SendmeCircuit: return "SENDME_CIRCUIT";
+    case RelayCommand::Drop: return "DROP";
+    case RelayCommand::EstablishIntro: return "ESTABLISH_INTRO";
+    case RelayCommand::EstablishRendezvous: return "ESTABLISH_RENDEZVOUS";
+    case RelayCommand::Introduce1: return "INTRODUCE1";
+    case RelayCommand::Introduce2: return "INTRODUCE2";
+    case RelayCommand::Rendezvous1: return "RENDEZVOUS1";
+    case RelayCommand::Rendezvous2: return "RENDEZVOUS2";
+    case RelayCommand::IntroEstablished: return "INTRO_ESTABLISHED";
+    case RelayCommand::RendezvousEstablished: return "RENDEZVOUS_ESTABLISHED";
+  }
+  return "UNKNOWN";
+}
+
+util::Bytes Cell::pack() const {
+  util::Writer w;
+  w.u32(circ_id);
+  w.u8(static_cast<std::uint8_t>(command));
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+Cell Cell::unpack(util::ByteView wire) {
+  if (wire.size() != kCellLen) throw util::ParseError("Cell::unpack: bad size");
+  util::Reader r(wire);
+  Cell c;
+  c.circ_id = r.u32();
+  c.command = static_cast<CellCommand>(r.u8());
+  util::Bytes body = r.raw(kCellPayloadLen);
+  std::memcpy(c.payload.data(), body.data(), kCellPayloadLen);
+  return c;
+}
+
+void Cell::set_payload(util::ByteView data) {
+  if (data.size() > kCellPayloadLen) {
+    throw std::invalid_argument("Cell::set_payload: too large");
+  }
+  payload.fill(0);
+  std::memcpy(payload.data(), data.data(), data.size());
+}
+
+std::array<std::uint8_t, kCellPayloadLen> RelayCell::pack() const {
+  if (data.size() > kRelayDataMax) {
+    throw std::invalid_argument("RelayCell::pack: data too large");
+  }
+  std::array<std::uint8_t, kCellPayloadLen> out{};
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(relay_cmd));
+  w.u16(recognized);
+  w.u16(stream_id);
+  w.u32(digest);
+  w.u16(static_cast<std::uint16_t>(data.size()));
+  w.raw(data);
+  std::memcpy(out.data(), w.data().data(), w.data().size());
+  return out;
+}
+
+RelayCell RelayCell::unpack(const std::array<std::uint8_t, kCellPayloadLen>& payload) {
+  util::Reader r(payload);
+  RelayCell c;
+  c.relay_cmd = static_cast<RelayCommand>(r.u8());
+  c.recognized = r.u16();
+  c.stream_id = r.u16();
+  c.digest = r.u32();
+  const std::uint16_t len = r.u16();
+  if (len > kRelayDataMax) throw util::ParseError("RelayCell: bad length");
+  c.data = r.raw(len);
+  return c;
+}
+
+}  // namespace bento::tor

@@ -1,0 +1,365 @@
+#include "tor/circuit.hpp"
+
+#include <stdexcept>
+
+#include "tor/wire.hpp"
+#include "util/log.hpp"
+#include "util/serialize.hpp"
+
+namespace bento::tor {
+
+namespace {
+constexpr char kComponent[] = "tor.circuit";
+}
+
+void Stream::send(util::ByteView data) {
+  if (circ_ == nullptr) return;
+  outbuf.push(data);
+  // Pumping lives in the circuit (it owns the windows).
+  circ_->pump_stream(*this);
+}
+
+void Stream::end() {
+  if (circ_ == nullptr) return;
+  end_after_flush = true;
+  circ_->pump_stream(*this);
+}
+
+CircuitOrigin::CircuitOrigin(sim::Network& net, sim::NodeId own_node, Path path,
+                             CircId circ_id, util::Rng& rng)
+    : net_(net), own_node_(own_node), path_(std::move(path)), circ_id_(circ_id),
+      rng_(rng) {
+  if (path_.empty()) throw std::invalid_argument("CircuitOrigin: empty path");
+}
+
+void CircuitOrigin::send_cell(const Cell& cell) {
+  net_.send(own_node_, path_.front().node, frame_cell(cell));
+}
+
+void CircuitOrigin::build(BuiltFn done) {
+  built_cb_ = std::move(done);
+  next_hop_to_build_ = 0;
+  const RelayDescriptor& guard = path_.front();
+  const util::Bytes skin =
+      ntor_client_create(pending_ntor_, guard.onion_key, guard.identity_key, rng_);
+  Cell create;
+  create.circ_id = circ_id_;
+  create.command = CellCommand::Create;
+  create.set_payload(skin);
+  send_cell(create);
+}
+
+void CircuitOrigin::continue_build() {
+  if (next_hop_to_build_ >= path_.size()) {
+    built_ = true;
+    if (built_cb_) {
+      auto cb = std::move(built_cb_);
+      built_cb_ = nullptr;
+      cb(true);
+    }
+    return;
+  }
+  // Extend to the next hop through the ones already built.
+  const RelayDescriptor& target = path_[next_hop_to_build_];
+  const util::Bytes skin =
+      ntor_client_create(pending_ntor_, target.onion_key, target.identity_key, rng_);
+  RelayCell extend;
+  extend.relay_cmd = RelayCommand::Extend;
+  util::Writer w;
+  w.str(target.fingerprint());
+  w.blob(skin);
+  extend.data = std::move(w).take();
+  send_relay(std::move(extend), static_cast<int>(next_hop_to_build_) - 1);
+}
+
+void CircuitOrigin::fail_build() {
+  if (built_cb_) {
+    auto cb = std::move(built_cb_);
+    built_cb_ = nullptr;
+    cb(false);
+  }
+  destroy();
+}
+
+void CircuitOrigin::handle_cell(const Cell& cell) {
+  if (destroyed_) return;
+  switch (cell.command) {
+    case CellCommand::Created: {
+      util::ByteView reply(cell.payload.data(), kNtorReplyLen);
+      auto keys = ntor_client_finish(pending_ntor_, reply);
+      if (!keys.has_value()) {
+        util::log_warn(kComponent, "handshake authentication failed at hop 0");
+        fail_build();
+        return;
+      }
+      layers_.push_back(std::make_unique<LayerCrypto>(*keys));
+      next_hop_to_build_ = 1;
+      continue_build();
+      return;
+    }
+    case CellCommand::Relay: {
+      auto payload = cell.payload;
+      for (std::size_t i = 0; i < layers_.size(); ++i) {
+        layers_[i]->crypt_backward(payload);
+        if (layers_[i]->check_backward(payload)) {
+          RelayCell rc;
+          try {
+            rc = RelayCell::unpack(payload);
+          } catch (const util::ParseError&) {
+            destroy();
+            return;
+          }
+          dispatch_relay(rc, static_cast<int>(i));
+          return;
+        }
+      }
+      if (virtual_relay_.has_value()) {
+        virtual_relay_->crypt_forward(payload);
+        if (virtual_relay_->check_forward(payload)) {
+          RelayCell rc;
+          try {
+            rc = RelayCell::unpack(payload);
+          } catch (const util::ParseError&) {
+            destroy();
+            return;
+          }
+          dispatch_relay(rc, hop_count());  // virtual hop index
+          return;
+        }
+      }
+      util::log_warn(kComponent, "unrecognized backward cell on circuit ", circ_id_);
+      return;
+    }
+    case CellCommand::Destroy: {
+      destroyed_ = true;
+      // Callbacks may touch the stream map; detach it first.
+      auto doomed = std::move(streams_);
+      streams_.clear();
+      for (auto& [sid, stream] : doomed) {
+        stream->circ_ = nullptr;
+        if (stream->cbs_.on_end) stream->cbs_.on_end();
+      }
+      if (built_cb_) {
+        auto cb = std::move(built_cb_);
+        built_cb_ = nullptr;
+        cb(false);
+      }
+      if (on_destroy_) on_destroy_();
+      return;
+    }
+    default:
+      break;
+  }
+}
+
+void CircuitOrigin::send_relay(RelayCell rc, int hop) {
+  if (destroyed_) return;
+  if (virtual_relay_.has_value()) {
+    // Service side: seal at the virtual layer (relay-style, backward
+    // digest), then wrap in every real hop's forward keystream without
+    // sealing — no real hop recognizes the cell; the rendezvous point
+    // splices it through to the client.
+    auto payload = rc.pack();
+    virtual_relay_->seal_backward(payload);
+    virtual_relay_->crypt_backward(payload);
+    for (std::size_t i = layers_.size(); i-- > 0;) {
+      layers_[i]->crypt_forward(payload);
+    }
+    Cell cell;
+    cell.circ_id = circ_id_;
+    cell.command = CellCommand::Relay;
+    cell.payload = payload;
+    send_cell(cell);
+    return;
+  }
+  const int last = hop_count() - 1;
+  if (hop < 0) hop = last;
+  if (hop > last || hop < 0) {
+    throw std::invalid_argument("send_relay: bad hop index");
+  }
+  auto payload = rc.pack();
+  layers_[static_cast<std::size_t>(hop)]->seal_forward(payload);
+  for (int i = hop; i >= 0; --i) {
+    layers_[static_cast<std::size_t>(i)]->crypt_forward(payload);
+  }
+  Cell cell;
+  cell.circ_id = circ_id_;
+  cell.command = CellCommand::Relay;
+  cell.payload = payload;
+  send_cell(cell);
+}
+
+void CircuitOrigin::add_hop_keys(const LayerKeys& keys) {
+  layers_.push_back(std::make_unique<LayerCrypto>(keys));
+}
+
+void CircuitOrigin::enable_virtual_relay(const LayerKeys& keys) {
+  virtual_relay_.emplace(keys);
+}
+
+Stream* CircuitOrigin::open_stream(const Endpoint& to, Stream::Callbacks cbs) {
+  if (!built_) throw std::logic_error("open_stream: circuit not built");
+  const StreamId sid = next_stream_id_++;
+  auto stream = std::make_unique<Stream>();
+  stream->circ_ = this;
+  stream->id_ = sid;
+  stream->cbs_ = std::move(cbs);
+  Stream* out = stream.get();
+  streams_[sid] = std::move(stream);
+
+  RelayCell begin;
+  begin.relay_cmd = RelayCommand::Begin;
+  begin.stream_id = sid;
+  util::Writer w;
+  w.u32(to.addr);
+  w.u16(to.port);
+  begin.data = std::move(w).take();
+  send_relay(std::move(begin));
+  return out;
+}
+
+void CircuitOrigin::pump_stream(Stream& stream) {
+  while (!stream.outbuf.empty() && stream.package_window > 0 &&
+         circ_package_window_ > 0) {
+    RelayCell data;
+    data.relay_cmd = RelayCommand::Data;
+    data.stream_id = stream.id_;
+    data.data = stream.outbuf.pop(kRelayDataMax);
+    stream.package_window--;
+    circ_package_window_--;
+    counters_.data_cells_sent++;
+    send_relay(std::move(data));
+  }
+  if (stream.outbuf.empty() && stream.end_after_flush) {
+    RelayCell end;
+    end.relay_cmd = RelayCommand::End;
+    end.stream_id = stream.id_;
+    send_relay(std::move(end));
+    stream.circ_ = nullptr;
+    streams_.erase(stream.id_);  // invalidates `stream`
+  }
+}
+
+void CircuitOrigin::dispatch_relay(const RelayCell& rc, int hop) {
+  switch (rc.relay_cmd) {
+    case RelayCommand::Extended: {
+      auto keys = ntor_client_finish(pending_ntor_, rc.data);
+      if (!keys.has_value()) {
+        util::log_warn(kComponent, "handshake authentication failed at hop ",
+                       next_hop_to_build_);
+        fail_build();
+        return;
+      }
+      layers_.push_back(std::make_unique<LayerCrypto>(*keys));
+      next_hop_to_build_++;
+      continue_build();
+      return;
+    }
+    case RelayCommand::Connected: {
+      auto it = streams_.find(rc.stream_id);
+      if (it == streams_.end()) return;
+      it->second->connected_ = true;
+      if (it->second->cbs_.on_connected) it->second->cbs_.on_connected();
+      return;
+    }
+    case RelayCommand::Data: {
+      counters_.data_cells_received++;
+      circ_delivered_++;
+      if (circ_delivered_ % kCircuitWindowIncrement == 0) {
+        RelayCell sendme;
+        sendme.relay_cmd = RelayCommand::SendmeCircuit;
+        send_relay(std::move(sendme), hop);
+      }
+      auto it = streams_.find(rc.stream_id);
+      if (it == streams_.end()) return;
+      Stream& stream = *it->second;
+      stream.delivered++;
+      if (stream.delivered % kStreamWindowIncrement == 0) {
+        RelayCell sendme;
+        sendme.relay_cmd = RelayCommand::SendmeStream;
+        sendme.stream_id = rc.stream_id;
+        send_relay(std::move(sendme), hop);
+      }
+      if (stream.cbs_.on_data) stream.cbs_.on_data(rc.data);
+      return;
+    }
+    case RelayCommand::End: {
+      auto it = streams_.find(rc.stream_id);
+      if (it == streams_.end()) return;
+      auto stream = std::move(it->second);
+      streams_.erase(it);
+      stream->circ_ = nullptr;
+      if (stream->cbs_.on_end) stream->cbs_.on_end();
+      return;
+    }
+    case RelayCommand::SendmeCircuit: {
+      circ_package_window_ += kCircuitWindowIncrement;
+      // Pump round-robin; collect ids first because pumping may erase.
+      std::vector<StreamId> ids;
+      ids.reserve(streams_.size());
+      for (auto& [sid, s] : streams_) ids.push_back(sid);
+      for (StreamId sid : ids) {
+        auto it = streams_.find(sid);
+        if (it != streams_.end()) pump_stream(*it->second);
+      }
+      return;
+    }
+    case RelayCommand::SendmeStream: {
+      auto it = streams_.find(rc.stream_id);
+      if (it == streams_.end()) return;
+      it->second->package_window += kStreamWindowIncrement;
+      pump_stream(*it->second);
+      return;
+    }
+    case RelayCommand::Begin: {
+      // Service side (virtual hop): accept or refuse.
+      if (!acceptor_ || rc.stream_id == 0 || streams_.contains(rc.stream_id)) {
+        RelayCell end;
+        end.relay_cmd = RelayCommand::End;
+        end.stream_id = rc.stream_id;
+        send_relay(std::move(end), hop);
+        return;
+      }
+      auto stream = std::make_unique<Stream>();
+      stream->circ_ = this;
+      stream->id_ = rc.stream_id;
+      stream->connected_ = true;
+      Stream* raw = stream.get();
+      streams_[rc.stream_id] = std::move(stream);
+      if (!acceptor_(*raw)) {
+        streams_.erase(rc.stream_id);
+        RelayCell end;
+        end.relay_cmd = RelayCommand::End;
+        end.stream_id = rc.stream_id;
+        send_relay(std::move(end), hop);
+        return;
+      }
+      RelayCell connected;
+      connected.relay_cmd = RelayCommand::Connected;
+      connected.stream_id = rc.stream_id;
+      send_relay(std::move(connected), hop);
+      return;
+    }
+    default:
+      if (relay_handler_) relay_handler_(rc, hop);
+      return;
+  }
+}
+
+void CircuitOrigin::destroy() {
+  if (destroyed_) return;
+  destroyed_ = true;
+  Cell destroy_cell;
+  destroy_cell.circ_id = circ_id_;
+  destroy_cell.command = CellCommand::Destroy;
+  send_cell(destroy_cell);
+  auto doomed = std::move(streams_);
+  streams_.clear();
+  for (auto& [sid, stream] : doomed) {
+    stream->circ_ = nullptr;
+    if (stream->cbs_.on_end) stream->cbs_.on_end();
+  }
+  if (on_destroy_) on_destroy_();
+}
+
+}  // namespace bento::tor

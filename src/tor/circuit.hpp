@@ -1,0 +1,159 @@
+// Client-side circuit: the origin endpoint that owns every onion layer.
+//
+// A CircuitOrigin builds a circuit hop by hop (CREATE, then EXTENDs), opens
+// streams over it, and implements Tor's SENDME flow control. Two
+// hidden-service extensions mirror how Tor joins rendezvous circuits:
+//
+//  * add_hop_keys()       — client side: appends the end-to-end layer from
+//                           the hs-ntor handshake as a virtual 4th hop.
+//  * enable_virtual_relay() — service side: the service *terminates* the
+//                           virtual layer like a relay would (it checks the
+//                           origin's forward digests and seals backward
+//                           ones), and its real hops merely transport
+//                           opaque payloads.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "sim/network.hpp"
+#include "tor/cell.hpp"
+#include "tor/flow.hpp"
+#include "tor/ntor.hpp"
+#include "tor/pathselect.hpp"
+#include "tor/relaycrypto.hpp"
+#include "util/rng.hpp"
+
+namespace bento::tor {
+
+class CircuitOrigin;
+
+/// Origin-side stream endpoint (also used by hidden services for accepted
+/// streams). Owned by its CircuitOrigin; valid until on_end fires or the
+/// circuit is destroyed.
+class Stream {
+ public:
+  struct Callbacks {
+    std::function<void()> on_connected;
+    std::function<void(util::ByteView)> on_data;
+    std::function<void()> on_end;
+  };
+
+  StreamId id() const { return id_; }
+  bool connected() const { return connected_; }
+
+  /// Queues data (chunked into DATA cells, window-limited).
+  void send(util::ByteView data);
+  /// Sends RELAY_END once buffered data drains.
+  void end();
+
+  void set_on_connected(std::function<void()> fn) { cbs_.on_connected = std::move(fn); }
+  void set_on_data(std::function<void(util::ByteView)> fn) { cbs_.on_data = std::move(fn); }
+  void set_on_end(std::function<void()> fn) { cbs_.on_end = std::move(fn); }
+
+ private:
+  friend class CircuitOrigin;
+  // Stream is a facade; the circuit owns the windows and pumps the buffer.
+  CircuitOrigin* circ_ = nullptr;
+  StreamId id_ = 0;
+  Callbacks cbs_;
+  bool connected_ = false;
+  int package_window = kStreamWindowInit;
+  int delivered = 0;
+  ByteQueue outbuf;
+  bool end_after_flush = false;
+};
+
+class CircuitOrigin {
+ public:
+  using BuiltFn = std::function<void(bool ok)>;
+  /// Handler for relay commands the circuit core does not consume
+  /// (IntroEstablished, Introduce2, RendezvousEstablished, Rendezvous2...).
+  using RelayFn = std::function<void(const RelayCell& rc, int hop)>;
+
+  /// `own_node` is the simulator node this endpoint sends from.
+  CircuitOrigin(sim::Network& net, sim::NodeId own_node, Path path, CircId circ_id,
+                util::Rng& rng);
+
+  CircId circ_id() const { return circ_id_; }
+  const Path& path() const { return path_; }
+  bool built() const { return built_; }
+  bool destroyed() const { return destroyed_; }
+  int hop_count() const { return static_cast<int>(layers_.size()); }
+
+  /// Starts the CREATE/EXTEND ladder; `done(true)` when all hops are up.
+  void build(BuiltFn done);
+
+  /// Opens a stream through the last hop to `to`. For hidden-service
+  /// circuits the address part is ignored by the service; the port selects
+  /// the virtual service port.
+  Stream* open_stream(const Endpoint& to, Stream::Callbacks cbs);
+
+  /// Service side: invoked for incoming RELAY_BEGIN at the virtual hop.
+  /// Return false to refuse. The Stream is already connected when handed over.
+  void set_stream_acceptor(std::function<bool(Stream&)> acceptor) {
+    acceptor_ = std::move(acceptor);
+  }
+
+  /// Sends a relay cell to hop `hop` (default: last). Most callers use the
+  /// stream API; hidden-service setup and the Cover function use this.
+  void send_relay(RelayCell rc, int hop = -1);
+
+  void set_relay_handler(RelayFn fn) { relay_handler_ = std::move(fn); }
+  void set_on_destroy(std::function<void()> fn) { on_destroy_ = std::move(fn); }
+
+  /// Client side of a rendezvous join: append the e2e layer as a virtual hop.
+  void add_hop_keys(const LayerKeys& keys);
+  /// Service side of a rendezvous join: terminate the e2e layer relay-style.
+  void enable_virtual_relay(const LayerKeys& keys);
+
+  /// Feed a cell addressed to this circuit (OnionProxy dispatches).
+  void handle_cell(const Cell& cell);
+
+  /// Tears down (DESTROY toward the guard) and fires stream/circuit ends.
+  void destroy();
+
+  /// Cells of cover traffic absorbed, bytes delivered — for experiments.
+  struct Counters {
+    std::uint64_t data_cells_sent = 0;
+    std::uint64_t data_cells_received = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  void continue_build();
+  void dispatch_relay(const RelayCell& rc, int hop);
+  void pump_stream(Stream& stream);
+  void send_cell(const Cell& cell);
+  void fail_build();
+
+  sim::Network& net_;
+  sim::NodeId own_node_;
+  Path path_;
+  CircId circ_id_;
+  util::Rng& rng_;
+
+  std::vector<std::unique_ptr<LayerCrypto>> layers_;
+  std::optional<LayerCrypto> virtual_relay_;
+  std::size_t next_hop_to_build_ = 0;
+  NtorClientState pending_ntor_;
+  BuiltFn built_cb_;
+  bool built_ = false;
+  bool destroyed_ = false;
+
+  std::map<StreamId, std::unique_ptr<Stream>> streams_;
+  StreamId next_stream_id_ = 1;
+  int circ_package_window_ = kCircuitWindowInit;
+  int circ_delivered_ = 0;
+
+  std::function<bool(Stream&)> acceptor_;
+  RelayFn relay_handler_;
+  std::function<void()> on_destroy_;
+  Counters counters_;
+
+  friend class Stream;  // facade over pump_stream
+};
+
+}  // namespace bento::tor

@@ -1,0 +1,176 @@
+#include "tor/exitpolicy.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/serialize.hpp"
+
+namespace bento::tor {
+
+namespace {
+std::uint32_t prefix_mask(int len) {
+  if (len <= 0) return 0;
+  if (len >= 32) return 0xffffffffu;
+  return 0xffffffffu << (32 - len);
+}
+}  // namespace
+
+bool PolicyRule::matches(const Endpoint& ep) const {
+  const std::uint32_t mask = prefix_mask(prefix_len);
+  if ((ep.addr & mask) != (prefix & mask)) return false;
+  return ep.port >= port_lo && ep.port <= port_hi;
+}
+
+std::string PolicyRule::to_string() const {
+  std::ostringstream out;
+  out << (accept ? "accept " : "reject ");
+  if (prefix_len == 0) {
+    out << "*";
+  } else {
+    out << format_addr(prefix) << "/" << prefix_len;
+  }
+  out << ":";
+  if (port_lo == 0 && port_hi == 65535) {
+    out << "*";
+  } else if (port_lo == port_hi) {
+    out << port_lo;
+  } else {
+    out << port_lo << "-" << port_hi;
+  }
+  return out.str();
+}
+
+ExitPolicy ExitPolicy::parse(const std::string& text) {
+  ExitPolicy p;
+  std::string normalized = text;
+  for (char& c : normalized) {
+    if (c == ',') c = '\n';
+  }
+  std::istringstream lines(normalized);
+  std::string line;
+  while (std::getline(lines, line)) {
+    // Trim.
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const auto last = line.find_last_not_of(" \t\r");
+    line = line.substr(first, last - first + 1);
+    if (line.empty() || line[0] == '#') continue;
+
+    PolicyRule rule;
+    std::istringstream in(line);
+    std::string verb, target;
+    if (!(in >> verb >> target)) {
+      throw std::invalid_argument("ExitPolicy: malformed rule: " + line);
+    }
+    if (verb == "accept") {
+      rule.accept = true;
+    } else if (verb == "reject") {
+      rule.accept = false;
+    } else {
+      throw std::invalid_argument("ExitPolicy: unknown verb: " + verb);
+    }
+    const auto colon = target.rfind(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument("ExitPolicy: missing port: " + line);
+    }
+    const std::string host = target.substr(0, colon);
+    const std::string port = target.substr(colon + 1);
+    if (host == "*") {
+      rule.prefix = 0;
+      rule.prefix_len = 0;
+    } else {
+      const auto slash = host.find('/');
+      if (slash == std::string::npos) {
+        rule.prefix = parse_addr(host);
+        rule.prefix_len = 32;
+      } else {
+        rule.prefix = parse_addr(host.substr(0, slash));
+        rule.prefix_len = std::stoi(host.substr(slash + 1));
+        if (rule.prefix_len < 0 || rule.prefix_len > 32) {
+          throw std::invalid_argument("ExitPolicy: bad prefix length: " + line);
+        }
+      }
+    }
+    if (port == "*") {
+      rule.port_lo = 0;
+      rule.port_hi = 65535;
+    } else {
+      const auto dash = port.find('-');
+      auto parse_port = [&](const std::string& s) {
+        const int v = std::stoi(s);
+        if (v < 0 || v > 65535) {
+          throw std::invalid_argument("ExitPolicy: bad port: " + line);
+        }
+        return static_cast<Port>(v);
+      };
+      if (dash == std::string::npos) {
+        rule.port_lo = rule.port_hi = parse_port(port);
+      } else {
+        rule.port_lo = parse_port(port.substr(0, dash));
+        rule.port_hi = parse_port(port.substr(dash + 1));
+        if (rule.port_lo > rule.port_hi) {
+          throw std::invalid_argument("ExitPolicy: inverted port range: " + line);
+        }
+      }
+    }
+    p.rules_.push_back(rule);
+  }
+  return p;
+}
+
+ExitPolicy ExitPolicy::accept_all() { return parse("accept *:*"); }
+ExitPolicy ExitPolicy::reject_all() { return parse("reject *:*"); }
+
+bool ExitPolicy::allows(const Endpoint& ep) const {
+  for (const auto& rule : rules_) {
+    if (rule.matches(ep)) return rule.accept;
+  }
+  return false;
+}
+
+bool ExitPolicy::allows_anything() const {
+  for (const auto& rule : rules_) {
+    if (rule.accept) return true;
+  }
+  return false;
+}
+
+std::string ExitPolicy::to_string() const {
+  std::string out;
+  for (const auto& rule : rules_) {
+    if (!out.empty()) out += "\n";
+    out += rule.to_string();
+  }
+  return out;
+}
+
+util::Bytes ExitPolicy::serialize() const {
+  util::Writer w;
+  w.u32(static_cast<std::uint32_t>(rules_.size()));
+  for (const auto& r : rules_) {
+    w.u8(r.accept ? 1 : 0);
+    w.u32(r.prefix);
+    w.u8(static_cast<std::uint8_t>(r.prefix_len));
+    w.u16(r.port_lo);
+    w.u16(r.port_hi);
+  }
+  return std::move(w).take();
+}
+
+ExitPolicy ExitPolicy::deserialize(util::ByteView data) {
+  util::Reader r(data);
+  ExitPolicy p;
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    PolicyRule rule;
+    rule.accept = r.u8() != 0;
+    rule.prefix = r.u32();
+    rule.prefix_len = r.u8();
+    rule.port_lo = r.u16();
+    rule.port_hi = r.u16();
+    p.rules_.push_back(rule);
+  }
+  return p;
+}
+
+}  // namespace bento::tor

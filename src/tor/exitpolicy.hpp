@@ -1,0 +1,59 @@
+// Exit-node policies (paper §2.1, §5.3).
+//
+// A policy is an ordered list of accept/reject rules over address prefixes
+// and port ranges; the first matching rule wins and an empty policy rejects
+// everything. Bento compiles the co-resident relay's exit policy into the
+// sandbox netfilter (src/sandbox/netfilter.hpp) so functions cannot reach
+// destinations the relay itself would refuse — paper §5.3.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tor/address.hpp"
+#include "util/bytes.hpp"
+
+namespace bento::tor {
+
+struct PolicyRule {
+  bool accept = false;
+  Addr prefix = 0;       // network byte significant bits
+  int prefix_len = 0;    // 0 == "*"
+  Port port_lo = 0;
+  Port port_hi = 65535;
+
+  bool matches(const Endpoint& ep) const;
+  std::string to_string() const;
+};
+
+class ExitPolicy {
+ public:
+  ExitPolicy() = default;
+
+  /// Parses newline- or comma-separated rules of the form
+  ///   accept *:80
+  ///   accept 10.2.0.0/16:443-8443
+  ///   reject *:*
+  /// Throws std::invalid_argument on malformed rules.
+  static ExitPolicy parse(const std::string& text);
+
+  static ExitPolicy accept_all();
+  static ExitPolicy reject_all();
+
+  /// First-match-wins; no match rejects.
+  bool allows(const Endpoint& ep) const;
+
+  /// True if some endpoint is accepted (i.e. the relay can act as an exit).
+  bool allows_anything() const;
+
+  const std::vector<PolicyRule>& rules() const { return rules_; }
+  std::string to_string() const;
+
+  util::Bytes serialize() const;
+  static ExitPolicy deserialize(util::ByteView data);
+
+ private:
+  std::vector<PolicyRule> rules_;
+};
+
+}  // namespace bento::tor

@@ -1,0 +1,32 @@
+#include "tor/flow.hpp"
+
+#include <algorithm>
+
+namespace bento::tor {
+
+void ByteQueue::push(util::ByteView data) {
+  if (data.empty()) return;
+  segments_.emplace_back(data.begin(), data.end());
+  total_ += data.size();
+}
+
+util::Bytes ByteQueue::pop(std::size_t max_len) {
+  util::Bytes out;
+  out.reserve(std::min(max_len, total_));
+  while (out.size() < max_len && !segments_.empty()) {
+    util::Bytes& front = segments_.front();
+    const std::size_t avail = front.size() - head_offset_;
+    const std::size_t take = std::min(avail, max_len - out.size());
+    out.insert(out.end(), front.begin() + static_cast<std::ptrdiff_t>(head_offset_),
+               front.begin() + static_cast<std::ptrdiff_t>(head_offset_ + take));
+    head_offset_ += take;
+    total_ -= take;
+    if (head_offset_ == front.size()) {
+      segments_.pop_front();
+      head_offset_ = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace bento::tor

@@ -1,0 +1,37 @@
+// Tor flow control constants (tor-spec §7.3/7.4) and a byte queue used by
+// stream endpoints to buffer data awaiting window credit.
+//
+// Windows are counted in RELAY_DATA cells. Each endpoint starts with the
+// init window, decrements as it packages cells, and stops when it reaches
+// zero; the receiving edge returns a SENDME for every `increment` cells it
+// delivers, crediting the window.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "util/bytes.hpp"
+
+namespace bento::tor {
+
+inline constexpr int kStreamWindowInit = 500;
+inline constexpr int kStreamWindowIncrement = 50;
+inline constexpr int kCircuitWindowInit = 1000;
+inline constexpr int kCircuitWindowIncrement = 100;
+
+/// FIFO byte buffer with segment storage; pop() re-chunks to cell size.
+class ByteQueue {
+ public:
+  void push(util::ByteView data);
+  /// Pops up to max_len bytes (less only if the queue is shorter).
+  util::Bytes pop(std::size_t max_len);
+  bool empty() const { return total_ == 0; }
+  std::size_t size() const { return total_; }
+
+ private:
+  std::deque<util::Bytes> segments_;
+  std::size_t head_offset_ = 0;  // consumed prefix of segments_.front()
+  std::size_t total_ = 0;
+};
+
+}  // namespace bento::tor

@@ -1,0 +1,80 @@
+#include "tor/ntor.hpp"
+
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+
+namespace bento::tor {
+
+namespace {
+constexpr std::string_view kKeyLabel = "bento-ntor-keys";
+constexpr std::string_view kVerifyLabel = "bento-ntor-verify";
+
+util::Bytes secret_input(util::ByteView ee, util::ByteView es, crypto::Gp identity) {
+  return util::concat({ee, es, crypto::gp_to_bytes(identity)});
+}
+
+crypto::Digest make_auth(util::ByteView secret, crypto::Gp x_pub, crypto::Gp y_pub,
+                         crypto::Gp onion_pub, crypto::Gp identity) {
+  const util::Bytes verify_key = crypto::hkdf(secret, {}, kVerifyLabel, 32);
+  const util::Bytes transcript =
+      util::concat({crypto::gp_to_bytes(x_pub), crypto::gp_to_bytes(y_pub),
+                    crypto::gp_to_bytes(onion_pub), crypto::gp_to_bytes(identity)});
+  return crypto::hmac_sha256(verify_key, transcript);
+}
+}  // namespace
+
+util::Bytes ntor_client_create(NtorClientState& state, crypto::Gp relay_onion_pub,
+                               crypto::Gp relay_identity, util::Rng& rng) {
+  state.ephemeral = crypto::DhKeyPair::generate(rng);
+  state.relay_onion_pub = relay_onion_pub;
+  state.relay_identity = relay_identity;
+  return crypto::gp_to_bytes(state.ephemeral.public_value);
+}
+
+NtorServerReply ntor_server_respond(const crypto::DhKeyPair& onion_key,
+                                    crypto::Gp identity_pub,
+                                    util::ByteView onion_skin, util::Rng& rng) {
+  if (onion_skin.size() != kNtorOnionSkinLen) {
+    throw std::invalid_argument("ntor: bad onion skin length");
+  }
+  const crypto::Gp x_pub = crypto::gp_from_bytes(onion_skin);
+  const crypto::DhKeyPair eph = crypto::DhKeyPair::generate(rng);
+
+  const util::Bytes ee = crypto::dh_shared(eph, x_pub);        // EXP(X,y)
+  const util::Bytes es = crypto::dh_shared(onion_key, x_pub);  // EXP(X,b)
+  const util::Bytes secret = secret_input(ee, es, identity_pub);
+
+  NtorServerReply reply;
+  reply.keys = LayerKeys::derive(secret, kKeyLabel);
+  const crypto::Digest auth =
+      make_auth(secret, x_pub, eph.public_value, onion_key.public_value, identity_pub);
+  reply.created_payload = crypto::gp_to_bytes(eph.public_value);
+  util::append(reply.created_payload, auth);
+  return reply;
+}
+
+std::optional<LayerKeys> ntor_client_finish(const NtorClientState& state,
+                                            util::ByteView created_payload) {
+  if (created_payload.size() != kNtorReplyLen) return std::nullopt;
+  crypto::Gp y_pub = 0;
+  try {
+    y_pub = crypto::gp_from_bytes(created_payload.first(crypto::kGpBytes));
+    if (y_pub <= 1 || y_pub >= crypto::group_prime()) return std::nullopt;
+    const util::Bytes ee = crypto::dh_shared(state.ephemeral, y_pub);
+    const util::Bytes es = crypto::dh_shared(state.ephemeral, state.relay_onion_pub);
+    const util::Bytes secret = secret_input(ee, es, state.relay_identity);
+    const crypto::Digest expect =
+        make_auth(secret, state.ephemeral.public_value, y_pub, state.relay_onion_pub,
+                  state.relay_identity);
+    if (!util::ct_equal(created_payload.subspan(crypto::kGpBytes),
+                        util::ByteView(expect.data(), expect.size()))) {
+      return std::nullopt;
+    }
+    return LayerKeys::derive(secret, kKeyLabel);
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace bento::tor

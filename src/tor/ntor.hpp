@@ -1,0 +1,48 @@
+// ntor-style circuit handshake (tor-spec §5.1.4, over the simulation group).
+//
+// The client sends an ephemeral public value X; the relay, which owns a
+// long-lived onion keypair (b, B) bound to its identity, replies with its
+// own ephemeral Y plus an authenticator. Both sides derive the hop's
+// LayerKeys from  EXP(Y,x) || EXP(B,x) || ID , so the handshake
+// authenticates the relay (only the holder of b can compute EXP(X,b)).
+#pragma once
+
+#include <optional>
+
+#include "crypto/dh.hpp"
+#include "tor/relaycrypto.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace bento::tor {
+
+inline constexpr std::size_t kNtorOnionSkinLen = crypto::kGpBytes;             // X
+inline constexpr std::size_t kNtorReplyLen = crypto::kGpBytes + 32;            // Y|auth
+
+/// Client-side handshake state kept between CREATE and CREATED.
+struct NtorClientState {
+  crypto::DhKeyPair ephemeral;
+  crypto::Gp relay_onion_pub = 0;
+  crypto::Gp relay_identity = 0;
+};
+
+/// Starts a handshake: fills `state`, returns the CREATE/EXTEND onion skin.
+util::Bytes ntor_client_create(NtorClientState& state, crypto::Gp relay_onion_pub,
+                               crypto::Gp relay_identity, util::Rng& rng);
+
+struct NtorServerReply {
+  util::Bytes created_payload;  // Y || auth
+  LayerKeys keys;
+};
+
+/// Relay side: consumes an onion skin, returns the reply and the hop keys.
+/// Throws std::invalid_argument on a malformed skin.
+NtorServerReply ntor_server_respond(const crypto::DhKeyPair& onion_key,
+                                    crypto::Gp identity_pub,
+                                    util::ByteView onion_skin, util::Rng& rng);
+
+/// Client side: verifies the reply; nullopt if authentication fails.
+std::optional<LayerKeys> ntor_client_finish(const NtorClientState& state,
+                                            util::ByteView created_payload);
+
+}  // namespace bento::tor

@@ -1,0 +1,90 @@
+#include "tor/pathselect.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+namespace bento::tor {
+
+namespace {
+bool conflicts(const RelayDescriptor& candidate, const Path& chosen) {
+  return std::any_of(chosen.begin(), chosen.end(), [&](const RelayDescriptor& c) {
+    return c.fingerprint() == candidate.fingerprint() ||
+           slash16(c.addr) == slash16(candidate.addr);
+  });
+}
+
+bool excluded_by(const RelayDescriptor& candidate, const std::vector<std::string>& ex) {
+  return std::find(ex.begin(), ex.end(), candidate.fingerprint()) != ex.end();
+}
+}  // namespace
+
+const RelayDescriptor* PathSelector::pick_weighted(
+    const std::function<bool(const RelayDescriptor&)>& ok, util::Rng& rng) const {
+  std::vector<const RelayDescriptor*> eligible;
+  std::vector<double> weights;
+  for (const auto& rel : consensus_->relays) {
+    if (!ok(rel)) continue;
+    eligible.push_back(&rel);
+    weights.push_back(rel.bandwidth);
+  }
+  if (eligible.empty()) return nullptr;
+  return eligible[rng.weighted_index(weights)];
+}
+
+Path PathSelector::choose(const PathConstraints& constraints, util::Rng& rng) const {
+  if (constraints.hops < 1 || constraints.hops > 8) {
+    throw std::invalid_argument("PathSelector: unsupported hop count");
+  }
+  Path path;
+
+  // Choose the last hop first: it has the tightest constraints.
+  const RelayDescriptor* last = nullptr;
+  if (constraints.last_hop.has_value()) {
+    last = consensus_->find(*constraints.last_hop);
+    if (last == nullptr) {
+      throw std::runtime_error("PathSelector: pinned last hop not in consensus");
+    }
+    if (excluded_by(*last, constraints.excluded)) {
+      throw std::runtime_error("PathSelector: pinned last hop is excluded");
+    }
+  } else {
+    last = pick_weighted(
+        [&](const RelayDescriptor& r) {
+          if (excluded_by(r, constraints.excluded)) return false;
+          if (constraints.exit_to.has_value()) {
+            return r.flags.exit && r.exit_policy.allows(*constraints.exit_to);
+          }
+          return r.flags.fast;
+        },
+        rng);
+    if (last == nullptr) {
+      throw std::runtime_error("PathSelector: no eligible last hop");
+    }
+  }
+
+  // Guard, then middles, left to right; each avoids conflicts with all
+  // relays chosen so far (including the pinned last hop).
+  Path chosen_so_far = {*last};
+  for (int hop = 0; hop + 1 < constraints.hops; ++hop) {
+    const bool is_guard = hop == 0;
+    const RelayDescriptor* pick = pick_weighted(
+        [&](const RelayDescriptor& r) {
+          if (excluded_by(r, constraints.excluded)) return false;
+          if (is_guard && !r.flags.guard) return false;
+          if (!r.flags.fast) return false;
+          return !conflicts(r, chosen_so_far);
+        },
+        rng);
+    if (pick == nullptr) {
+      throw std::runtime_error("PathSelector: no eligible relay for hop " +
+                               std::to_string(hop));
+    }
+    path.push_back(*pick);
+    chosen_so_far.push_back(*pick);
+  }
+  path.push_back(*last);
+  return path;
+}
+
+}  // namespace bento::tor

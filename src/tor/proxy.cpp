@@ -1,0 +1,106 @@
+#include "tor/proxy.hpp"
+
+#include <stdexcept>
+
+#include "tor/wire.hpp"
+#include "util/log.hpp"
+
+namespace bento::tor {
+
+namespace {
+constexpr char kComponent[] = "tor.proxy";
+
+Consensus check_consensus(Consensus consensus, crypto::Gp authority_key) {
+  if (!consensus.verify(authority_key)) {
+    throw std::invalid_argument("OnionProxy: consensus verification failed");
+  }
+  return consensus;
+}
+}  // namespace
+
+OnionProxy::OnionProxy(sim::Simulator& sim, sim::Network& net,
+                       const sim::NodeSpec& spec, Consensus consensus,
+                       crypto::Gp authority_key, util::Rng rng)
+    : sim_(sim),
+      net_(net),
+      node_(net.add_node(spec, this)),
+      consensus_(check_consensus(std::move(consensus), authority_key)),
+      rng_(rng) {}
+
+OnionProxy::OnionProxy(sim::Simulator& sim, sim::Network& net,
+                       sim::NodeId existing_node, Consensus consensus,
+                       crypto::Gp authority_key, util::Rng rng)
+    : sim_(sim),
+      net_(net),
+      node_(existing_node),
+      consensus_(check_consensus(std::move(consensus), authority_key)),
+      rng_(rng) {
+  // Caller is responsible for forwarding framed cells to on_message when it
+  // owns the node's handler.
+}
+
+CircId OnionProxy::alloc_circ_id(sim::NodeId guard) {
+  CircId& counter = circ_counters_[guard];
+  ++counter;
+  return node_ < guard ? counter : (counter | 0x80000000u);
+}
+
+void OnionProxy::build_circuit(const PathConstraints& constraints,
+                               std::function<void(CircuitOrigin*)> done) {
+  PathSelector selector(consensus_);
+  Path path;
+  try {
+    path = selector.choose(constraints, rng_);
+  } catch (const std::exception& e) {
+    util::log_warn(kComponent, "path selection failed: ", e.what());
+    done(nullptr);
+    return;
+  }
+  build_circuit_path(std::move(path), std::move(done));
+}
+
+void OnionProxy::build_circuit_path(Path path,
+                                    std::function<void(CircuitOrigin*)> done) {
+  if (path.empty()) {
+    done(nullptr);
+    return;
+  }
+  const sim::NodeId guard = path.front().node;
+  const CircId id = alloc_circ_id(guard);
+  auto circ = std::make_unique<CircuitOrigin>(net_, node_, std::move(path), id, rng_);
+  CircuitOrigin* raw = circ.get();
+  circuits_[{guard, id}] = std::move(circ);
+  raw->build([this, raw, done = std::move(done)](bool ok) {
+    if (!ok) {
+      done(nullptr);
+      forget(raw);
+      return;
+    }
+    done(raw);
+  });
+}
+
+void OnionProxy::forget(CircuitOrigin* circ) {
+  if (circ == nullptr) return;
+  const std::pair<sim::NodeId, CircId> key{circ->path().front().node, circ->circ_id()};
+  auto it = circuits_.find(key);
+  if (it == circuits_.end()) return;
+  // Defer destruction to the next event: forget() is frequently reached
+  // from inside the circuit's own callbacks.
+  std::shared_ptr<CircuitOrigin> holder = std::move(it->second);
+  circuits_.erase(it);
+  sim_.after(util::Duration::micros(0), [holder] {});
+}
+
+void OnionProxy::on_message(sim::NodeId from, util::Bytes data) {
+  if (!is_framed_cell(data)) {
+    util::log_warn(kComponent, "non-cell message at client node");
+    return;
+  }
+  const Cell cell = unframe_cell(data);
+  auto it = circuits_.find({from, cell.circ_id});
+  if (it == circuits_.end()) return;
+  it->second->handle_cell(cell);
+}
+
+}  // namespace bento::tor

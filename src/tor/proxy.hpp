@@ -1,0 +1,66 @@
+// The Onion Proxy: the client endpoint of the Tor overlay.
+//
+// Owns a simulator node, builds circuits via path selection over a verified
+// consensus, and dispatches incoming cells to its circuits. Bento clients,
+// hidden-service hosts, and the Browser function's dedicated OP (paper
+// §5.4) are all built on this class.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "tor/circuit.hpp"
+#include "tor/directory.hpp"
+#include "tor/pathselect.hpp"
+
+namespace bento::tor {
+
+class OnionProxy : public sim::MessageHandler {
+ public:
+  /// Verifies the consensus signature before accepting it; throws
+  /// std::invalid_argument on failure.
+  OnionProxy(sim::Simulator& sim, sim::Network& net, const sim::NodeSpec& spec,
+             Consensus consensus, crypto::Gp authority_key, util::Rng rng);
+
+  /// Attach to an existing node instead of creating one (used when a Bento
+  /// function spawns its own OP on the relay host).
+  OnionProxy(sim::Simulator& sim, sim::Network& net, sim::NodeId existing_node,
+             Consensus consensus, crypto::Gp authority_key, util::Rng rng);
+
+  sim::NodeId node() const { return node_; }
+  const Consensus& consensus() const { return consensus_; }
+  sim::Simulator& simulator() { return sim_; }
+  sim::Network& network() { return net_; }
+  util::Rng& rng() { return rng_; }
+
+  /// Builds a circuit; `done` receives nullptr on failure. The proxy owns
+  /// the returned circuit until it is destroyed.
+  void build_circuit(const PathConstraints& constraints,
+                     std::function<void(CircuitOrigin*)> done);
+
+  /// Builds a circuit over an explicit path (testing / pinned paths).
+  void build_circuit_path(Path path, std::function<void(CircuitOrigin*)> done);
+
+  /// Removes a destroyed circuit's bookkeeping.
+  void forget(CircuitOrigin* circ);
+
+  std::size_t open_circuits() const { return circuits_.size(); }
+
+  void on_message(sim::NodeId from, util::Bytes data) override;
+
+ private:
+  CircId alloc_circ_id(sim::NodeId guard);
+
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  sim::NodeId node_;
+  Consensus consensus_;
+  util::Rng rng_;
+  std::map<std::pair<sim::NodeId, CircId>, std::unique_ptr<CircuitOrigin>> circuits_;
+  std::map<sim::NodeId, CircId> circ_counters_;
+};
+
+}  // namespace bento::tor

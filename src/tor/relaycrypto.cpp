@@ -1,0 +1,92 @@
+#include "tor/relaycrypto.hpp"
+
+#include <cstring>
+
+#include "crypto/hmac.hpp"
+
+namespace bento::tor {
+
+namespace {
+// Payload offsets of the relay header fields (see cell.hpp).
+constexpr std::size_t kRecognizedOff = 1;
+constexpr std::size_t kDigestOff = 5;
+}  // namespace
+
+LayerKeys LayerKeys::derive(util::ByteView secret, std::string_view label) {
+  const util::Bytes material = crypto::hkdf(secret, {}, label, 128);
+  LayerKeys k;
+  std::memcpy(k.kf.data(), material.data(), 32);
+  std::memcpy(k.kb.data(), material.data() + 32, 32);
+  std::memcpy(k.df.data(), material.data() + 64, 32);
+  std::memcpy(k.db.data(), material.data() + 96, 32);
+  return k;
+}
+
+LayerCrypto::LayerCrypto(const LayerKeys& keys)
+    : fwd_cipher_(keys.kf, crypto::ChaChaNonce{}),
+      bwd_cipher_(keys.kb, crypto::ChaChaNonce{}) {
+  fwd_digest_.update(keys.df);
+  bwd_digest_.update(keys.db);
+}
+
+void LayerCrypto::crypt_forward(std::array<std::uint8_t, kCellPayloadLen>& payload) {
+  util::Bytes buf(payload.begin(), payload.end());
+  fwd_cipher_.process(buf);
+  std::memcpy(payload.data(), buf.data(), payload.size());
+}
+
+void LayerCrypto::crypt_backward(std::array<std::uint8_t, kCellPayloadLen>& payload) {
+  util::Bytes buf(payload.begin(), payload.end());
+  bwd_cipher_.process(buf);
+  std::memcpy(payload.data(), buf.data(), payload.size());
+}
+
+void LayerCrypto::seal(crypto::Sha256& running,
+                       std::array<std::uint8_t, kCellPayloadLen>& payload) {
+  // Digest field must be zero while hashing.
+  std::memset(payload.data() + kDigestOff, 0, 4);
+  running.update(payload);
+  crypto::Sha256 snapshot = running;  // running state is copyable
+  const crypto::Digest d = snapshot.finish();
+  std::memcpy(payload.data() + kDigestOff, d.data(), 4);
+}
+
+bool LayerCrypto::check(crypto::Sha256& running,
+                        std::array<std::uint8_t, kCellPayloadLen>& payload) {
+  // Cheap pre-check: recognized field must be zero.
+  if (payload[kRecognizedOff] != 0 || payload[kRecognizedOff + 1] != 0) return false;
+  std::uint8_t claimed[4];
+  std::memcpy(claimed, payload.data() + kDigestOff, 4);
+  std::memset(payload.data() + kDigestOff, 0, 4);
+
+  crypto::Sha256 candidate = running;
+  candidate.update(payload);
+  crypto::Sha256 snapshot = candidate;
+  const crypto::Digest d = snapshot.finish();
+  if (std::memcmp(claimed, d.data(), 4) != 0) {
+    // Not ours: restore the digest field and leave the running state alone.
+    std::memcpy(payload.data() + kDigestOff, claimed, 4);
+    return false;
+  }
+  running = candidate;
+  std::memcpy(payload.data() + kDigestOff, claimed, 4);
+  return true;
+}
+
+void LayerCrypto::seal_forward(std::array<std::uint8_t, kCellPayloadLen>& payload) {
+  seal(fwd_digest_, payload);
+}
+
+void LayerCrypto::seal_backward(std::array<std::uint8_t, kCellPayloadLen>& payload) {
+  seal(bwd_digest_, payload);
+}
+
+bool LayerCrypto::check_forward(std::array<std::uint8_t, kCellPayloadLen>& payload) {
+  return check(fwd_digest_, payload);
+}
+
+bool LayerCrypto::check_backward(std::array<std::uint8_t, kCellPayloadLen>& payload) {
+  return check(bwd_digest_, payload);
+}
+
+}  // namespace bento::tor

@@ -1,0 +1,604 @@
+#include "tor/router.hpp"
+
+#include <stdexcept>
+
+#include "tor/ntor.hpp"
+#include "tor/wire.hpp"
+#include "util/log.hpp"
+#include "util/serialize.hpp"
+
+namespace bento::tor {
+
+namespace {
+constexpr char kComponent[] = "tor.router";
+
+// Both endpoints of a node pair allocate circuit ids; the lower NodeId uses
+// the low half of the id space so allocations never collide.
+CircId alloc_circ_id(CircId counter, bool low_side) {
+  return low_side ? counter : (counter | 0x80000000u);
+}
+}  // namespace
+
+void EdgeStream::send(util::ByteView data) {
+  // Thin facade: all flow-control state lives in the Router.
+  if (router_ == nullptr) return;
+  router_->stream_deliver_backward(circ_key_, id_, data);
+}
+
+void EdgeStream::end() {
+  if (router_ == nullptr) return;
+  router_->stream_end_backward(circ_key_, id_);
+}
+
+Router::Router(sim::Simulator& sim, sim::Network& net, Internet& internet,
+               const RelayConfig& config, util::Rng rng)
+    : sim_(sim),
+      net_(net),
+      internet_(internet),
+      rng_(rng),
+      identity_(crypto::SigningKey::generate(rng_)),
+      onion_key_(crypto::DhKeyPair::generate(rng_)),
+      node_(net.add_node(
+          {config.nickname, config.up_bytes_per_sec, config.down_bytes_per_sec},
+          this)),
+      tcp_(net, node_) {
+  descriptor_.nickname = config.nickname;
+  descriptor_.identity_key = identity_.public_key();
+  descriptor_.onion_key = onion_key_.public_value;
+  descriptor_.addr = config.addr;
+  descriptor_.or_port = config.or_port;
+  descriptor_.node = node_;
+  descriptor_.bandwidth = config.bandwidth;
+  descriptor_.flags = config.flags;
+  descriptor_.exit_policy = config.exit_policy;
+  descriptor_.bento_policy = config.bento_policy;
+  descriptor_.sign(identity_);
+}
+
+void Router::bind_local_app(Port port, LocalApp* app) {
+  if (app == nullptr) throw std::invalid_argument("bind_local_app: null app");
+  local_apps_[port] = app;
+}
+
+void Router::unbind_local_app(Port port) { local_apps_.erase(port); }
+
+bool Router::open_clearnet(const Endpoint& to, TcpClient::Callbacks cbs,
+                           std::uint64_t* conn_out) {
+  auto server = internet_.resolve(to.addr);
+  if (!server.has_value()) return false;
+  const std::uint64_t conn = tcp_.open(*server, to.port, std::move(cbs));
+  if (conn_out != nullptr) *conn_out = conn;
+  return true;
+}
+
+void Router::clearnet_send(std::uint64_t conn, util::ByteView data) {
+  tcp_.send(conn, data);
+}
+
+void Router::clearnet_close(std::uint64_t conn) { tcp_.close(conn); }
+
+void Router::on_message(sim::NodeId from, util::Bytes data) {
+  if (is_framed_cell(data)) {
+    handle_cell(from, unframe_cell(data));
+    return;
+  }
+  // Everything else on a relay node is TCP-like clearnet traffic.
+  try {
+    tcp_.on_message(from, TcpMsg::unpack(data));
+  } catch (const util::ParseError&) {
+    util::log_warn(kComponent, descriptor_.nickname, ": unparseable message from ",
+                   from);
+  }
+}
+
+void Router::send_cell(sim::NodeId to, const Cell& cell) {
+  ++counters_.cells_out;
+  net_.send(node_, to, frame_cell(cell));
+}
+
+Router::Circuit* Router::find_circuit(const Key& key) {
+  auto it = circuits_.find(key);
+  return it == circuits_.end() ? nullptr : it->second.get();
+}
+
+void Router::handle_cell(sim::NodeId from, const Cell& cell) {
+  ++counters_.cells_in;
+  switch (cell.command) {
+    case CellCommand::Create: handle_create(from, cell); break;
+    case CellCommand::Created: handle_created(from, cell); break;
+    case CellCommand::Relay: handle_relay(from, cell); break;
+    case CellCommand::Destroy: handle_destroy(from, cell); break;
+    case CellCommand::Padding: break;  // link padding is absorbed
+  }
+}
+
+void Router::handle_create(sim::NodeId from, const Cell& cell) {
+  const Key key{from, cell.circ_id};
+  if (find_circuit(key) != nullptr) {
+    util::log_warn(kComponent, descriptor_.nickname, ": duplicate CREATE");
+    return;
+  }
+  util::Bytes skin(cell.payload.begin(), cell.payload.begin() + kNtorOnionSkinLen);
+  NtorServerReply reply;
+  try {
+    reply = ntor_server_respond(onion_key_, identity_.public_key(), skin, rng_);
+  } catch (const std::invalid_argument&) {
+    Cell destroy;
+    destroy.circ_id = cell.circ_id;
+    destroy.command = CellCommand::Destroy;
+    send_cell(from, destroy);
+    return;
+  }
+  auto circ = std::make_shared<Circuit>();
+  circ->prev_peer = from;
+  circ->prev_id = cell.circ_id;
+  circ->crypto = std::make_unique<LayerCrypto>(reply.keys);
+  circuits_[key] = circ;
+  ++counters_.circuits_created;
+
+  Cell created;
+  created.circ_id = cell.circ_id;
+  created.command = CellCommand::Created;
+  created.set_payload(reply.created_payload);
+  send_cell(from, created);
+}
+
+void Router::handle_created(sim::NodeId from, const Cell& cell) {
+  const Key next_key{from, cell.circ_id};
+  auto pending = pending_extend_.find(next_key);
+  if (pending == pending_extend_.end()) return;
+  const Key prev_key = pending->second;
+  pending_extend_.erase(pending);
+
+  Circuit* circ = find_circuit(prev_key);
+  if (circ == nullptr) return;
+  circ->next = next_key;
+  circuits_[next_key] = circuits_[prev_key];  // alias both sides
+
+  RelayCell extended;
+  extended.relay_cmd = RelayCommand::Extended;
+  extended.data =
+      util::Bytes(cell.payload.begin(), cell.payload.begin() + kNtorReplyLen);
+  send_backward(prev_key, *circ, std::move(extended));
+}
+
+void Router::handle_relay(sim::NodeId from, const Cell& cell) {
+  const Key key{from, cell.circ_id};
+  Circuit* circ = find_circuit(key);
+  if (circ == nullptr) return;
+
+  const bool forward = (from == circ->prev_peer && cell.circ_id == circ->prev_id);
+  auto payload = cell.payload;
+
+  if (forward) {
+    circ->crypto->crypt_forward(payload);
+    if (circ->crypto->check_forward(payload)) {
+      RelayCell rc;
+      try {
+        rc = RelayCell::unpack(payload);
+      } catch (const util::ParseError&) {
+        destroy_circuit(key, true, true);
+        return;
+      }
+      handle_recognized(key, *circ, rc);
+      return;
+    }
+    if (circ->next.has_value()) {
+      Cell out;
+      out.circ_id = circ->next->second;
+      out.command = CellCommand::Relay;
+      out.payload = payload;
+      send_cell(circ->next->first, out);
+      return;
+    }
+    if (circ->spliced.has_value()) {
+      // Rendezvous splice: inject into the mate circuit toward its origin.
+      const Key mate_key = *circ->spliced;
+      Circuit* mate = find_circuit(mate_key);
+      if (mate != nullptr) send_backward_raw(mate_key, *mate, payload);
+      return;
+    }
+    // Unrecognized at an edge with nowhere to go: protocol violation.
+    destroy_circuit(key, true, true);
+    return;
+  }
+
+  // Backward: add our layer and pass toward the origin.
+  circ->crypto->crypt_backward(payload);
+  Cell out;
+  out.circ_id = circ->prev_id;
+  out.command = CellCommand::Relay;
+  out.payload = payload;
+  send_cell(circ->prev_peer, out);
+}
+
+void Router::handle_recognized(const Key& key, Circuit& circ, const RelayCell& rc) {
+  switch (rc.relay_cmd) {
+    case RelayCommand::Extend: on_extend(key, circ, rc); break;
+    case RelayCommand::Begin: on_begin(key, circ, rc); break;
+    case RelayCommand::Data: on_data(key, circ, rc); break;
+    case RelayCommand::End: on_end(key, circ, rc); break;
+    case RelayCommand::SendmeStream:
+    case RelayCommand::SendmeCircuit: on_sendme(key, circ, rc); break;
+    case RelayCommand::EstablishIntro: on_establish_intro(key, circ, rc); break;
+    case RelayCommand::Introduce1: on_introduce1(key, circ, rc); break;
+    case RelayCommand::EstablishRendezvous:
+      on_establish_rendezvous(key, circ, rc);
+      break;
+    case RelayCommand::Rendezvous1: on_rendezvous1(key, circ, rc); break;
+    case RelayCommand::Drop:
+      ++counters_.cells_dropped;  // long-range cover traffic ends here
+      break;
+    default:
+      util::log_warn(kComponent, descriptor_.nickname, ": unexpected relay command ",
+                     to_string(rc.relay_cmd));
+      break;
+  }
+}
+
+void Router::on_extend(const Key& key, Circuit& circ, const RelayCell& rc) {
+  if (circ.next.has_value() || consensus_ == nullptr) {
+    destroy_circuit(key, true, false);
+    return;
+  }
+  std::string target_fp;
+  util::Bytes skin;
+  try {
+    util::Reader r(rc.data);
+    target_fp = r.str();
+    skin = r.blob();
+    r.expect_done();
+  } catch (const util::ParseError&) {
+    destroy_circuit(key, true, false);
+    return;
+  }
+  const RelayDescriptor* target = consensus_->find(target_fp);
+  if (target == nullptr) {
+    destroy_circuit(key, true, false);
+    return;
+  }
+  CircId& counter = next_circ_id_[target->node];
+  const CircId next_id = alloc_circ_id(++counter, node_ < target->node);
+  const Key next_key{target->node, next_id};
+  pending_extend_[next_key] = key;
+
+  Cell create;
+  create.circ_id = next_id;
+  create.command = CellCommand::Create;
+  create.set_payload(skin);
+  send_cell(target->node, create);
+}
+
+void Router::on_begin(const Key& key, Circuit& circ, const RelayCell& rc) {
+  const StreamId sid = rc.stream_id;
+  if (sid == 0 || circ.streams.contains(sid)) {
+    destroy_circuit(key, true, true);
+    return;
+  }
+  Endpoint target;
+  try {
+    util::Reader r(rc.data);
+    target.addr = r.u32();
+    target.port = r.u16();
+    r.expect_done();
+  } catch (const util::ParseError&) {
+    destroy_circuit(key, true, true);
+    return;
+  }
+
+  ++counters_.streams_opened;
+
+  // Local application? (Bento server, policy-query function, ...)
+  if (target.addr == descriptor_.addr) {
+    auto app_it = local_apps_.find(target.port);
+    if (app_it == local_apps_.end()) {
+      RelayCell end;
+      end.relay_cmd = RelayCommand::End;
+      end.stream_id = sid;
+      send_backward(key, circ, std::move(end));
+      return;
+    }
+    StreamState& st = circ.streams[sid];
+    st.is_local = true;
+    st.connected = true;
+    st.app_stream = std::make_unique<EdgeStream>();
+    st.app_stream->router_ = this;
+    st.app_stream->circ_key_ = key;
+    st.app_stream->id_ = sid;
+    if (!app_it->second->on_stream_open(*st.app_stream)) {
+      circ.streams.erase(sid);
+      RelayCell end;
+      end.relay_cmd = RelayCommand::End;
+      end.stream_id = sid;
+      send_backward(key, circ, std::move(end));
+      return;
+    }
+    RelayCell connected;
+    connected.relay_cmd = RelayCommand::Connected;
+    connected.stream_id = sid;
+    send_backward(key, circ, std::move(connected));
+    return;
+  }
+
+  // Clearnet exit: enforce this relay's exit policy.
+  if (!descriptor_.exit_policy.allows(target)) {
+    RelayCell end;
+    end.relay_cmd = RelayCommand::End;
+    end.stream_id = sid;
+    send_backward(key, circ, std::move(end));
+    return;
+  }
+  auto server = internet_.resolve(target.addr);
+  if (!server.has_value()) {
+    RelayCell end;
+    end.relay_cmd = RelayCommand::End;
+    end.stream_id = sid;
+    send_backward(key, circ, std::move(end));
+    return;
+  }
+
+  StreamState& st = circ.streams[sid];
+  st.is_local = false;
+  TcpClient::Callbacks cbs;
+  cbs.on_open = [this, key, sid] {
+    Circuit* c = find_circuit(key);
+    if (c == nullptr) return;
+    auto it = c->streams.find(sid);
+    if (it == c->streams.end()) return;
+    it->second.connected = true;
+    RelayCell connected;
+    connected.relay_cmd = RelayCommand::Connected;
+    connected.stream_id = sid;
+    send_backward(key, *c, std::move(connected));
+  };
+  cbs.on_data = [this, key, sid](util::ByteView data) {
+    stream_deliver_backward(key, sid, data);
+  };
+  cbs.on_end = [this, key, sid] { stream_end_backward(key, sid); };
+  st.tcp_conn = tcp_.open(*server, target.port, std::move(cbs));
+}
+
+void Router::on_data(const Key& key, Circuit& circ, const RelayCell& rc) {
+  // Circuit-level delivery accounting (forward direction).
+  circ.circ_delivered++;
+  if (circ.circ_delivered % kCircuitWindowIncrement == 0) {
+    RelayCell sendme;
+    sendme.relay_cmd = RelayCommand::SendmeCircuit;
+    send_backward(key, circ, std::move(sendme));
+  }
+  auto it = circ.streams.find(rc.stream_id);
+  if (it == circ.streams.end()) return;
+  StreamState& st = it->second;
+  st.delivered++;
+  if (st.delivered % kStreamWindowIncrement == 0) {
+    RelayCell sendme;
+    sendme.relay_cmd = RelayCommand::SendmeStream;
+    sendme.stream_id = rc.stream_id;
+    send_backward(key, circ, std::move(sendme));
+  }
+  if (st.is_local) {
+    if (st.app_stream && st.app_stream->on_data_) st.app_stream->on_data_(rc.data);
+  } else {
+    tcp_.send(st.tcp_conn, rc.data);
+  }
+}
+
+void Router::on_end(const Key& key, Circuit& circ, const RelayCell& rc) {
+  auto it = circ.streams.find(rc.stream_id);
+  if (it == circ.streams.end()) return;
+  StreamState& st = it->second;
+  st.remote_ended = true;
+  if (st.is_local) {
+    if (st.app_stream && st.app_stream->on_end_) st.app_stream->on_end_();
+  } else {
+    tcp_.close(st.tcp_conn);
+  }
+  circ.streams.erase(it);
+  (void)key;
+}
+
+void Router::on_sendme(const Key& key, Circuit& circ, const RelayCell& rc) {
+  if (rc.relay_cmd == RelayCommand::SendmeCircuit) {
+    circ.circ_package_window += kCircuitWindowIncrement;
+    // pump_stream may erase finished streams; snapshot the ids first.
+    std::vector<StreamId> ids;
+    ids.reserve(circ.streams.size());
+    for (const auto& [sid, st] : circ.streams) ids.push_back(sid);
+    for (StreamId sid : ids) pump_stream(key, circ, sid);
+    return;
+  }
+  auto it = circ.streams.find(rc.stream_id);
+  if (it == circ.streams.end()) return;
+  it->second.package_window += kStreamWindowIncrement;
+  pump_stream(key, circ, rc.stream_id);
+}
+
+void Router::on_establish_intro(const Key& key, Circuit& circ, const RelayCell& rc) {
+  circ.intro_auth = rc.data;
+  intro_points_[rc.data] = key;
+  RelayCell ack;
+  ack.relay_cmd = RelayCommand::IntroEstablished;
+  send_backward(key, circ, std::move(ack));
+}
+
+void Router::on_introduce1(const Key& key, Circuit& circ, const RelayCell& rc) {
+  util::Bytes auth;
+  util::Bytes blob;
+  try {
+    util::Reader r(rc.data);
+    auth = r.blob();
+    blob = r.blob();
+    r.expect_done();
+  } catch (const util::ParseError&) {
+    return;
+  }
+  auto it = intro_points_.find(auth);
+  if (it == intro_points_.end()) return;
+  Circuit* service_circ = find_circuit(it->second);
+  if (service_circ == nullptr) return;
+  RelayCell intro2;
+  intro2.relay_cmd = RelayCommand::Introduce2;
+  intro2.data = std::move(blob);
+  send_backward(it->second, *service_circ, std::move(intro2));
+  (void)key;
+  (void)circ;
+}
+
+void Router::on_establish_rendezvous(const Key& key, Circuit& circ,
+                                     const RelayCell& rc) {
+  circ.rend_cookie = rc.data;
+  rend_points_[rc.data] = key;
+  RelayCell ack;
+  ack.relay_cmd = RelayCommand::RendezvousEstablished;
+  send_backward(key, circ, std::move(ack));
+}
+
+void Router::on_rendezvous1(const Key& key, Circuit& circ, const RelayCell& rc) {
+  util::Bytes cookie;
+  util::Bytes reply;
+  try {
+    util::Reader r(rc.data);
+    cookie = r.blob();
+    reply = r.blob();
+    r.expect_done();
+  } catch (const util::ParseError&) {
+    return;
+  }
+  auto it = rend_points_.find(cookie);
+  if (it == rend_points_.end()) return;
+  const Key client_key = it->second;
+  rend_points_.erase(it);
+  Circuit* client_circ = find_circuit(client_key);
+  if (client_circ == nullptr) return;
+
+  client_circ->spliced = key;
+  circ.spliced = client_key;
+
+  RelayCell rend2;
+  rend2.relay_cmd = RelayCommand::Rendezvous2;
+  rend2.data = std::move(reply);
+  send_backward(client_key, *client_circ, std::move(rend2));
+}
+
+void Router::send_backward(const Key& key, Circuit& circ, RelayCell rc) {
+  auto payload = rc.pack();
+  circ.crypto->seal_backward(payload);
+  circ.crypto->crypt_backward(payload);
+  Cell cell;
+  cell.circ_id = circ.prev_id;
+  cell.command = CellCommand::Relay;
+  cell.payload = payload;
+  send_cell(circ.prev_peer, cell);
+  (void)key;
+}
+
+void Router::send_backward_raw(const Key& key, Circuit& circ,
+                               std::array<std::uint8_t, kCellPayloadLen> payload) {
+  circ.crypto->crypt_backward(payload);
+  Cell cell;
+  cell.circ_id = circ.prev_id;
+  cell.command = CellCommand::Relay;
+  cell.payload = payload;
+  send_cell(circ.prev_peer, cell);
+  (void)key;
+}
+
+void Router::pump_stream(const Key& key, Circuit& circ, StreamId sid) {
+  auto it = circ.streams.find(sid);
+  if (it == circ.streams.end()) return;
+  StreamState& st = it->second;
+  while (!st.outbuf.empty() && st.package_window > 0 && circ.circ_package_window > 0) {
+    RelayCell data;
+    data.relay_cmd = RelayCommand::Data;
+    data.stream_id = sid;
+    data.data = st.outbuf.pop(kRelayDataMax);
+    st.package_window--;
+    circ.circ_package_window--;
+    send_backward(key, circ, std::move(data));
+  }
+  if (st.outbuf.empty() && st.end_after_flush) {
+    RelayCell end;
+    end.relay_cmd = RelayCommand::End;
+    end.stream_id = sid;
+    send_backward(key, circ, std::move(end));
+    circ.streams.erase(sid);
+  }
+}
+
+void Router::stream_deliver_backward(const Key& key, StreamId sid,
+                                     util::ByteView data) {
+  Circuit* circ = find_circuit(key);
+  if (circ == nullptr) return;
+  auto it = circ->streams.find(sid);
+  if (it == circ->streams.end()) return;
+  it->second.outbuf.push(data);
+  pump_stream(key, *circ, sid);
+}
+
+void Router::stream_end_backward(const Key& key, StreamId sid) {
+  Circuit* circ = find_circuit(key);
+  if (circ == nullptr) return;
+  auto it = circ->streams.find(sid);
+  if (it == circ->streams.end()) return;
+  it->second.end_after_flush = true;
+  pump_stream(key, *circ, sid);
+}
+
+void Router::handle_destroy(sim::NodeId from, const Cell& cell) {
+  const Key key{from, cell.circ_id};
+  Circuit* circ = find_circuit(key);
+  if (circ == nullptr) return;
+  const bool from_prev = (from == circ->prev_peer && cell.circ_id == circ->prev_id);
+  destroy_circuit(key, /*notify_prev=*/!from_prev, /*notify_next=*/from_prev);
+}
+
+void Router::destroy_circuit(const Key& key, bool notify_prev, bool notify_next) {
+  auto it = circuits_.find(key);
+  if (it == circuits_.end()) return;
+  std::shared_ptr<Circuit> circ = it->second;
+
+  // Close stream resources. Callbacks may touch the map; detach it first.
+  auto doomed_streams = std::move(circ->streams);
+  circ->streams.clear();
+  for (auto& [sid, st] : doomed_streams) {
+    if (st.is_local) {
+      if (st.app_stream) st.app_stream->router_ = nullptr;
+      if (st.app_stream && st.app_stream->on_end_) st.app_stream->on_end_();
+    } else {
+      tcp_.close(st.tcp_conn);
+    }
+  }
+
+  if (!circ->intro_auth.empty()) intro_points_.erase(circ->intro_auth);
+  if (!circ->rend_cookie.empty()) rend_points_.erase(circ->rend_cookie);
+
+  if (notify_prev) {
+    Cell destroy;
+    destroy.circ_id = circ->prev_id;
+    destroy.command = CellCommand::Destroy;
+    send_cell(circ->prev_peer, destroy);
+  }
+  if (notify_next && circ->next.has_value()) {
+    Cell destroy;
+    destroy.circ_id = circ->next->second;
+    destroy.command = CellCommand::Destroy;
+    send_cell(circ->next->first, destroy);
+  }
+
+  // A spliced rendezvous mate is useless without us: tear it down too so
+  // both origins observe the end of the joined circuit.
+  if (circ->spliced.has_value()) {
+    const Key mate_key = *circ->spliced;
+    circ->spliced.reset();
+    Circuit* mate = find_circuit(mate_key);
+    if (mate != nullptr) {
+      mate->spliced.reset();  // break the back-reference before recursing
+      destroy_circuit(mate_key, true, true);
+    }
+  }
+
+  circuits_.erase(Key{circ->prev_peer, circ->prev_id});
+  if (circ->next.has_value()) circuits_.erase(*circ->next);
+}
+
+}  // namespace bento::tor

@@ -1,0 +1,204 @@
+// The Tor relay (onion router).
+//
+// A Router terminates one onion layer per circuit through it and plays
+// whichever roles the cells ask of it: middle (forwarding), exit (clearnet
+// streams via the TCP-like Internet), introduction point, rendezvous point,
+// and — for Bento — host of local applications reachable through streams to
+// the relay's own address (the paper's "exit node policy to connect to the
+// Bento server via localhost", §5).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "crypto/dh.hpp"
+#include "crypto/sign.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "tor/cell.hpp"
+#include "tor/directory.hpp"
+#include "tor/exitpolicy.hpp"
+#include "tor/flow.hpp"
+#include "tor/internet.hpp"
+#include "tor/relaycrypto.hpp"
+#include "util/rng.hpp"
+
+namespace bento::tor {
+
+class Router;
+
+/// Server-side endpoint of a Tor stream terminating at a local application
+/// on this relay (e.g. the Bento server). Owned by the Router; pointers
+/// stay valid until on_end fires or the router destroys the circuit.
+class EdgeStream {
+ public:
+  StreamId id() const { return id_; }
+  /// Queues data toward the circuit origin (chunked, window-limited).
+  void send(util::ByteView data);
+  /// Sends RELAY_END once buffered data drains.
+  void end();
+
+  void set_on_data(std::function<void(util::ByteView)> fn) { on_data_ = std::move(fn); }
+  void set_on_end(std::function<void()> fn) { on_end_ = std::move(fn); }
+
+ private:
+  friend class Router;
+  Router* router_ = nullptr;
+  std::pair<sim::NodeId, CircId> circ_key_{};
+  StreamId id_ = 0;
+  std::function<void(util::ByteView)> on_data_;
+  std::function<void()> on_end_;
+};
+
+/// Application bound to a port on the relay host (the Bento server binds
+/// one). Streams to (relay addr, port) are delivered here instead of the
+/// clearnet.
+class LocalApp {
+ public:
+  virtual ~LocalApp() = default;
+  /// Return false to refuse the stream (client sees RELAY_END).
+  virtual bool on_stream_open(EdgeStream& stream) = 0;
+};
+
+struct RelayConfig {
+  std::string nickname;
+  Addr addr = 0;
+  Port or_port = 9001;
+  double bandwidth = 1.25e6;  // consensus weight (bytes/sec)
+  RelayFlags flags;
+  ExitPolicy exit_policy = ExitPolicy::reject_all();
+  util::Bytes bento_policy;
+  double up_bytes_per_sec = 1.25e6;
+  double down_bytes_per_sec = 1.25e6;
+};
+
+class Router : public sim::MessageHandler {
+ public:
+  Router(sim::Simulator& sim, sim::Network& net, Internet& internet,
+         const RelayConfig& config, util::Rng rng);
+
+  const RelayDescriptor& descriptor() const { return descriptor_; }
+  std::string fingerprint() const { return descriptor_.fingerprint(); }
+  sim::NodeId node() const { return node_; }
+  Addr addr() const { return descriptor_.addr; }
+
+  /// Uploads the self-signed descriptor.
+  void publish(DirectoryAuthority& authority) const { authority.upload(descriptor_); }
+
+  /// Consensus pointer used to resolve EXTEND targets; must outlive the
+  /// router or be replaced before further use.
+  void set_consensus(const Consensus* consensus) { consensus_ = consensus; }
+
+  /// Binds/unbinds a local application to a port on this relay's host.
+  void bind_local_app(Port port, LocalApp* app);
+  void unbind_local_app(Port port);
+
+  /// Direct clearnet access for local apps (Bento functions). Returns false
+  /// if the address is unknown. The caller is responsible for policy checks
+  /// (the Bento sandbox netfilter does them).
+  bool open_clearnet(const Endpoint& to, TcpClient::Callbacks cbs,
+                     std::uint64_t* conn_out);
+  void clearnet_send(std::uint64_t conn, util::ByteView data);
+  void clearnet_close(std::uint64_t conn);
+
+  void on_message(sim::NodeId from, util::Bytes data) override;
+
+  struct Counters {
+    std::uint64_t cells_in = 0;
+    std::uint64_t cells_out = 0;
+    std::uint64_t circuits_created = 0;
+    std::uint64_t streams_opened = 0;
+    std::uint64_t cells_dropped = 0;  // DROP (cover) cells absorbed here
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  using Key = std::pair<sim::NodeId, CircId>;
+
+  struct StreamState {
+    bool is_local = false;
+    std::unique_ptr<EdgeStream> app_stream;  // when is_local
+    std::uint64_t tcp_conn = 0;              // when clearnet
+    bool connected = false;
+    int package_window = kStreamWindowInit;  // DATA cells we may send back
+    int delivered = 0;                       // since last stream SENDME
+    ByteQueue outbuf;                        // toward the origin
+    bool end_after_flush = false;
+    bool remote_ended = false;
+  };
+
+  struct Circuit {
+    sim::NodeId prev_peer = sim::kInvalidNode;
+    CircId prev_id = 0;
+    std::optional<Key> next;
+    std::unique_ptr<LayerCrypto> crypto;
+    std::map<StreamId, StreamState> streams;
+    std::optional<Key> spliced;  // rendezvous mate circuit
+    int circ_package_window = kCircuitWindowInit;
+    int circ_delivered = 0;
+    util::Bytes intro_auth;   // non-empty on a service intro circuit
+    util::Bytes rend_cookie;  // non-empty on a waiting rendezvous circuit
+  };
+
+  void handle_cell(sim::NodeId from, const Cell& cell);
+  void handle_create(sim::NodeId from, const Cell& cell);
+  void handle_created(sim::NodeId from, const Cell& cell);
+  void handle_relay(sim::NodeId from, const Cell& cell);
+  void handle_destroy(sim::NodeId from, const Cell& cell);
+  void handle_recognized(const Key& key, Circuit& circ, const RelayCell& rc);
+
+  // Relay command handlers (cell recognized at this hop).
+  void on_extend(const Key& key, Circuit& circ, const RelayCell& rc);
+  void on_begin(const Key& key, Circuit& circ, const RelayCell& rc);
+  void on_data(const Key& key, Circuit& circ, const RelayCell& rc);
+  void on_end(const Key& key, Circuit& circ, const RelayCell& rc);
+  void on_sendme(const Key& key, Circuit& circ, const RelayCell& rc);
+  void on_establish_intro(const Key& key, Circuit& circ, const RelayCell& rc);
+  void on_introduce1(const Key& key, Circuit& circ, const RelayCell& rc);
+  void on_establish_rendezvous(const Key& key, Circuit& circ, const RelayCell& rc);
+  void on_rendezvous1(const Key& key, Circuit& circ, const RelayCell& rc);
+
+  /// Seals+encrypts a relay cell at our layer and sends it toward the
+  /// origin of `circ`.
+  void send_backward(const Key& key, Circuit& circ, RelayCell rc);
+  /// Forwards an already-layered payload toward the origin (splice path).
+  void send_backward_raw(const Key& key, Circuit& circ,
+                         std::array<std::uint8_t, kCellPayloadLen> payload);
+  void send_cell(sim::NodeId to, const Cell& cell);
+
+  /// Pumps buffered stream data into DATA cells while windows allow.
+  void pump_stream(const Key& key, Circuit& circ, StreamId sid);
+  void stream_deliver_backward(const Key& key, StreamId sid, util::ByteView data);
+  void stream_end_backward(const Key& key, StreamId sid);
+
+  void destroy_circuit(const Key& key, bool notify_prev, bool notify_next);
+
+  Circuit* find_circuit(const Key& key);
+
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  Internet& internet_;
+  util::Rng rng_;
+  crypto::SigningKey identity_;
+  crypto::DhKeyPair onion_key_;
+  RelayDescriptor descriptor_;
+  sim::NodeId node_;
+  const Consensus* consensus_ = nullptr;
+
+  std::map<Key, std::shared_ptr<Circuit>> circuits_;  // both sides keyed
+  std::map<Key, Key> pending_extend_;                 // next-key -> prev-key
+  std::map<sim::NodeId, CircId> next_circ_id_;        // per-peer allocator
+  std::map<util::Bytes, Key> intro_points_;           // auth key -> circuit
+  std::map<util::Bytes, Key> rend_points_;            // cookie -> circuit
+  std::map<Port, LocalApp*> local_apps_;
+  TcpClient tcp_;
+  Counters counters_;
+
+  friend class EdgeStream;  // facade over stream_deliver/end_backward
+};
+
+}  // namespace bento::tor

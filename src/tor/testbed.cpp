@@ -1,0 +1,92 @@
+#include "tor/testbed.hpp"
+
+#include <stdexcept>
+
+namespace bento::tor {
+
+Testbed::Testbed(const TestbedOptions& options)
+    : options_(options), sim_(options.seed), net_(sim_), rng_(options.seed ^ 0xabcdef),
+      dir_(rng_) {
+  auto add_group = [&](int count, const char* prefix, bool guard, bool exit) {
+    for (int i = 0; i < count; ++i) {
+      RelayConfig cfg;
+      cfg.nickname = std::string(prefix) + std::to_string(i);
+      // Distinct /16 per relay: 10.<block>.0.1
+      cfg.addr = parse_addr("10." + std::to_string(next_addr_block_++) + ".0.1");
+      cfg.bandwidth = options_.relay_bandwidth;
+      cfg.up_bytes_per_sec = options_.relay_bandwidth;
+      cfg.down_bytes_per_sec = options_.relay_bandwidth;
+      cfg.flags.guard = guard;
+      cfg.flags.exit = exit;
+      cfg.flags.fast = true;
+      cfg.flags.bento = options_.all_bento;
+      if (options_.all_bento) cfg.bento_policy = options_.bento_policy;
+      cfg.exit_policy =
+          exit ? ExitPolicy::parse(options_.exit_policy) : ExitPolicy::reject_all();
+      add_relay(cfg);
+    }
+  };
+  add_group(options_.guards, "guard", true, false);
+  add_group(options_.middles, "middle", false, false);
+  add_group(options_.exits, "exit", false, true);
+}
+
+void Testbed::assign_latencies(sim::NodeId node) {
+  const auto lo = static_cast<std::uint64_t>(options_.min_latency.count_micros());
+  const auto hi = static_cast<std::uint64_t>(options_.max_latency.count_micros());
+  for (std::size_t i = 0; i < net_.node_count(); ++i) {
+    const auto other = static_cast<sim::NodeId>(i);
+    if (other == node) continue;
+    net_.set_latency(node, other,
+                     util::Duration::micros(
+                         static_cast<std::int64_t>(rng_.uniform(lo, hi))));
+  }
+}
+
+std::size_t Testbed::add_relay(const RelayConfig& config) {
+  if (finalized_) throw std::logic_error("Testbed: add_relay after finalize");
+  auto router =
+      std::make_unique<Router>(sim_, net_, internet_, config, rng_.fork());
+  assign_latencies(router->node());
+  routers_.push_back(std::move(router));
+  return routers_.size() - 1;
+}
+
+Router* Testbed::router_by_fingerprint(const std::string& fp) {
+  for (auto& r : routers_) {
+    if (r->fingerprint() == fp) return r.get();
+  }
+  return nullptr;
+}
+
+void Testbed::finalize() {
+  if (finalized_) throw std::logic_error("Testbed: finalize twice");
+  finalized_ = true;
+  for (auto& r : routers_) r->publish(dir_);
+  consensus_ = dir_.make_consensus(sim_.now());
+  for (auto& r : routers_) r->set_consensus(&consensus_);
+}
+
+std::unique_ptr<OnionProxy> Testbed::make_client(const std::string& name,
+                                                 double bandwidth) {
+  if (!finalized_) throw std::logic_error("Testbed: make_client before finalize");
+  auto proxy = std::make_unique<OnionProxy>(
+      sim_, net_, sim::NodeSpec{name, bandwidth, bandwidth}, consensus_,
+      dir_.authority_key(), rng_.fork());
+  assign_latencies(proxy->node());
+  return proxy;
+}
+
+WebServer& Testbed::add_web_server(Addr addr, WebServer::ContentFn content,
+                                   double bandwidth) {
+  auto server = std::make_unique<WebServer>(sim_, net_, std::move(content));
+  const sim::NodeId node =
+      net_.add_node({"web-" + format_addr(addr), bandwidth, bandwidth}, server.get());
+  server->set_node(node);
+  assign_latencies(node);
+  internet_.register_server(addr, node);
+  web_servers_.push_back(std::move(server));
+  return *web_servers_.back();
+}
+
+}  // namespace bento::tor

@@ -1,0 +1,24 @@
+#include "tor/wire.hpp"
+
+#include "util/serialize.hpp"
+
+namespace bento::tor {
+
+util::Bytes frame_cell(const Cell& cell) {
+  util::Bytes out;
+  out.reserve(kCellLen + 1);
+  out.push_back(kCellFrameMarker);
+  util::append(out, cell.pack());
+  return out;
+}
+
+bool is_framed_cell(util::ByteView wire) {
+  return wire.size() == kCellLen + 1 && wire[0] == kCellFrameMarker;
+}
+
+Cell unframe_cell(util::ByteView wire) {
+  if (!is_framed_cell(wire)) throw util::ParseError("unframe_cell: not a cell frame");
+  return Cell::unpack(wire.subspan(1));
+}
+
+}  // namespace bento::tor

@@ -1,0 +1,25 @@
+// Message framing on the simulated links.
+//
+// Relay<->relay and client<->guard messages carry framed cells; exit<->web
+// server traffic carries raw TcpMsg frames (whose type byte is < 0x80).
+// The 0xC1 marker plus exact length makes the two unambiguous at nodes that
+// receive both (exit relays).
+#pragma once
+
+#include "tor/cell.hpp"
+#include "util/bytes.hpp"
+
+namespace bento::tor {
+
+inline constexpr std::uint8_t kCellFrameMarker = 0xC1;
+
+/// Cell -> link message.
+util::Bytes frame_cell(const Cell& cell);
+
+/// True if the message is a framed cell (vs a TcpMsg).
+bool is_framed_cell(util::ByteView wire);
+
+/// Parses a framed cell; throws util::ParseError on malformed input.
+Cell unframe_cell(util::ByteView wire);
+
+}  // namespace bento::tor

@@ -1,0 +1,67 @@
+#include "util/bytes.hpp"
+
+#include <stdexcept>
+
+namespace bento::util {
+
+Bytes to_bytes(std::string_view s) { return Bytes(s.begin(), s.end()); }
+
+std::string to_string(ByteView b) { return std::string(b.begin(), b.end()); }
+
+std::string to_hex(ByteView b) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (std::uint8_t v : b) {
+    out.push_back(kDigits[v >> 4]);
+    out.push_back(kDigits[v & 0x0f]);
+  }
+  return out;
+}
+
+namespace {
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("from_hex: invalid hex digit");
+}
+}  // namespace
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) throw std::invalid_argument("from_hex: odd length");
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>((hex_nibble(hex[i]) << 4) |
+                                            hex_nibble(hex[i + 1])));
+  }
+  return out;
+}
+
+void append(Bytes& dst, ByteView src) { dst.insert(dst.end(), src.begin(), src.end()); }
+
+Bytes concat(std::initializer_list<ByteView> parts) {
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  Bytes out;
+  out.reserve(total);
+  for (const auto& p : parts) append(out, p);
+  return out;
+}
+
+bool ct_equal(ByteView a, ByteView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+  return acc == 0;
+}
+
+Bytes xor_bytes(ByteView a, ByteView b) {
+  if (a.size() != b.size()) throw std::invalid_argument("xor_bytes: length mismatch");
+  Bytes out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] ^ b[i];
+  return out;
+}
+
+}  // namespace bento::util

@@ -1,0 +1,52 @@
+// Minimal leveled logger.
+//
+// Logging defaults to Warn so test/bench output stays clean; examples raise
+// it to Info to narrate the scenario. Not thread-safe by design: the whole
+// system is a single-threaded discrete-event simulation.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace bento::util {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr as "[level] component: message".
+void log_line(LogLevel level, const std::string& component, const std::string& message);
+
+namespace detail {
+inline void format_into(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void format_into(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  format_into(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, const std::string& component, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  detail::format_into(os, args...);
+  log_line(level, component, os.str());
+}
+
+template <typename... Args>
+void log_info(const std::string& component, const Args&... args) {
+  log(LogLevel::Info, component, args...);
+}
+template <typename... Args>
+void log_debug(const std::string& component, const Args&... args) {
+  log(LogLevel::Debug, component, args...);
+}
+template <typename... Args>
+void log_warn(const std::string& component, const Args&... args) {
+  log(LogLevel::Warn, component, args...);
+}
+
+}  // namespace bento::util

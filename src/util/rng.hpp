@@ -1,0 +1,65 @@
+// Deterministic pseudo-random generator used across the simulator.
+//
+// Every component takes an Rng& so whole-system runs are reproducible from a
+// single seed (no global RNG state; Core Guidelines I.2).
+// The generator is xoshiro256** — fast and high quality; NOT cryptographic.
+// Crypto key generation in the simulator routes through this on purpose: the
+// repository's crypto is simulation-grade (see src/crypto/README note).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace bento::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x6265'6e74'6f21'2121ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Gaussian (Box-Muller), mean/stddev.
+  double gaussian(double mean, double stddev);
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean);
+
+  /// `n` pseudo-random bytes.
+  Bytes bytes(std::size_t n);
+
+  /// True with probability p.
+  bool chance(double p);
+
+  /// Index drawn proportionally to non-negative weights. Requires a positive
+  /// total weight.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform(0, i - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for subsystems).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_gauss_ = false;
+  double gauss_spare_ = 0.0;
+};
+
+}  // namespace bento::util

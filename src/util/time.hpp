@@ -1,0 +1,62 @@
+// Simulation time types.
+//
+// Time is a strong type over microseconds since simulation start; a plain
+// integer would invite unit bugs between modules (Core Guidelines P.1).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace bento::util {
+
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration micros(std::int64_t us) { return Duration(us); }
+  static constexpr Duration millis(std::int64_t ms) { return Duration(ms * 1000); }
+  static constexpr Duration seconds(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e6));
+  }
+
+  constexpr std::int64_t count_micros() const { return us_; }
+  constexpr double to_seconds() const { return static_cast<double>(us_) / 1e6; }
+  constexpr double to_millis() const { return static_cast<double>(us_) / 1e3; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration(a.us_ + b.us_); }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration(a.us_ - b.us_); }
+  friend constexpr Duration operator*(Duration a, double k) {
+    return Duration(static_cast<std::int64_t>(static_cast<double>(a.us_) * k));
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+ private:
+  constexpr explicit Duration(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+class Time {
+ public:
+  constexpr Time() = default;
+  static constexpr Time from_micros(std::int64_t us) { return Time(us); }
+  static constexpr Time from_seconds(double s) {
+    return Time(static_cast<std::int64_t>(s * 1e6));
+  }
+
+  constexpr std::int64_t micros() const { return us_; }
+  constexpr double seconds() const { return static_cast<double>(us_) / 1e6; }
+
+  friend constexpr Time operator+(Time t, Duration d) {
+    return Time(t.us_ + d.count_micros());
+  }
+  friend constexpr Duration operator-(Time a, Time b) {
+    return Duration::micros(a.us_ - b.us_);
+  }
+  constexpr auto operator<=>(const Time&) const = default;
+
+ private:
+  constexpr explicit Time(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+}  // namespace bento::util

@@ -1,0 +1,102 @@
+#include "util/zlite.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "util/serialize.hpp"
+
+namespace bento::util::zlite {
+
+namespace {
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 1 << 16;
+constexpr std::size_t kWindow = 1 << 15;
+constexpr std::uint8_t kLiteral = 0x00;
+constexpr std::uint8_t kMatch = 0x01;
+
+std::uint32_t hash4(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> 18;  // 14-bit table index
+}
+}  // namespace
+
+Bytes compress(ByteView input) {
+  Writer w;
+  w.raw(to_bytes("ZL1"));
+  w.varint(input.size());
+
+  std::array<std::int64_t, 1 << 14> table;
+  table.fill(-1);
+
+  std::size_t i = 0;
+  std::size_t literal_start = 0;
+  auto flush_literals = [&](std::size_t end) {
+    if (end > literal_start) {
+      w.u8(kLiteral);
+      w.varint(end - literal_start);
+      w.raw(input.subspan(literal_start, end - literal_start));
+    }
+  };
+
+  while (i + kMinMatch <= input.size()) {
+    const std::uint32_t h = hash4(input.data() + i);
+    const std::int64_t cand = table[h];
+    table[h] = static_cast<std::int64_t>(i);
+    if (cand >= 0 && i - static_cast<std::size_t>(cand) <= kWindow &&
+        std::memcmp(input.data() + cand, input.data() + i, kMinMatch) == 0) {
+      std::size_t len = kMinMatch;
+      const std::size_t maxlen = std::min(kMaxMatch, input.size() - i);
+      while (len < maxlen &&
+             input[static_cast<std::size_t>(cand) + len] == input[i + len]) {
+        ++len;
+      }
+      flush_literals(i);
+      w.u8(kMatch);
+      w.varint(i - static_cast<std::size_t>(cand));
+      w.varint(len);
+      // Insert a few positions inside the match so later data can refer back.
+      for (std::size_t k = 1; k < len && i + k + kMinMatch <= input.size(); k += 7) {
+        table[hash4(input.data() + i + k)] = static_cast<std::int64_t>(i + k);
+      }
+      i += len;
+      literal_start = i;
+    } else {
+      ++i;
+    }
+  }
+  flush_literals(input.size());
+  return std::move(w).take();
+}
+
+Bytes decompress(ByteView input) {
+  Reader r(input);
+  Bytes magic = r.raw(3);
+  if (to_string(magic) != "ZL1") throw ParseError("zlite: bad magic");
+  const std::uint64_t original = r.varint();
+  Bytes out;
+  out.reserve(original);
+  // Stop once the declared size is reached: callers may append padding
+  // after the compressed stream (the Browser function does exactly that).
+  while (!r.done() && out.size() < original) {
+    const std::uint8_t tag = r.u8();
+    if (tag == kLiteral) {
+      const std::uint64_t len = r.varint();
+      append(out, r.raw(len));
+    } else if (tag == kMatch) {
+      const std::uint64_t dist = r.varint();
+      const std::uint64_t len = r.varint();
+      if (dist == 0 || dist > out.size()) throw ParseError("zlite: bad distance");
+      if (len < kMinMatch) throw ParseError("zlite: bad match length");
+      std::size_t from = out.size() - dist;
+      for (std::uint64_t k = 0; k < len; ++k) out.push_back(out[from + k]);
+    } else {
+      throw ParseError("zlite: bad token");
+    }
+    if (out.size() > original) throw ParseError("zlite: output overrun");
+  }
+  if (out.size() != original) throw ParseError("zlite: size mismatch");
+  return out;
+}
+
+}  // namespace bento::util::zlite

@@ -1,0 +1,23 @@
+// zlite: a tiny LZ77-style compressor.
+//
+// Stands in for zlib in the Browser function's "compress then pad" pipeline
+// (paper Appendix A, line `compressed = zlib.compress(body)`); the format is
+// self-describing and round-trips exactly. It is NOT zlib-compatible.
+//
+// Format: "ZL1" magic, varint original size, then a token stream:
+//   literal run : 0x00, varint len, bytes
+//   back-ref    : 0x01, varint distance (>=1), varint length (>=4)
+#pragma once
+
+#include "util/bytes.hpp"
+
+namespace bento::util::zlite {
+
+/// Compresses `input`. Never fails; incompressible data grows by a few bytes.
+Bytes compress(ByteView input);
+
+/// Decompresses a buffer produced by compress().
+/// Throws util::ParseError on malformed input.
+Bytes decompress(ByteView input);
+
+}  // namespace bento::util::zlite

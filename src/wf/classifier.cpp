@@ -1,0 +1,172 @@
+#include "wf/classifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace bento::wf {
+
+double Classifier::accuracy(const std::vector<Example>& data) const {
+  if (data.empty()) return 0;
+  int correct = 0;
+  for (const auto& ex : data) {
+    if (predict(ex.x) == ex.label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+void KnnClassifier::train(const std::vector<Example>& data, util::Rng&) {
+  std::vector<Features> rows;
+  rows.reserve(data.size());
+  for (const auto& ex : data) rows.push_back(ex.x);
+  normalizer_ = Normalizer::fit(rows);
+  train_.clear();
+  train_.reserve(data.size());
+  for (const auto& ex : data) {
+    train_.push_back({normalizer_.apply(ex.x), ex.label});
+  }
+}
+
+int KnnClassifier::predict(const Features& x) const {
+  if (train_.empty()) return -1;
+  const Features q = normalizer_.apply(x);
+  // Partial sort of squared distances.
+  std::vector<std::pair<double, int>> dists;
+  dists.reserve(train_.size());
+  for (const auto& ex : train_) {
+    double d = 0;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      const double diff = q[i] - ex.x[i];
+      d += diff * diff;
+    }
+    dists.emplace_back(d, ex.label);
+  }
+  const std::size_t k = std::min<std::size_t>(static_cast<std::size_t>(k_),
+                                              dists.size());
+  std::partial_sort(dists.begin(), dists.begin() + static_cast<std::ptrdiff_t>(k),
+                    dists.end());
+  std::map<int, int> votes;
+  for (std::size_t i = 0; i < k; ++i) votes[dists[i].second]++;
+  int best_label = dists[0].second;
+  int best_votes = 0;
+  for (const auto& [label, count] : votes) {
+    if (count > best_votes) {
+      best_votes = count;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+void MlpClassifier::train(const std::vector<Example>& data, util::Rng& rng) {
+  if (data.empty()) return;
+  input_ = data[0].x.size();
+  std::vector<Features> rows;
+  rows.reserve(data.size());
+  for (const auto& ex : data) rows.push_back(ex.x);
+  normalizer_ = Normalizer::fit(rows);
+
+  std::vector<Example> train;
+  train.reserve(data.size());
+  for (const auto& ex : data) train.push_back({normalizer_.apply(ex.x), ex.label});
+
+  const std::size_t h = static_cast<std::size_t>(hidden_);
+  const std::size_t c = static_cast<std::size_t>(classes_);
+  auto init = [&](std::size_t n, double scale) {
+    std::vector<double> v(n);
+    for (auto& w : v) w = rng.gaussian(0.0, scale);
+    return v;
+  };
+  w1_ = init(h * input_, std::sqrt(2.0 / static_cast<double>(input_)));
+  b1_.assign(h, 0.0);
+  w2_ = init(c * h, std::sqrt(2.0 / static_cast<double>(h)));
+  b2_.assign(c, 0.0);
+
+  std::vector<std::size_t> order(train.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < epochs_; ++epoch) {
+    rng.shuffle(order);
+    const double lr = lr_ / (1.0 + 0.05 * epoch);
+    for (std::size_t idx : order) {
+      const Example& ex = train[idx];
+      // Forward.
+      std::vector<double> hidden(h);
+      for (std::size_t j = 0; j < h; ++j) {
+        double z = b1_[j];
+        const double* wrow = &w1_[j * input_];
+        for (std::size_t i = 0; i < input_; ++i) z += wrow[i] * ex.x[i];
+        hidden[j] = z > 0 ? z : 0;  // ReLU
+      }
+      std::vector<double> logits(c);
+      double max_logit = -1e300;
+      for (std::size_t k = 0; k < c; ++k) {
+        double z = b2_[k];
+        const double* wrow = &w2_[k * h];
+        for (std::size_t j = 0; j < h; ++j) z += wrow[j] * hidden[j];
+        logits[k] = z;
+        max_logit = std::max(max_logit, z);
+      }
+      double denom = 0;
+      for (auto& z : logits) {
+        z = std::exp(z - max_logit);
+        denom += z;
+      }
+      // Backward (cross-entropy): dlogit = p - onehot.
+      std::vector<double> dlogits(c);
+      for (std::size_t k = 0; k < c; ++k) {
+        dlogits[k] = logits[k] / denom -
+                     (static_cast<int>(k) == ex.label ? 1.0 : 0.0);
+      }
+      std::vector<double> dhidden(h, 0.0);
+      for (std::size_t k = 0; k < c; ++k) {
+        double* wrow = &w2_[k * h];
+        const double g = dlogits[k];
+        for (std::size_t j = 0; j < h; ++j) {
+          dhidden[j] += g * wrow[j];
+          wrow[j] -= lr * g * hidden[j];
+        }
+        b2_[k] -= lr * g;
+      }
+      for (std::size_t j = 0; j < h; ++j) {
+        if (hidden[j] <= 0) continue;  // ReLU gate
+        double* wrow = &w1_[j * input_];
+        const double g = dhidden[j];
+        for (std::size_t i = 0; i < input_; ++i) wrow[i] -= lr * g * ex.x[i];
+        b1_[j] -= lr * g;
+      }
+    }
+  }
+}
+
+std::vector<double> MlpClassifier::forward(const Features& x,
+                                           std::vector<double>* hidden_out) const {
+  const std::size_t h = static_cast<std::size_t>(hidden_);
+  const std::size_t c = static_cast<std::size_t>(classes_);
+  std::vector<double> hidden(h);
+  for (std::size_t j = 0; j < h; ++j) {
+    double z = b1_[j];
+    const double* wrow = &w1_[j * input_];
+    for (std::size_t i = 0; i < input_; ++i) z += wrow[i] * x[i];
+    hidden[j] = z > 0 ? z : 0;
+  }
+  std::vector<double> logits(c);
+  for (std::size_t k = 0; k < c; ++k) {
+    double z = b2_[k];
+    const double* wrow = &w2_[k * h];
+    for (std::size_t j = 0; j < h; ++j) z += wrow[j] * hidden[j];
+    logits[k] = z;
+  }
+  if (hidden_out != nullptr) *hidden_out = std::move(hidden);
+  return logits;
+}
+
+int MlpClassifier::predict(const Features& x) const {
+  if (w1_.empty()) return -1;
+  const Features q = normalizer_.apply(x);
+  const auto logits = forward(q, nullptr);
+  return static_cast<int>(std::max_element(logits.begin(), logits.end()) -
+                          logits.begin());
+}
+
+}  // namespace bento::wf

@@ -1,0 +1,69 @@
+// Website-fingerprinting classifiers, standing in for the Deep
+// Fingerprinting CNN of [73] (see DESIGN.md §2 for why this substitution
+// preserves Table 1's behaviour).
+//
+// Two attackers of different strength:
+//   * KnnClassifier — k-nearest-neighbours over normalized features
+//     (Wang et al.-style);
+//   * MlpClassifier — a one-hidden-layer softmax network trained with
+//     minibatch SGD, the strongest attacker in this repository.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "wf/features.hpp"
+
+namespace bento::wf {
+
+struct Example {
+  Features x;
+  int label = 0;
+};
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+  virtual void train(const std::vector<Example>& data, util::Rng& rng) = 0;
+  virtual int predict(const Features& x) const = 0;
+
+  /// Fraction of correct predictions.
+  double accuracy(const std::vector<Example>& data) const;
+};
+
+class KnnClassifier final : public Classifier {
+ public:
+  explicit KnnClassifier(int k = 3) : k_(k) {}
+  void train(const std::vector<Example>& data, util::Rng& rng) override;
+  int predict(const Features& x) const override;
+
+ private:
+  int k_;
+  Normalizer normalizer_;
+  std::vector<Example> train_;  // normalized
+};
+
+class MlpClassifier final : public Classifier {
+ public:
+  MlpClassifier(int classes, int hidden = 96, int epochs = 60,
+                double learning_rate = 0.03)
+      : classes_(classes), hidden_(hidden), epochs_(epochs), lr_(learning_rate) {}
+
+  void train(const std::vector<Example>& data, util::Rng& rng) override;
+  int predict(const Features& x) const override;
+
+ private:
+  std::vector<double> forward(const Features& x, std::vector<double>* hidden_out) const;
+
+  int classes_;
+  int hidden_;
+  int epochs_;
+  double lr_;
+  std::size_t input_ = 0;
+  Normalizer normalizer_;
+  // Row-major weights: w1[h*input + i], w2[c*hidden + h].
+  std::vector<double> w1_, b1_, w2_, b2_;
+};
+
+}  // namespace bento::wf

@@ -1,0 +1,126 @@
+#include "wf/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bento::wf {
+
+std::size_t feature_dim() {
+  return 8 + kPrefixEvents + 3 + kCumulSamples;
+}
+
+Features extract_features(const Trace& trace) {
+  Features f;
+  f.reserve(feature_dim());
+
+  double bytes_in = 0, bytes_out = 0;
+  double count_in = 0, count_out = 0;
+  for (const auto& e : trace.events) {
+    if (e.outgoing) {
+      bytes_out += static_cast<double>(e.wire_bytes);
+      count_out += 1;
+    } else {
+      bytes_in += static_cast<double>(e.wire_bytes);
+      count_in += 1;
+    }
+  }
+  const double total_bytes = bytes_in + bytes_out;
+  const double total_count = count_in + count_out;
+
+  f.push_back(std::log1p(bytes_in));
+  f.push_back(std::log1p(bytes_out));
+  f.push_back(std::log1p(total_bytes));
+  f.push_back(count_in);
+  f.push_back(count_out);
+  f.push_back(total_count > 0 ? count_in / total_count : 0);
+  f.push_back(total_bytes > 0 ? bytes_in / total_bytes : 0);
+  f.push_back(trace.duration());
+
+  // Directional prefix: sign of the first kPrefixEvents events.
+  for (int i = 0; i < kPrefixEvents; ++i) {
+    if (i < static_cast<int>(trace.events.size())) {
+      f.push_back(trace.events[static_cast<std::size_t>(i)].outgoing ? 1.0 : -1.0);
+    } else {
+      f.push_back(0.0);
+    }
+  }
+
+  // Incoming burst statistics: maximal runs of consecutive incoming events.
+  int bursts = 0;
+  double max_burst = 0, current = 0, burst_sum = 0;
+  for (const auto& e : trace.events) {
+    if (!e.outgoing) {
+      current += 1;
+    } else if (current > 0) {
+      bursts += 1;
+      burst_sum += current;
+      max_burst = std::max(max_burst, current);
+      current = 0;
+    }
+  }
+  if (current > 0) {
+    bursts += 1;
+    burst_sum += current;
+    max_burst = std::max(max_burst, current);
+  }
+  f.push_back(static_cast<double>(bursts));
+  f.push_back(max_burst);
+  f.push_back(bursts > 0 ? burst_sum / bursts : 0);
+
+  // CUMUL: sampled cumulative signed-byte curve.
+  std::vector<double> cumulative;
+  cumulative.reserve(trace.events.size());
+  double acc = 0;
+  for (const auto& e : trace.events) {
+    acc += e.outgoing ? static_cast<double>(e.wire_bytes)
+                      : -static_cast<double>(e.wire_bytes);
+    cumulative.push_back(acc);
+  }
+  for (int i = 0; i < kCumulSamples; ++i) {
+    if (cumulative.empty()) {
+      f.push_back(0);
+      continue;
+    }
+    const std::size_t at = std::min(
+        cumulative.size() - 1,
+        static_cast<std::size_t>(static_cast<double>(i) /
+                                 (kCumulSamples - 1) *
+                                 static_cast<double>(cumulative.size() - 1)));
+    // Scale down so z-scoring has sane dynamic range.
+    f.push_back(cumulative[at] / 4096.0);
+  }
+  return f;
+}
+
+Normalizer Normalizer::fit(const std::vector<Features>& rows) {
+  Normalizer n;
+  if (rows.empty()) return n;
+  const std::size_t dim = rows[0].size();
+  n.mean.assign(dim, 0.0);
+  n.stddev.assign(dim, 0.0);
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < dim; ++i) n.mean[i] += row[i];
+  }
+  for (auto& m : n.mean) m /= static_cast<double>(rows.size());
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < dim; ++i) {
+      const double d = row[i] - n.mean[i];
+      n.stddev[i] += d * d;
+    }
+  }
+  for (auto& s : n.stddev) {
+    s = std::sqrt(s / static_cast<double>(rows.size()));
+    if (s < 1e-9) s = 1.0;
+  }
+  return n;
+}
+
+Features Normalizer::apply(const Features& row) const {
+  Features out(row.size());
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    out[i] = (row[i] - mean[i]) / stddev[i];
+  }
+  return out;
+}
+
+}  // namespace bento::wf

@@ -1,0 +1,35 @@
+// Feature extraction for website fingerprinting.
+//
+// A compact CUMUL/DF-inspired feature vector: volume totals, packet
+// counts, duration, directional prefix, burst statistics, and a sampled
+// cumulative-sum curve. These are exactly the families of "salient
+// features" the Browser defense is designed to destroy (§7).
+#pragma once
+
+#include <vector>
+
+#include "wf/trace.hpp"
+
+namespace bento::wf {
+
+using Features = std::vector<double>;
+
+inline constexpr int kCumulSamples = 24;
+inline constexpr int kPrefixEvents = 20;
+
+/// Extracts a fixed-length feature vector from a trace.
+Features extract_features(const Trace& trace);
+
+/// Dimension of extract_features' output.
+std::size_t feature_dim();
+
+/// Per-dimension z-score normalization fit on a training set.
+struct Normalizer {
+  std::vector<double> mean;
+  std::vector<double> stddev;
+
+  static Normalizer fit(const std::vector<Features>& rows);
+  Features apply(const Features& row) const;
+};
+
+}  // namespace bento::wf

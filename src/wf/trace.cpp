@@ -1,0 +1,55 @@
+#include "wf/trace.hpp"
+
+namespace bento::wf {
+
+std::size_t Trace::bytes_out() const {
+  std::size_t total = 0;
+  for (const auto& e : events) {
+    if (e.outgoing) total += e.wire_bytes;
+  }
+  return total;
+}
+
+std::size_t Trace::bytes_in() const {
+  std::size_t total = 0;
+  for (const auto& e : events) {
+    if (!e.outgoing) total += e.wire_bytes;
+  }
+  return total;
+}
+
+double Trace::duration() const {
+  if (events.empty()) return 0;
+  return events.back().time_seconds - events.front().time_seconds;
+}
+
+TraceRecorder::TraceRecorder(sim::Simulator& sim, sim::Network& net,
+                             sim::NodeId victim)
+    : sim_(sim), net_(net), victim_(victim) {
+  net_.set_monitor([this](sim::NodeId from, sim::NodeId to, std::size_t wire) {
+    if (!recording_) return;
+    if (from != victim_ && to != victim_) return;
+    WireEvent ev;
+    ev.time_seconds = sim_.now().seconds();
+    ev.outgoing = (from == victim_);
+    ev.wire_bytes = wire;
+    current_.events.push_back(ev);
+  });
+}
+
+TraceRecorder::~TraceRecorder() { net_.set_monitor(nullptr); }
+
+void TraceRecorder::start() {
+  current_ = Trace{};
+  recording_ = true;
+}
+
+Trace TraceRecorder::stop(int label) {
+  recording_ = false;
+  Trace out = std::move(current_);
+  out.label = label;
+  current_ = Trace{};
+  return out;
+}
+
+}  // namespace bento::wf

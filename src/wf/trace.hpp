@@ -1,0 +1,48 @@
+// Traffic traces and capture (the paper's attacker vantage: "all Tor
+// traffic between the client and its guard relay is recorded", §7.3).
+#pragma once
+
+#include <vector>
+
+#include "sim/network.hpp"
+#include "util/time.hpp"
+
+namespace bento::wf {
+
+struct WireEvent {
+  double time_seconds = 0;
+  bool outgoing = false;  // true: victim -> network
+  std::size_t wire_bytes = 0;
+};
+
+struct Trace {
+  std::vector<WireEvent> events;
+  int label = -1;  // site index (ground truth, known to the evaluator)
+
+  std::size_t bytes_out() const;
+  std::size_t bytes_in() const;
+  double duration() const;
+};
+
+/// Captures every wire event touching one node (the victim client).
+/// Installs itself as the network monitor; keep at most one per Network.
+class TraceRecorder {
+ public:
+  TraceRecorder(sim::Simulator& sim, sim::Network& net, sim::NodeId victim);
+  ~TraceRecorder();
+
+  /// Clears the buffer and starts a fresh trace.
+  void start();
+  /// Stops recording and returns the trace.
+  Trace stop(int label);
+  bool recording() const { return recording_; }
+
+ private:
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  sim::NodeId victim_;
+  bool recording_ = false;
+  Trace current_;
+};
+
+}  // namespace bento::wf

@@ -1,0 +1,162 @@
+// Function library unit tests: shard coding, proof-of-work.
+#include <gtest/gtest.h>
+
+#include "functions/pow.hpp"
+#include "functions/shard.hpp"
+#include "util/rng.hpp"
+
+namespace bf = bento::functions;
+namespace bu = bento::util;
+
+TEST(Gf256, FieldAxioms) {
+  bu::Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform(1, 255));
+    const auto b = static_cast<std::uint8_t>(rng.uniform(1, 255));
+    const auto c = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    EXPECT_EQ(bf::gf256::mul(a, b), bf::gf256::mul(b, a));
+    EXPECT_EQ(bf::gf256::mul(a, 1), a);
+    EXPECT_EQ(bf::gf256::mul(a, 0), 0);
+    EXPECT_EQ(bf::gf256::mul(a, bf::gf256::inv(a)), 1);
+    // Distributivity over XOR addition.
+    EXPECT_EQ(bf::gf256::mul(a, bf::gf256::add(b, c)),
+              bf::gf256::add(bf::gf256::mul(a, b), bf::gf256::mul(a, c)));
+  }
+  EXPECT_THROW(bf::gf256::inv(0), std::invalid_argument);
+}
+
+TEST(Shard, EncodeShapes) {
+  bu::Rng rng(2);
+  auto data = rng.bytes(1000);
+  auto shards = bf::shard_encode(data, 3, 5);
+  ASSERT_EQ(shards.size(), 5u);
+  for (const auto& s : shards) {
+    EXPECT_EQ(s.k, 3);
+    EXPECT_EQ(s.n, 5);
+    EXPECT_EQ(s.original_size, 1000u);
+    EXPECT_EQ(s.data.size(), 334u);  // ceil(1000/3)
+  }
+  EXPECT_THROW(bf::shard_encode(data, 0, 5), std::invalid_argument);
+  EXPECT_THROW(bf::shard_encode(data, 6, 5), std::invalid_argument);
+  EXPECT_THROW(bf::shard_encode(data, 128, 128), std::invalid_argument);
+}
+
+TEST(Shard, AllShardsDecode) {
+  bu::Rng rng(3);
+  auto data = rng.bytes(5000);
+  auto shards = bf::shard_encode(data, 4, 7);
+  auto out = bf::shard_decode(shards);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, data);
+}
+
+TEST(Shard, FewerThanKFails) {
+  bu::Rng rng(4);
+  auto data = rng.bytes(100);
+  auto shards = bf::shard_encode(data, 3, 5);
+  shards.resize(2);
+  EXPECT_FALSE(bf::shard_decode(shards).has_value());
+  EXPECT_FALSE(bf::shard_decode({}).has_value());
+}
+
+TEST(Shard, DuplicateShardsDontCount) {
+  bu::Rng rng(5);
+  auto data = rng.bytes(100);
+  auto shards = bf::shard_encode(data, 3, 5);
+  std::vector<bf::Shard> dupes = {shards[0], shards[0], shards[0]};
+  EXPECT_FALSE(bf::shard_decode(dupes).has_value());
+}
+
+TEST(Shard, TrivialReplication) {
+  // k=1: every shard alone reconstructs (paper: "Shard simply replicates").
+  bu::Rng rng(6);
+  auto data = rng.bytes(333);
+  auto shards = bf::shard_encode(data, 1, 4);
+  for (const auto& s : shards) {
+    auto out = bf::shard_decode({s});
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, data);
+  }
+}
+
+TEST(Shard, SerializeRoundTrip) {
+  bu::Rng rng(7);
+  auto shards = bf::shard_encode(rng.bytes(64), 2, 3);
+  auto back = bf::Shard::deserialize(shards[1].serialize());
+  EXPECT_EQ(back.index, shards[1].index);
+  EXPECT_EQ(back.data, shards[1].data);
+  EXPECT_EQ(back.original_size, 64u);
+}
+
+// Property: ANY k-subset of n shards reconstructs (the paper's fountain
+// guarantee). Sweep over (k, n) pairs and every k-subset for small n.
+class ShardSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ShardSweep, AnyKSubsetReconstructs) {
+  const auto [k, n] = GetParam();
+  bu::Rng rng(static_cast<std::uint64_t>(k * 100 + n));
+  auto data = rng.bytes(static_cast<std::size_t>(97 * k + 13));
+  auto shards = bf::shard_encode(data, k, n);
+
+  // Iterate all k-subsets via bitmask (n <= 8 here).
+  int subsets_tested = 0;
+  for (unsigned mask = 0; mask < (1u << n); ++mask) {
+    if (__builtin_popcount(mask) != k) continue;
+    std::vector<bf::Shard> subset;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) subset.push_back(shards[static_cast<std::size_t>(i)]);
+    }
+    auto out = bf::shard_decode(subset);
+    ASSERT_TRUE(out.has_value()) << "mask=" << mask;
+    ASSERT_EQ(*out, data) << "mask=" << mask;
+    ++subsets_tested;
+  }
+  EXPECT_GT(subsets_tested, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(KofN, ShardSweep,
+                         ::testing::Values(std::pair{1, 3}, std::pair{2, 3},
+                                           std::pair{2, 4}, std::pair{3, 5},
+                                           std::pair{3, 6}, std::pair{4, 6},
+                                           std::pair{5, 7}, std::pair{4, 8}));
+
+TEST(Shard, LargeKAndN) {
+  bu::Rng rng(9);
+  auto data = rng.bytes(20'000);
+  auto shards = bf::shard_encode(data, 20, 40);
+  // Take an arbitrary 20-subset: the odd-indexed shards.
+  std::vector<bf::Shard> subset;
+  for (std::size_t i = 1; i < shards.size(); i += 2) subset.push_back(shards[i]);
+  auto out = bf::shard_decode(subset);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, data);
+}
+
+TEST(Pow, LeadingZeroBits) {
+  EXPECT_EQ(bf::leading_zero_bits(bu::Bytes{0xff}), 0);
+  EXPECT_EQ(bf::leading_zero_bits(bu::Bytes{0x7f}), 1);
+  EXPECT_EQ(bf::leading_zero_bits(bu::Bytes{0x00, 0x80}), 8);
+  EXPECT_EQ(bf::leading_zero_bits(bu::Bytes{0x00, 0x01}), 15);
+  EXPECT_EQ(bf::leading_zero_bits(bu::Bytes{0x00, 0x00}), 16);
+}
+
+TEST(Pow, SolveAndVerify) {
+  const bu::Bytes context = bu::to_bytes("test-context");
+  auto nonce = bf::pow_solve(context, 12);
+  ASSERT_TRUE(nonce.has_value());
+  EXPECT_TRUE(bf::pow_verify(context, *nonce, 12));
+  EXPECT_FALSE(bf::pow_verify(context, *nonce + 1, 12) &&
+               bf::pow_verify(context, *nonce + 2, 12) &&
+               bf::pow_verify(context, *nonce + 3, 12));
+  // A stamp for one context is (overwhelmingly) invalid for another.
+  EXPECT_FALSE(bf::pow_verify(bu::to_bytes("other"), *nonce, 12));
+}
+
+TEST(Pow, DifficultyMonotone) {
+  const bu::Bytes context = bu::to_bytes("ctx");
+  auto nonce = bf::pow_solve(context, 14);
+  ASSERT_TRUE(nonce.has_value());
+  EXPECT_TRUE(bf::pow_verify(context, *nonce, 10));   // easier passes
+  // Attempt cap respected.
+  EXPECT_FALSE(bf::pow_solve(context, 60, 100).has_value());
+}

@@ -1,0 +1,239 @@
+// Adversarial/robustness tests: malformed wire input at every trust
+// boundary, consensus verification at clients, and failure injection.
+#include <gtest/gtest.h>
+
+#include "core/world.hpp"
+#include "tor/testbed.hpp"
+#include "tor/wire.hpp"
+
+namespace bc = bento::core;
+namespace bt = bento::tor;
+namespace bu = bento::util;
+
+TEST(Robustness, RelaySurvivesGarbageMessages) {
+  bt::Testbed bed;
+  bed.finalize();
+  bt::Router& relay = bed.router(0);
+  auto client = bed.make_client("attacker");
+
+  bu::Rng rng(1);
+  // Random garbage of assorted sizes, including cell-sized and cell-marked.
+  for (int i = 0; i < 50; ++i) {
+    bu::Bytes junk = rng.bytes(rng.uniform(1, 600));
+    bed.net().send(client->node(), relay.node(), std::move(junk));
+  }
+  bu::Bytes marked(bt::kCellLen + 1, 0);
+  marked[0] = bt::kCellFrameMarker;  // valid frame, garbage cell contents
+  bed.net().send(client->node(), relay.node(), marked);
+  bed.run();
+
+  // The relay still builds circuits afterwards.
+  bt::CircuitOrigin* circ = nullptr;
+  client->build_circuit({}, [&](bt::CircuitOrigin* c) { circ = c; });
+  bed.run();
+  EXPECT_NE(circ, nullptr);
+}
+
+TEST(Robustness, RelayCellsOnUnknownCircuitsIgnored) {
+  bt::Testbed bed;
+  bed.finalize();
+  bt::Router& relay = bed.router(1);
+  auto client = bed.make_client("attacker");
+
+  bt::Cell cell;
+  cell.circ_id = 0xdeadbeef;  // never created
+  cell.command = bt::CellCommand::Relay;
+  bed.net().send(client->node(), relay.node(), bt::frame_cell(cell));
+  cell.command = bt::CellCommand::Destroy;
+  bed.net().send(client->node(), relay.node(), bt::frame_cell(cell));
+  bed.run();
+  EXPECT_EQ(relay.counters().circuits_created, 0u);
+}
+
+TEST(Robustness, ClientRejectsForgedConsensus) {
+  bt::Testbed bed;
+  bed.finalize();
+  // A consensus signed by a different "authority".
+  bu::Rng rng(2);
+  bt::DirectoryAuthority rogue(rng);
+  auto forged = rogue.make_consensus(bed.sim().now());
+  EXPECT_THROW(bt::OnionProxy(bed.sim(), bed.net(),
+                              bento::sim::NodeSpec{"victim", 1e6, 1e6}, forged,
+                              bed.directory().authority_key(), bu::Rng(3)),
+               std::invalid_argument);
+}
+
+TEST(Robustness, BentoServerSurvivesProtocolGarbage) {
+  bc::BentoWorld world;
+  world.start();
+  auto client = world.make_client("attacker");
+  auto boxes = bc::BentoClient::find_boxes(world.bed().consensus());
+
+  // Raw stream to the Bento port, feeding junk instead of framed messages.
+  std::shared_ptr<bc::BentoConnection> conn;
+  client.bento->connect(boxes[0], [&](std::shared_ptr<bc::BentoConnection> c) {
+    conn = std::move(c);
+  });
+  world.run();
+  ASSERT_NE(conn, nullptr);
+
+  // Upload for a container that was never spawned.
+  conn->upload(bc::FunctionManifest{}, "x = 1\n", "", {},
+               [&](std::optional<bc::TokenPair> tokens, std::string error) {
+                 EXPECT_FALSE(tokens.has_value());
+                 EXPECT_FALSE(error.empty());
+               });
+  world.run();
+
+  // Spawn an unknown image.
+  bool spawn_ok = true;
+  conn->spawn("windows-me", [&](bool ok, std::string) { spawn_ok = ok; });
+  world.run();
+  EXPECT_FALSE(spawn_ok);
+
+  // Bogus shutdown token.
+  bool shutdown_ok = true;
+  conn->shutdown(bu::Bytes(bc::kTokenLen, 0xaa), [&](bool ok) { shutdown_ok = ok; });
+  world.run();
+  EXPECT_FALSE(shutdown_ok);
+
+  // The server is still healthy.
+  std::optional<bc::MiddleboxPolicy> policy;
+  conn->get_policy([&](std::optional<bc::MiddleboxPolicy> p) { policy = std::move(p); });
+  world.run();
+  EXPECT_TRUE(policy.has_value());
+  EXPECT_EQ(world.server_for(boxes[0])->live_containers(), 0u);
+}
+
+TEST(Robustness, DoubleSpawnDoubleUploadHandled) {
+  bc::BentoWorld world;
+  world.start();
+  auto client = world.make_client("alice");
+  auto boxes = bc::BentoClient::find_boxes(world.bed().consensus());
+  std::shared_ptr<bc::BentoConnection> conn;
+  client.bento->connect(boxes[0], [&](std::shared_ptr<bc::BentoConnection> c) {
+    conn = std::move(c);
+  });
+  world.run();
+  ASSERT_NE(conn, nullptr);
+
+  bool ok1 = false;
+  conn->spawn(bc::kImagePython, [&](bool ok, std::string) { ok1 = ok; });
+  world.run();
+  ASSERT_TRUE(ok1);
+
+  bc::FunctionManifest manifest;
+  manifest.name = "f";
+  manifest.resources.memory_bytes = 1 << 20;
+  manifest.resources.cpu_instructions = 1'000'000;
+  manifest.resources.disk_bytes = 1 << 20;
+  manifest.resources.network_bytes = 1 << 20;
+  std::optional<bc::TokenPair> first, second;
+  conn->upload(manifest, "def on_message(m):\n    api.send(m)\n", "", {},
+               [&](std::optional<bc::TokenPair> t, std::string) { first = std::move(t); });
+  world.run();
+  ASSERT_TRUE(first.has_value());
+
+  // Second upload into the same container is refused.
+  conn->upload(manifest, "def on_message(m):\n    pass\n", "", {},
+               [&](std::optional<bc::TokenPair> t, std::string e) {
+                 second = std::move(t);
+                 EXPECT_NE(e.find("already"), std::string::npos);
+               });
+  world.run();
+  EXPECT_FALSE(second.has_value());
+
+  // The original function still answers.
+  std::vector<bu::Bytes> outputs;
+  conn->set_output_handler([&](bu::Bytes out) { outputs.push_back(std::move(out)); });
+  conn->invoke(first->invocation.bytes(), bu::to_bytes("still here"));
+  world.run();
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_EQ(bu::to_string(outputs[0]), "still here");
+}
+
+TEST(Robustness, ClientStreamDeathOrphansFunctionSafely) {
+  // The paper: "Bento functions fate-share with the middlebox nodes they
+  // run on" — but a *client* vanishing must not hurt the function; it just
+  // loses its reply channel until someone re-invokes.
+  bc::BentoWorld world;
+  world.start();
+  auto alice = world.make_client("alice");
+  auto boxes = bc::BentoClient::find_boxes(world.bed().consensus());
+  std::shared_ptr<bc::BentoConnection> conn;
+  alice.bento->connect(boxes[0], [&](std::shared_ptr<bc::BentoConnection> c) {
+    conn = std::move(c);
+  });
+  world.run();
+  bool ok = false;
+  std::optional<bc::TokenPair> tokens;
+  conn->spawn(bc::kImagePython, [&](bool s, std::string) { ok = s; });
+  world.run();
+  ASSERT_TRUE(ok);
+  bc::FunctionManifest manifest;
+  manifest.name = "counter";
+  manifest.required = {bento::sandbox::Syscall::Clock};
+  manifest.resources.memory_bytes = 1 << 20;
+  manifest.resources.cpu_instructions = 1'000'000;
+  manifest.resources.disk_bytes = 1 << 20;
+  manifest.resources.network_bytes = 1 << 20;
+  conn->upload(manifest,
+               "state = {\"n\": 0}\n"
+               "def on_message(m):\n"
+               "    state[\"n\"] += 1\n"
+               "    api.send(str(state[\"n\"]))\n",
+               "", {},
+               [&](std::optional<bc::TokenPair> t, std::string) { tokens = std::move(t); });
+  world.run();
+  ASSERT_TRUE(tokens.has_value());
+
+  conn->invoke(tokens->invocation.bytes(), {});
+  world.run();
+  conn->close();  // Alice vanishes mid-life
+  world.run();
+  EXPECT_EQ(world.server_for(boxes[0])->live_containers(), 1u);  // still alive
+
+  // Bob picks the function up with the shared token; state survived.
+  auto bob = world.make_client("bob");
+  std::vector<bu::Bytes> outputs;
+  bob.bento->connect(boxes[0], [&](std::shared_ptr<bc::BentoConnection> c) {
+    ASSERT_NE(c, nullptr);
+    c->set_output_handler([&](bu::Bytes out) { outputs.push_back(std::move(out)); });
+    c->invoke(tokens->invocation.bytes(), {});
+  });
+  world.run();
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_EQ(bu::to_string(outputs[0]), "2");
+}
+
+TEST(Robustness, MidTransferCircuitDestroyCleansUpExit) {
+  bt::TestbedOptions options;
+  options.relay_bandwidth = 400e3;  // slow enough that 2 MB takes ~6 s
+  bt::Testbed bed(options);
+  bed.finalize();
+  bu::Rng rng(9);
+  const bu::Bytes big = rng.bytes(2'000'000);
+  bed.add_web_server(bt::parse_addr("93.184.216.34"),
+                     [&big](const std::string&) { return big; });
+  auto client = bed.make_client("alice");
+  bt::PathConstraints c;
+  c.exit_to = bt::Endpoint{bt::parse_addr("93.184.216.34"), 80};
+  bt::CircuitOrigin* circ = nullptr;
+  client->build_circuit(c, [&](bt::CircuitOrigin* built) { circ = built; });
+  bed.run();
+  ASSERT_NE(circ, nullptr);
+
+  std::size_t received = 0;
+  bt::Stream::Callbacks cbs;
+  cbs.on_data = [&](bu::ByteView d) { received += d.size(); };
+  bt::Stream* stream = circ->open_stream(*c.exit_to, std::move(cbs));
+  stream->set_on_connected([stream] { stream->send(bu::to_bytes("GET /big\n")); });
+  // Let a few hundred KB through, then kill the circuit.
+  bed.run_for(bu::Duration::seconds(2.5));
+  ASSERT_GT(received, 0u);
+  ASSERT_LT(received, big.size());
+  circ->destroy();
+  client->forget(circ);
+  bed.run();  // must quiesce: no runaway retransmission or leaked pumping
+  EXPECT_LT(received, big.size());
+}

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "sim/transport.hpp"
+#include "util/bytes.hpp"
+
+namespace bs = bento::sim;
+namespace bu = bento::util;
+using bu::Duration;
+using bu::Time;
+
+TEST(Simulator, OrdersEventsByTime) {
+  bs::Simulator sim(1);
+  std::vector<int> order;
+  sim.at(Time::from_seconds(2), [&] { order.push_back(2); });
+  sim.at(Time::from_seconds(1), [&] { order.push_back(1); });
+  sim.at(Time::from_seconds(3), [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().seconds(), 3.0);
+}
+
+TEST(Simulator, FifoTieBreakAtSameTime) {
+  bs::Simulator sim(1);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.at(Time::from_seconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, NestedScheduling) {
+  bs::Simulator sim(1);
+  int fired = 0;
+  sim.after(Duration::seconds(1), [&] {
+    sim.after(Duration::seconds(1), [&] { fired = 1; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().seconds(), 2.0);
+}
+
+TEST(Simulator, PastEventsClampToNow) {
+  bs::Simulator sim(1);
+  sim.after(Duration::seconds(5), [] {});
+  sim.run();
+  bool fired = false;
+  sim.at(Time::from_seconds(1), [&] { fired = true; });  // in the past
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now().seconds(), 5.0);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  bs::Simulator sim(1);
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.at(Time::from_seconds(i), [&] { ++count; });
+  }
+  sim.run_until(Time::from_seconds(5.5));
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now().seconds(), 5.5);
+  sim.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, RunWithLimit) {
+  bs::Simulator sim(1);
+  int count = 0;
+  for (int i = 0; i < 100; ++i) sim.after(Duration::millis(i), [&] { ++count; });
+  sim.run(10);
+  EXPECT_EQ(count, 10);
+}
+
+namespace {
+class Recorder : public bs::MessageHandler {
+ public:
+  explicit Recorder(bs::Simulator& sim) : sim_(sim) {}
+  void on_message(bs::NodeId from, bu::Bytes data) override {
+    arrivals.push_back({sim_.now(), from, std::move(data)});
+  }
+  struct Arrival {
+    Time when;
+    bs::NodeId from;
+    bu::Bytes data;
+  };
+  std::vector<Arrival> arrivals;
+
+ private:
+  bs::Simulator& sim_;
+};
+}  // namespace
+
+TEST(Network, DeliversMessageWithLatencyAndSerialization) {
+  bs::Simulator sim(1);
+  bs::Network net(sim);
+  Recorder rx(sim);
+  // 1 MB/s links so serialization delay is visible.
+  auto a = net.add_node({"a", 1e6, 1e6});
+  auto b = net.add_node({"b", 1e6, 1e6}, &rx);
+  net.set_latency(a, b, Duration::millis(50));
+
+  net.send(a, b, bu::Bytes(10000, 0x42));
+  sim.run();
+
+  ASSERT_EQ(rx.arrivals.size(), 1u);
+  EXPECT_EQ(rx.arrivals[0].from, a);
+  EXPECT_EQ(rx.arrivals[0].data.size(), 10000u);
+  // ~10ms uplink + 50ms latency + ~10ms downlink.
+  const double t = rx.arrivals[0].when.seconds();
+  EXPECT_NEAR(t, 0.070, 0.002);
+  EXPECT_EQ(net.stats(b).bytes_received, 10000u);
+  EXPECT_EQ(net.stats(a).messages_sent, 1u);
+}
+
+TEST(Network, IdleDelayMatchesObservedDelay) {
+  bs::Simulator sim(1);
+  bs::Network net(sim);
+  Recorder rx(sim);
+  auto a = net.add_node({"a", 2e6, 2e6});
+  auto b = net.add_node({"b", 5e6, 5e6}, &rx);
+  net.set_latency(a, b, Duration::millis(30));
+  net.send(a, b, bu::Bytes(5000, 1));
+  sim.run();
+  ASSERT_EQ(rx.arrivals.size(), 1u);
+  EXPECT_NEAR(rx.arrivals[0].when.seconds(),
+              net.idle_delay(a, b, 5000).to_seconds(), 1e-6);
+}
+
+TEST(Network, MessagesOnSameFlowStayOrdered) {
+  bs::Simulator sim(1);
+  bs::Network net(sim);
+  Recorder rx(sim);
+  auto a = net.add_node({"a", 1e6, 1e6});
+  auto b = net.add_node({"b", 1e6, 1e6}, &rx);
+  for (std::uint8_t i = 0; i < 50; ++i) net.send(a, b, bu::Bytes{i});
+  sim.run();
+  ASSERT_EQ(rx.arrivals.size(), 50u);
+  for (std::uint8_t i = 0; i < 50; ++i) EXPECT_EQ(rx.arrivals[i].data[0], i);
+}
+
+TEST(Network, UplinkSharedFairlyBetweenTwoReceivers) {
+  bs::Simulator sim(1);
+  bs::Network net(sim);
+  Recorder rx1(sim), rx2(sim);
+  auto server = net.add_node({"server", 1e6, 1e6});
+  auto c1 = net.add_node({"c1", 1e7, 1e7}, &rx1);
+  auto c2 = net.add_node({"c2", 1e7, 1e7}, &rx2);
+  net.set_latency(server, c1, Duration::millis(10));
+  net.set_latency(server, c2, Duration::millis(10));
+
+  // 100 x 10KB to each client: 2 MB total through a 1 MB/s uplink.
+  for (int i = 0; i < 100; ++i) {
+    net.send(server, c1, bu::Bytes(10000, 1));
+    net.send(server, c2, bu::Bytes(10000, 2));
+  }
+  sim.run();
+  ASSERT_EQ(rx1.arrivals.size(), 100u);
+  ASSERT_EQ(rx2.arrivals.size(), 100u);
+  // Both finish at ~2s (fair share), not one at 1s and the other at 2s.
+  const double t1 = rx1.arrivals.back().when.seconds();
+  const double t2 = rx2.arrivals.back().when.seconds();
+  EXPECT_NEAR(t1, t2, 0.05);
+  EXPECT_GT(t1, 1.9);
+  // And interleaved mid-flight: client 1's 50th arrival near t/2.
+  EXPECT_NEAR(rx1.arrivals[49].when.seconds(), t1 / 2, 0.1);
+}
+
+TEST(Network, FairShareRecoversWhenFlowEnds) {
+  bs::Simulator sim(1);
+  bs::Network net(sim);
+  Recorder rx1(sim), rx2(sim);
+  auto server = net.add_node({"server", 1e6, 1e6});
+  auto c1 = net.add_node({"c1", 1e7, 1e7}, &rx1);
+  auto c2 = net.add_node({"c2", 1e7, 1e7}, &rx2);
+  // c1 gets 1MB, c2 gets 2MB. After c1's flow drains (~2s), c2 should
+  // speed up and finish around 3s, not 4s.
+  for (int i = 0; i < 100; ++i) net.send(server, c1, bu::Bytes(10000, 1));
+  for (int i = 0; i < 200; ++i) net.send(server, c2, bu::Bytes(10000, 2));
+  sim.run();
+  EXPECT_NEAR(rx1.arrivals.back().when.seconds(), 2.0, 0.15);
+  EXPECT_NEAR(rx2.arrivals.back().when.seconds(), 3.0, 0.15);
+}
+
+TEST(Network, UnknownNodeThrows) {
+  bs::Simulator sim(1);
+  bs::Network net(sim);
+  auto a = net.add_node({"a", 1e6, 1e6});
+  EXPECT_THROW(net.send(a, 99, bu::Bytes{1}), std::out_of_range);
+  EXPECT_THROW(net.stats(99), std::out_of_range);
+  EXPECT_THROW(net.add_node({"bad", 0.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Network, DefaultLatencyApplies) {
+  bs::Simulator sim(1);
+  bs::Network net(sim);
+  net.set_default_latency(Duration::millis(123));
+  auto a = net.add_node({"a", 1e9, 1e9});
+  auto b = net.add_node({"b", 1e9, 1e9});
+  EXPECT_EQ(net.latency(a, b).to_millis(), 123);
+}
+
+TEST(Transport, SmallTransferIsRttBound) {
+  // 5 KB at 10 MB/s: transfer time negligible, so halving RTT halves delay.
+  auto d1 = bs::tcp_fetch_delay(5000, Duration::millis(100), 10e6);
+  auto d2 = bs::tcp_fetch_delay(5000, Duration::millis(50), 10e6);
+  EXPECT_NEAR(d1.to_seconds() / d2.to_seconds(), 2.0, 0.05);
+}
+
+TEST(Transport, LargeTransferIsBandwidthBound) {
+  auto d = bs::tcp_fetch_delay(100'000'000, Duration::millis(50), 10e6);
+  EXPECT_NEAR(d.to_seconds(), 10.0, 1.0);
+}
+
+TEST(Transport, SlowStartRounds) {
+  bs::TcpModelParams p;
+  EXPECT_EQ(bs::slow_start_rounds(1000, p), 0);
+  EXPECT_EQ(bs::slow_start_rounds(p.init_cwnd_bytes, p), 0);
+  EXPECT_EQ(bs::slow_start_rounds(p.init_cwnd_bytes + 1, p), 1);
+  EXPECT_GT(bs::slow_start_rounds(1'000'000, p), 3);
+  EXPECT_LT(bs::slow_start_rounds(1'000'000'000ULL, p), 41);
+}
+
+TEST(Transport, AblationDisablesSlowStart) {
+  bs::TcpModelParams with{};
+  bs::TcpModelParams without{};
+  without.model_slow_start = false;
+  auto dw = bs::tcp_fetch_delay(1'000'000, Duration::millis(100), 10e6, with);
+  auto dwo = bs::tcp_fetch_delay(1'000'000, Duration::millis(100), 10e6, without);
+  EXPECT_GT(dw.to_seconds(), dwo.to_seconds());
+}
+
+// Property sweep: delay is monotone in size and RTT.
+class TransportSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TransportSweep, MonotoneInSizeAndRtt) {
+  const std::size_t size = GetParam();
+  auto base = bs::tcp_fetch_delay(size, Duration::millis(80), 5e6);
+  auto bigger = bs::tcp_fetch_delay(size * 2 + 1, Duration::millis(80), 5e6);
+  auto slower = bs::tcp_fetch_delay(size, Duration::millis(160), 5e6);
+  EXPECT_GE(bigger.count_micros(), base.count_micros());
+  EXPECT_GT(slower.count_micros(), base.count_micros());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TransportSweep,
+                         ::testing::Values(100, 1000, 14600, 100000, 5000000));

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "tor/address.hpp"
+#include "tor/cell.hpp"
+#include "tor/exitpolicy.hpp"
+#include "tor/flow.hpp"
+#include "tor/wire.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+
+namespace bt = bento::tor;
+namespace bu = bento::util;
+
+TEST(Address, ParseFormatRoundTrip) {
+  EXPECT_EQ(bt::format_addr(bt::parse_addr("10.1.2.3")), "10.1.2.3");
+  EXPECT_EQ(bt::parse_addr("0.0.0.0"), 0u);
+  EXPECT_EQ(bt::parse_addr("255.255.255.255"), 0xffffffffu);
+  EXPECT_EQ(bt::parse_addr("1.0.0.0"), 0x01000000u);
+}
+
+TEST(Address, ParseRejectsBad) {
+  EXPECT_THROW(bt::parse_addr("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(bt::parse_addr("1.2.3.256"), std::invalid_argument);
+  EXPECT_THROW(bt::parse_addr("1.2.3.4.5"), std::invalid_argument);
+  EXPECT_THROW(bt::parse_addr("a.b.c.d"), std::invalid_argument);
+}
+
+TEST(Address, Slash16) {
+  EXPECT_EQ(bt::slash16(bt::parse_addr("10.1.2.3")),
+            bt::slash16(bt::parse_addr("10.1.200.200")));
+  EXPECT_NE(bt::slash16(bt::parse_addr("10.1.2.3")),
+            bt::slash16(bt::parse_addr("10.2.2.3")));
+}
+
+TEST(Cell, PackUnpackRoundTrip) {
+  bt::Cell c;
+  c.circ_id = 0xdeadbeef;
+  c.command = bt::CellCommand::Relay;
+  bu::Rng rng(1);
+  bu::Bytes body = rng.bytes(bt::kCellPayloadLen);
+  std::copy(body.begin(), body.end(), c.payload.begin());
+
+  bu::Bytes wire = c.pack();
+  EXPECT_EQ(wire.size(), bt::kCellLen);
+  bt::Cell back = bt::Cell::unpack(wire);
+  EXPECT_EQ(back.circ_id, c.circ_id);
+  EXPECT_EQ(back.command, c.command);
+  EXPECT_EQ(back.payload, c.payload);
+}
+
+TEST(Cell, UnpackRejectsWrongSize) {
+  EXPECT_THROW(bt::Cell::unpack(bu::Bytes(10)), bu::ParseError);
+  EXPECT_THROW(bt::Cell::unpack(bu::Bytes(bt::kCellLen + 1)), bu::ParseError);
+}
+
+TEST(Cell, SetPayloadBounds) {
+  bt::Cell c;
+  c.set_payload(bu::Bytes(bt::kCellPayloadLen, 1));
+  EXPECT_EQ(c.payload[0], 1);
+  EXPECT_THROW(c.set_payload(bu::Bytes(bt::kCellPayloadLen + 1, 1)),
+               std::invalid_argument);
+}
+
+TEST(RelayCell, PackUnpackRoundTrip) {
+  bt::RelayCell rc;
+  rc.relay_cmd = bt::RelayCommand::Data;
+  rc.stream_id = 42;
+  rc.digest = 0x01020304;
+  rc.data = bu::to_bytes("hello tor");
+  auto payload = rc.pack();
+  bt::RelayCell back = bt::RelayCell::unpack(payload);
+  EXPECT_EQ(back.relay_cmd, rc.relay_cmd);
+  EXPECT_EQ(back.recognized, 0);
+  EXPECT_EQ(back.stream_id, rc.stream_id);
+  EXPECT_EQ(back.digest, rc.digest);
+  EXPECT_EQ(back.data, rc.data);
+}
+
+TEST(RelayCell, MaxDataFits) {
+  bt::RelayCell rc;
+  rc.data = bu::Bytes(bt::kRelayDataMax, 0x7f);
+  auto payload = rc.pack();
+  EXPECT_EQ(bt::RelayCell::unpack(payload).data.size(), bt::kRelayDataMax);
+  rc.data.push_back(1);
+  EXPECT_THROW(rc.pack(), std::invalid_argument);
+}
+
+TEST(RelayCell, UnpackRejectsBadLength) {
+  std::array<std::uint8_t, bt::kCellPayloadLen> payload{};
+  payload[9] = 0x7f;  // length field = 0x7fXX > kRelayDataMax
+  payload[10] = 0xff;
+  EXPECT_THROW(bt::RelayCell::unpack(payload), bu::ParseError);
+}
+
+TEST(Wire, FrameUnframeRoundTrip) {
+  bt::Cell c;
+  c.circ_id = 7;
+  c.command = bt::CellCommand::Create;
+  bu::Bytes framed = bt::frame_cell(c);
+  EXPECT_TRUE(bt::is_framed_cell(framed));
+  bt::Cell back = bt::unframe_cell(framed);
+  EXPECT_EQ(back.circ_id, 7u);
+  EXPECT_EQ(back.command, bt::CellCommand::Create);
+}
+
+TEST(Wire, TcpMessagesAreNotCells) {
+  bu::Bytes not_cell(bt::kCellLen + 1, 0x01);  // right size, wrong marker
+  EXPECT_FALSE(bt::is_framed_cell(not_cell));
+  bu::Bytes short_msg = {bt::kCellFrameMarker, 1, 2};
+  EXPECT_FALSE(bt::is_framed_cell(short_msg));
+  EXPECT_THROW(bt::unframe_cell(short_msg), bu::ParseError);
+}
+
+TEST(ExitPolicy, ParseAndMatch) {
+  auto p = bt::ExitPolicy::parse("accept *:80\naccept *:443\nreject *:*");
+  EXPECT_TRUE(p.allows({bt::parse_addr("1.2.3.4"), 80}));
+  EXPECT_TRUE(p.allows({bt::parse_addr("9.9.9.9"), 443}));
+  EXPECT_FALSE(p.allows({bt::parse_addr("1.2.3.4"), 22}));
+  EXPECT_TRUE(p.allows_anything());
+}
+
+TEST(ExitPolicy, FirstMatchWins) {
+  auto p = bt::ExitPolicy::parse("reject 10.0.0.0/8:*\naccept *:*");
+  EXPECT_FALSE(p.allows({bt::parse_addr("10.1.2.3"), 80}));
+  EXPECT_TRUE(p.allows({bt::parse_addr("11.1.2.3"), 80}));
+}
+
+TEST(ExitPolicy, PrefixAndPortRanges) {
+  auto p = bt::ExitPolicy::parse("accept 192.168.0.0/16:8000-9000\nreject *:*");
+  EXPECT_TRUE(p.allows({bt::parse_addr("192.168.55.1"), 8500}));
+  EXPECT_FALSE(p.allows({bt::parse_addr("192.169.0.1"), 8500}));
+  EXPECT_FALSE(p.allows({bt::parse_addr("192.168.0.1"), 7999}));
+  EXPECT_TRUE(p.allows({bt::parse_addr("192.168.0.1"), 8000}));
+  EXPECT_TRUE(p.allows({bt::parse_addr("192.168.0.1"), 9000}));
+}
+
+TEST(ExitPolicy, SingleHostSinglePort) {
+  auto p = bt::ExitPolicy::parse("accept 1.2.3.4:80, reject *:*");
+  EXPECT_TRUE(p.allows({bt::parse_addr("1.2.3.4"), 80}));
+  EXPECT_FALSE(p.allows({bt::parse_addr("1.2.3.5"), 80}));
+}
+
+TEST(ExitPolicy, EmptyRejects) {
+  bt::ExitPolicy p;
+  EXPECT_FALSE(p.allows({bt::parse_addr("1.2.3.4"), 80}));
+  EXPECT_FALSE(p.allows_anything());
+}
+
+TEST(ExitPolicy, RejectAllAllowsNothing) {
+  auto p = bt::ExitPolicy::reject_all();
+  EXPECT_FALSE(p.allows_anything());
+  EXPECT_TRUE(bt::ExitPolicy::accept_all().allows({1, 1}));
+}
+
+TEST(ExitPolicy, ParseRejectsMalformed) {
+  EXPECT_THROW(bt::ExitPolicy::parse("frobnicate *:80"), std::invalid_argument);
+  EXPECT_THROW(bt::ExitPolicy::parse("accept *"), std::invalid_argument);
+  EXPECT_THROW(bt::ExitPolicy::parse("accept 1.2.3.4/40:80"), std::invalid_argument);
+  EXPECT_THROW(bt::ExitPolicy::parse("accept *:90-80"), std::invalid_argument);
+  EXPECT_THROW(bt::ExitPolicy::parse("accept *:70000"), std::invalid_argument);
+}
+
+TEST(ExitPolicy, CommentsAndBlanksIgnored) {
+  auto p = bt::ExitPolicy::parse("# comment\n\n  accept *:80  \nreject *:*");
+  EXPECT_TRUE(p.allows({1, 80}));
+}
+
+TEST(ExitPolicy, SerializeRoundTrip) {
+  auto p = bt::ExitPolicy::parse("accept 10.2.0.0/16:443-8443\nreject *:*");
+  auto back = bt::ExitPolicy::deserialize(p.serialize());
+  EXPECT_EQ(back.to_string(), p.to_string());
+  EXPECT_TRUE(back.allows({bt::parse_addr("10.2.9.9"), 443}));
+  EXPECT_FALSE(back.allows({bt::parse_addr("10.3.9.9"), 443}));
+}
+
+TEST(ByteQueue, PushPopRechunks) {
+  bt::ByteQueue q;
+  q.push(bu::to_bytes("hello "));
+  q.push(bu::to_bytes("world"));
+  EXPECT_EQ(q.size(), 11u);
+  EXPECT_EQ(bu::to_string(q.pop(7)), "hello w");
+  EXPECT_EQ(bu::to_string(q.pop(100)), "orld");
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(q.pop(5).empty());
+}
+
+TEST(ByteQueue, ManySmallSegmentsPopLarge) {
+  bt::ByteQueue q;
+  for (int i = 0; i < 100; ++i) q.push(bu::Bytes{static_cast<std::uint8_t>(i)});
+  bu::Bytes all = q.pop(100);
+  ASSERT_EQ(all.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(all[static_cast<std::size_t>(i)], i);
+}

@@ -1,0 +1,369 @@
+// End-to-end tests over the full simulated Tor network: circuit building,
+// exit streams to clearnet servers, local (Bento-style) apps on relays,
+// flow control, cover traffic, and teardown.
+#include <gtest/gtest.h>
+
+#include "tor/testbed.hpp"
+#include "util/bytes.hpp"
+
+namespace bt = bento::tor;
+namespace bu = bento::util;
+namespace bs = bento::sim;
+
+namespace {
+bt::Endpoint web_endpoint() { return {bt::parse_addr("93.184.216.34"), 80}; }
+
+// Fetches `path` through a fresh circuit; returns body via out-param.
+struct FetchResult {
+  bool connected = false;
+  bu::Bytes body;
+  bool ended = false;
+  double seconds = -1;
+};
+
+FetchResult fetch_over_tor(bt::Testbed& bed, bt::OnionProxy& client,
+                           const std::string& path) {
+  FetchResult result;
+  bt::PathConstraints constraints;
+  constraints.exit_to = web_endpoint();
+  client.build_circuit(constraints, [&](bt::CircuitOrigin* circ) {
+    ASSERT_NE(circ, nullptr);
+    bt::Stream::Callbacks cbs;
+    cbs.on_data = [&result](bu::ByteView d) { bu::append(result.body, d); };
+    cbs.on_end = [&result, &bed] {
+      result.ended = true;
+      result.seconds = bed.sim().now().seconds();
+    };
+    bt::Stream* stream = circ->open_stream(web_endpoint(), std::move(cbs));
+    stream->set_on_connected([&result, stream, path] {
+      result.connected = true;
+      stream->send(bu::to_bytes("GET " + path + "\n"));
+    });
+  });
+  bed.run();
+  return result;
+}
+}  // namespace
+
+TEST(TorE2E, CircuitBuildsThreeHops) {
+  bt::Testbed bed;
+  bed.finalize();
+  auto client = bed.make_client("alice");
+  bt::CircuitOrigin* built = nullptr;
+  bt::PathConstraints constraints;
+  client->build_circuit(constraints, [&](bt::CircuitOrigin* c) { built = c; });
+  bed.run();
+  ASSERT_NE(built, nullptr);
+  EXPECT_TRUE(built->built());
+  EXPECT_EQ(built->hop_count(), 3);
+  EXPECT_EQ(client->open_circuits(), 1u);
+}
+
+TEST(TorE2E, CircuitBuildTakesRoundTrips) {
+  bt::TestbedOptions opt;
+  opt.min_latency = bu::Duration::millis(30);
+  opt.max_latency = bu::Duration::millis(30);
+  bt::Testbed bed(opt);
+  bed.finalize();
+  auto client = bed.make_client("alice");
+  double built_at = -1;
+  client->build_circuit({}, [&](bt::CircuitOrigin* c) {
+    ASSERT_NE(c, nullptr);
+    built_at = bed.sim().now().seconds();
+  });
+  bed.run();
+  // 3 handshake round trips over 1,2,3 hops = (2+4+6)*30ms = 360ms plus
+  // serialization; must be at least that and not wildly more.
+  EXPECT_GE(built_at, 0.36);
+  EXPECT_LT(built_at, 0.60);
+}
+
+TEST(TorE2E, FetchSmallPageThroughExit) {
+  bt::Testbed bed;
+  bed.finalize();
+  bed.add_web_server(web_endpoint().addr, [](const std::string& path) {
+    return bu::to_bytes("response for " + path);
+  });
+  auto client = bed.make_client("alice");
+  auto result = fetch_over_tor(bed, *client, "/index.html");
+  EXPECT_TRUE(result.connected);
+  EXPECT_TRUE(result.ended);
+  EXPECT_EQ(bu::to_string(result.body), "response for /index.html");
+}
+
+TEST(TorE2E, FetchLargeBodyCrossesManyCells) {
+  bt::Testbed bed;
+  bed.finalize();
+  bu::Rng content_rng(99);
+  const bu::Bytes big = content_rng.bytes(300'000);
+  bed.add_web_server(web_endpoint().addr,
+                     [&big](const std::string&) { return big; });
+  auto client = bed.make_client("alice");
+  auto result = fetch_over_tor(bed, *client, "/big");
+  EXPECT_TRUE(result.ended);
+  EXPECT_EQ(result.body, big);  // exact byte-for-byte through 3 onion layers
+}
+
+TEST(TorE2E, MissingPageReturns404) {
+  bt::Testbed bed;
+  bed.finalize();
+  bed.add_web_server(web_endpoint().addr, [](const std::string& path)
+                         -> std::optional<bu::Bytes> {
+    if (path == "/exists") return bu::to_bytes("ok");
+    return std::nullopt;
+  });
+  auto client = bed.make_client("alice");
+  auto result = fetch_over_tor(bed, *client, "/missing");
+  EXPECT_TRUE(result.ended);
+  EXPECT_EQ(bu::to_string(result.body), "404 not found\n");
+}
+
+TEST(TorE2E, ExitPolicyRefusesStream) {
+  bt::TestbedOptions opt;
+  opt.exit_policy = "accept *:443\nreject *:*";  // port 80 refused
+  bt::Testbed bed(opt);
+  bed.finalize();
+  bed.add_web_server(web_endpoint().addr,
+                     [](const std::string&) { return bu::to_bytes("x"); });
+  auto client = bed.make_client("alice");
+
+  bool connected = false, ended = false;
+  bt::PathConstraints constraints;  // internal circuit: last hop may be any relay
+  client->build_circuit(constraints, [&](bt::CircuitOrigin* circ) {
+    ASSERT_NE(circ, nullptr);
+    bt::Stream::Callbacks cbs;
+    cbs.on_connected = [&] { connected = true; };
+    cbs.on_end = [&] { ended = true; };
+    circ->open_stream(web_endpoint(), std::move(cbs));
+  });
+  bed.run();
+  EXPECT_FALSE(connected);
+  EXPECT_TRUE(ended);
+}
+
+TEST(TorE2E, UnknownDestinationEndsStream) {
+  bt::Testbed bed;
+  bed.finalize();
+  auto client = bed.make_client("alice");
+  bool ended = false;
+  bt::PathConstraints c;
+  c.exit_to = web_endpoint();
+  client->build_circuit(c, [&](bt::CircuitOrigin* circ) {
+    ASSERT_NE(circ, nullptr);
+    bt::Stream::Callbacks cbs;
+    cbs.on_end = [&] { ended = true; };
+    circ->open_stream(web_endpoint(), std::move(cbs));  // no server registered
+  });
+  bed.run();
+  EXPECT_TRUE(ended);
+}
+
+namespace {
+/// Local echo app bound to a relay port: echoes every chunk back n times.
+class EchoApp : public bt::LocalApp {
+ public:
+  explicit EchoApp(int repeat = 1) : repeat_(repeat) {}
+  bool on_stream_open(bt::EdgeStream& stream) override {
+    ++opened_;
+    stream.set_on_data([&stream, this](bu::ByteView data) {
+      for (int i = 0; i < repeat_; ++i) stream.send(data);
+    });
+    stream.set_on_end([this] { ++closed_; });
+    return accept_;
+  }
+  int opened_ = 0;
+  int closed_ = 0;
+  bool accept_ = true;
+  int repeat_;
+};
+}  // namespace
+
+TEST(TorE2E, LocalAppStreamEcho) {
+  bt::Testbed bed;
+  bed.finalize();
+  EchoApp app;
+  bt::Router& box = bed.router(bed.router_count() - 1);
+  box.bind_local_app(8888, &app);
+
+  auto client = bed.make_client("alice");
+  bu::Bytes received;
+  bool connected = false;
+  bt::PathConstraints c;
+  c.last_hop = box.fingerprint();
+  client->build_circuit(c, [&](bt::CircuitOrigin* circ) {
+    ASSERT_NE(circ, nullptr);
+    bt::Stream::Callbacks cbs;
+    cbs.on_data = [&](bu::ByteView d) { bu::append(received, d); };
+    bt::Stream* stream = circ->open_stream({box.addr(), 8888}, std::move(cbs));
+    stream->set_on_connected([&connected, stream] {
+      connected = true;
+      stream->send(bu::to_bytes("ping"));
+    });
+  });
+  bed.run();
+  EXPECT_TRUE(connected);
+  EXPECT_EQ(app.opened_, 1);
+  EXPECT_EQ(bu::to_string(received), "ping");
+}
+
+TEST(TorE2E, LocalAppCanRefuseStream) {
+  bt::Testbed bed;
+  bed.finalize();
+  EchoApp app;
+  app.accept_ = false;
+  bt::Router& box = bed.router(0);
+  box.bind_local_app(8888, &app);
+
+  auto client = bed.make_client("alice");
+  bool connected = false, ended = false;
+  bt::PathConstraints c;
+  c.last_hop = box.fingerprint();
+  client->build_circuit(c, [&](bt::CircuitOrigin* circ) {
+    bt::Stream::Callbacks cbs;
+    cbs.on_connected = [&] { connected = true; };
+    cbs.on_end = [&] { ended = true; };
+    circ->open_stream({box.addr(), 8888}, std::move(cbs));
+  });
+  bed.run();
+  EXPECT_FALSE(connected);
+  EXPECT_TRUE(ended);
+}
+
+TEST(TorE2E, UnboundPortEndsStream) {
+  bt::Testbed bed;
+  bed.finalize();
+  bt::Router& box = bed.router(0);
+  auto client = bed.make_client("alice");
+  bool ended = false;
+  bt::PathConstraints c;
+  c.last_hop = box.fingerprint();
+  client->build_circuit(c, [&](bt::CircuitOrigin* circ) {
+    bt::Stream::Callbacks cbs;
+    cbs.on_end = [&] { ended = true; };
+    circ->open_stream({box.addr(), 7777}, std::move(cbs));
+  });
+  bed.run();
+  EXPECT_TRUE(ended);
+}
+
+TEST(TorE2E, LargeUploadToLocalApp) {
+  // Client -> relay direction exercises the origin-side package windows and
+  // the SENDMEs the edge returns (forward flow control).
+  bt::Testbed bed;
+  bed.finalize();
+
+  struct SinkApp : bt::LocalApp {
+    bu::Bytes received;
+    bool ended = false;
+    bool on_stream_open(bt::EdgeStream& stream) override {
+      stream.set_on_data([this](bu::ByteView d) { bu::append(received, d); });
+      stream.set_on_end([this] { ended = true; });
+      return true;
+    }
+  } app;
+  bt::Router& box = bed.router(1);
+  box.bind_local_app(9000, &app);
+
+  auto client = bed.make_client("alice");
+  bu::Rng rng(5);
+  const bu::Bytes upload = rng.bytes(600'000);  // > 1000 cells: needs SENDMEs
+
+  bt::PathConstraints c;
+  c.last_hop = box.fingerprint();
+  client->build_circuit(c, [&](bt::CircuitOrigin* circ) {
+    ASSERT_NE(circ, nullptr);
+    bt::Stream* stream = circ->open_stream({box.addr(), 9000}, {});
+    stream->set_on_connected([&upload, stream] {
+      stream->send(upload);
+      stream->end();
+    });
+  });
+  bed.run();
+  EXPECT_EQ(app.received, upload);
+  EXPECT_TRUE(app.ended);
+}
+
+TEST(TorE2E, CoverDropCellsAbsorbedAtExit) {
+  bt::Testbed bed;
+  bed.finalize();
+  auto client = bed.make_client("alice");
+  bt::CircuitOrigin* circ = nullptr;
+  client->build_circuit({}, [&](bt::CircuitOrigin* c) { circ = c; });
+  bed.run();
+  ASSERT_NE(circ, nullptr);
+
+  bt::Router* last = bed.router_by_fingerprint(circ->path().back().fingerprint());
+  ASSERT_NE(last, nullptr);
+  const auto before = last->counters().cells_dropped;
+  for (int i = 0; i < 25; ++i) {
+    bt::RelayCell drop;
+    drop.relay_cmd = bt::RelayCommand::Drop;
+    drop.data = bu::Bytes(bt::kRelayDataMax, 0);
+    circ->send_relay(std::move(drop));
+  }
+  bed.run();
+  EXPECT_EQ(last->counters().cells_dropped, before + 25);
+}
+
+TEST(TorE2E, DestroyTearsDownWholeCircuit) {
+  bt::Testbed bed;
+  bed.finalize();
+  auto client = bed.make_client("alice");
+  bt::CircuitOrigin* circ = nullptr;
+  client->build_circuit({}, [&](bt::CircuitOrigin* c) { circ = c; });
+  bed.run();
+  ASSERT_NE(circ, nullptr);
+
+  bool destroyed_cb = false;
+  circ->set_on_destroy([&] { destroyed_cb = true; });
+  circ->destroy();
+  client->forget(circ);
+  bed.run();
+  EXPECT_TRUE(destroyed_cb);
+  EXPECT_EQ(client->open_circuits(), 0u);
+}
+
+TEST(TorE2E, TwoClientsConcurrentFetches) {
+  bt::Testbed bed;
+  bed.finalize();
+  bed.add_web_server(web_endpoint().addr, [](const std::string& path) {
+    return bu::to_bytes("body:" + path);
+  });
+  auto alice = bed.make_client("alice");
+  auto bob = bed.make_client("bob");
+  auto r1 = fetch_over_tor(bed, *alice, "/a");
+  auto r2 = fetch_over_tor(bed, *bob, "/b");
+  EXPECT_EQ(bu::to_string(r1.body), "body:/a");
+  EXPECT_EQ(bu::to_string(r2.body), "body:/b");
+}
+
+TEST(TorE2E, ManySequentialStreamsOnOneCircuit) {
+  bt::Testbed bed;
+  bed.finalize();
+  bed.add_web_server(web_endpoint().addr, [](const std::string& path) {
+    return bu::to_bytes("R" + path);
+  });
+  auto client = bed.make_client("alice");
+  bt::PathConstraints c;
+  c.exit_to = web_endpoint();
+  bt::CircuitOrigin* circ = nullptr;
+  client->build_circuit(c, [&](bt::CircuitOrigin* built) { circ = built; });
+  bed.run();
+  ASSERT_NE(circ, nullptr);
+
+  int completed = 0;
+  for (int i = 0; i < 10; ++i) {
+    bt::Stream::Callbacks cbs;
+    auto body = std::make_shared<bu::Bytes>();
+    const std::string path = "/r" + std::to_string(i);
+    cbs.on_data = [body](bu::ByteView d) { bu::append(*body, d); };
+    cbs.on_end = [body, &completed, path] {
+      EXPECT_EQ(bu::to_string(*body), "R" + path);
+      ++completed;
+    };
+    bt::Stream* stream = circ->open_stream(web_endpoint(), std::move(cbs));
+    stream->set_on_connected([stream, path] { stream->send(bu::to_bytes("GET " + path + "\n")); });
+    bed.run();
+  }
+  EXPECT_EQ(completed, 10);
+}

@@ -1,0 +1,193 @@
+// Website-fingerprinting pipeline: sites, traces, features, classifiers,
+// and a miniature Table-1 run.
+#include <gtest/gtest.h>
+
+#include "wf/classifier.hpp"
+#include "wf/experiment.hpp"
+#include "wf/features.hpp"
+#include "wf/sites.hpp"
+
+namespace bw = bento::wf;
+namespace bu = bento::util;
+
+TEST(Sites, PopularSitesAreDiverse) {
+  bu::Rng rng(1);
+  auto sites = bw::make_popular_sites(50, rng);
+  ASSERT_EQ(sites.size(), 50u);
+  std::set<std::size_t> totals;
+  std::set<bento::tor::Addr> addrs;
+  for (const auto& s : sites) {
+    totals.insert(s.total_bytes());
+    addrs.insert(s.addr);
+    EXPECT_GE(s.total_bytes(), 50'000u);
+    EXPECT_LE(s.total_bytes(), 4'000'000u);
+    EXPECT_GE(s.resource_bytes.size(), 4u);
+  }
+  EXPECT_EQ(addrs.size(), 50u);       // unique addresses
+  EXPECT_GE(totals.size(), 48u);      // essentially unique sizes
+}
+
+TEST(Sites, BodyDeterministicPerVisit) {
+  bu::Rng rng(2);
+  auto sites = bw::make_popular_sites(3, rng);
+  auto a = sites[0].body_for("/", 7, 0.05);
+  auto b = sites[0].body_for("/", 7, 0.05);
+  auto c = sites[0].body_for("/", 8, 0.05);
+  EXPECT_EQ(a, b);               // same visit: identical
+  EXPECT_NE(a.size(), c.size());  // different visit: jittered (w.h.p.)
+  EXPECT_EQ(bu::to_string(sites[0].body_for("/nope", 0, 0.0)), "404");
+}
+
+TEST(Sites, Table2SitesHaveExpectedShape) {
+  auto sites = bw::table2_sites();
+  ASSERT_EQ(sites.size(), 5u);
+  EXPECT_EQ(sites[0].domain, "indiatoday.in");
+  EXPECT_EQ(sites[4].domain, "aliexpress.com");
+  // aliexpress is the smallest (3.1s fastest row in the paper).
+  for (std::size_t i = 0; i + 1 < sites.size(); ++i) {
+    EXPECT_GT(sites[i].total_bytes(), sites[4].total_bytes());
+  }
+}
+
+namespace {
+bw::Trace make_trace(std::initializer_list<std::tuple<double, bool, std::size_t>> evs,
+                     int label) {
+  bw::Trace t;
+  for (const auto& [time, out, size] : evs) {
+    t.events.push_back({time, out, size});
+  }
+  t.label = label;
+  return t;
+}
+}  // namespace
+
+TEST(Trace, Accounting) {
+  auto t = make_trace({{0.0, true, 100}, {0.5, false, 1000}, {1.0, false, 500}}, 3);
+  EXPECT_EQ(t.bytes_out(), 100u);
+  EXPECT_EQ(t.bytes_in(), 1500u);
+  EXPECT_DOUBLE_EQ(t.duration(), 1.0);
+}
+
+TEST(Features, FixedDimensionAndSensitivity) {
+  auto t1 = make_trace({{0.0, true, 100}, {0.1, false, 5000}}, 0);
+  auto t2 = make_trace({{0.0, true, 100}, {0.1, false, 90000}, {0.2, false, 90000}}, 1);
+  auto f1 = bw::extract_features(t1);
+  auto f2 = bw::extract_features(t2);
+  EXPECT_EQ(f1.size(), bw::feature_dim());
+  EXPECT_EQ(f2.size(), bw::feature_dim());
+  EXPECT_NE(f1, f2);
+  // Empty trace does not crash.
+  auto f0 = bw::extract_features(bw::Trace{});
+  EXPECT_EQ(f0.size(), bw::feature_dim());
+}
+
+TEST(Features, NormalizerZeroMeanUnitVar) {
+  std::vector<bw::Features> rows = {{1, 10}, {3, 30}, {5, 50}};
+  auto n = bw::Normalizer::fit(rows);
+  auto z = n.apply({3, 30});
+  EXPECT_NEAR(z[0], 0.0, 1e-9);
+  EXPECT_NEAR(z[1], 0.0, 1e-9);
+  auto hi = n.apply({5, 50});
+  EXPECT_GT(hi[0], 1.0);
+}
+
+namespace {
+// Synthetic classification problem: `classes` Gaussian blobs.
+std::vector<bw::Example> blobs(int classes, int per_class, double spread,
+                               bu::Rng& rng) {
+  std::vector<bw::Example> out;
+  for (int c = 0; c < classes; ++c) {
+    const double cx = c * 10.0;
+    const double cy = (c % 3) * 8.0;
+    for (int i = 0; i < per_class; ++i) {
+      out.push_back({{rng.gaussian(cx, spread), rng.gaussian(cy, spread)}, c});
+    }
+  }
+  return out;
+}
+}  // namespace
+
+TEST(Classifier, KnnSeparatesBlobs) {
+  bu::Rng rng(5);
+  auto train = blobs(5, 20, 1.0, rng);
+  auto test = blobs(5, 10, 1.0, rng);
+  bw::KnnClassifier knn(3);
+  knn.train(train, rng);
+  EXPECT_GT(knn.accuracy(test), 0.95);
+}
+
+TEST(Classifier, KnnChanceOnOverlappingBlobs) {
+  bu::Rng rng(6);
+  auto train = blobs(5, 20, 100.0, rng);  // hopeless overlap
+  auto test = blobs(5, 10, 100.0, rng);
+  bw::KnnClassifier knn(3);
+  knn.train(train, rng);
+  EXPECT_LT(knn.accuracy(test), 0.55);
+}
+
+TEST(Classifier, MlpSeparatesBlobs) {
+  bu::Rng rng(7);
+  auto train = blobs(6, 30, 1.2, rng);
+  auto test = blobs(6, 12, 1.2, rng);
+  bw::MlpClassifier mlp(6, 32, 40, 0.05);
+  mlp.train(train, rng);
+  EXPECT_GT(mlp.accuracy(test), 0.9);
+}
+
+TEST(Classifier, MlpBeatsChanceOnXor) {
+  // Non-linearly-separable: requires the hidden layer.
+  bu::Rng rng(8);
+  std::vector<bw::Example> data;
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.uniform01() * 2 - 1;
+    const double y = rng.uniform01() * 2 - 1;
+    data.push_back({{x, y}, (x > 0) != (y > 0) ? 1 : 0});
+  }
+  std::vector<bw::Example> train(data.begin(), data.begin() + 300);
+  std::vector<bw::Example> test(data.begin() + 300, data.end());
+  bw::MlpClassifier mlp(2, 32, 80, 0.1);
+  mlp.train(train, rng);
+  EXPECT_GT(mlp.accuracy(test), 0.9);
+}
+
+TEST(Experiment, DefenseMetadata) {
+  EXPECT_EQ(bw::padding_bytes(bw::Defense::None), 0u);
+  EXPECT_EQ(bw::padding_bytes(bw::Defense::Browser1MB), 1'000'000u);
+  EXPECT_EQ(bw::padding_bytes(bw::Defense::Browser7MB), 7'000'000u);
+  EXPECT_NE(std::string(bw::to_string(bw::Defense::Browser0)).find("0MB"),
+            std::string::npos);
+}
+
+TEST(Experiment, MiniTable1ShowsDefenseShape) {
+  // Scaled-down Table 1: 8 sites, 5 visits. Unmodified Tor should be very
+  // fingerprintable; Browser+1MB should crush accuracy toward chance.
+  bu::Rng site_rng(99);
+  auto sites = bw::make_popular_sites(8, site_rng);
+
+  bw::CollectOptions options;
+  options.visits_per_site = 5;
+  options.seed = 7;
+
+  options.defense = bw::Defense::None;
+  auto plain = bw::collect_dataset(sites, options);
+  ASSERT_EQ(plain.size(), 40u);
+
+  options.defense = bw::Defense::Browser1MB;
+  auto padded = bw::collect_dataset(sites, options);
+  ASSERT_EQ(padded.size(), 40u);
+
+  auto plain_attack = bw::evaluate_attack(plain, 8, 3, 1);
+  auto padded_attack = bw::evaluate_attack(padded, 8, 3, 1);
+
+  EXPECT_GT(plain_attack.knn_accuracy, 0.8);
+  EXPECT_LT(padded_attack.knn_accuracy, plain_attack.knn_accuracy - 0.3);
+}
+
+TEST(Experiment, EvaluateAttackSplitsPerClass) {
+  bu::Rng rng(10);
+  auto data = blobs(4, 10, 1.0, rng);
+  auto result = bw::evaluate_attack(data, 4, 6, 1);
+  EXPECT_EQ(result.train_examples, 24);
+  EXPECT_EQ(result.test_examples, 16);
+  EXPECT_GT(result.knn_accuracy, 0.9);
+}
