@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multipath.dir/ext_multipath.cpp.o"
+  "CMakeFiles/ext_multipath.dir/ext_multipath.cpp.o.d"
+  "ext_multipath"
+  "ext_multipath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multipath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

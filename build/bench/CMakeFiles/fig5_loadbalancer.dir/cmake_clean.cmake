@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_loadbalancer.dir/fig5_loadbalancer.cpp.o"
+  "CMakeFiles/fig5_loadbalancer.dir/fig5_loadbalancer.cpp.o.d"
+  "fig5_loadbalancer"
+  "fig5_loadbalancer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_loadbalancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

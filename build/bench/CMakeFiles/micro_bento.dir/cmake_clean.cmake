@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_bento.dir/micro_bento.cpp.o"
+  "CMakeFiles/micro_bento.dir/micro_bento.cpp.o.d"
+  "micro_bento"
+  "micro_bento.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bento.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

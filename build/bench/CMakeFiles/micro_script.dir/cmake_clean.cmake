@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_script.dir/micro_script.cpp.o"
+  "CMakeFiles/micro_script.dir/micro_script.cpp.o.d"
+  "micro_script"
+  "micro_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tee.dir/micro_tee.cpp.o"
+  "CMakeFiles/micro_tee.dir/micro_tee.cpp.o.d"
+  "micro_tee"
+  "micro_tee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tor.dir/micro_tor.cpp.o"
+  "CMakeFiles/micro_tor.dir/micro_tor.cpp.o.d"
+  "micro_tor"
+  "micro_tor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

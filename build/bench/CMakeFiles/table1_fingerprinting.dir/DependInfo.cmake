@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_fingerprinting.cpp" "bench/CMakeFiles/table1_fingerprinting.dir/table1_fingerprinting.cpp.o" "gcc" "bench/CMakeFiles/table1_fingerprinting.dir/table1_fingerprinting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bento_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/functions/CMakeFiles/bento_functions.dir/DependInfo.cmake"
+  "/root/repo/build/src/wf/CMakeFiles/bento_wf.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/bento_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/sandbox/CMakeFiles/bento_sandbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/tor/CMakeFiles/bento_tor.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bento_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bento_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/script/CMakeFiles/bento_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bento_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

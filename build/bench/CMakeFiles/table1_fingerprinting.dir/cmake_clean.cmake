@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_fingerprinting.dir/table1_fingerprinting.cpp.o"
+  "CMakeFiles/table1_fingerprinting.dir/table1_fingerprinting.cpp.o.d"
+  "table1_fingerprinting"
+  "table1_fingerprinting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_fingerprinting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

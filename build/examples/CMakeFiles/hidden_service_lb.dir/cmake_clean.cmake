@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hidden_service_lb.dir/hidden_service_lb.cpp.o"
+  "CMakeFiles/hidden_service_lb.dir/hidden_service_lb.cpp.o.d"
+  "hidden_service_lb"
+  "hidden_service_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hidden_service_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hidden_service_lb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_dropbox.dir/sharded_dropbox.cpp.o"
+  "CMakeFiles/sharded_dropbox.dir/sharded_dropbox.cpp.o.d"
+  "sharded_dropbox"
+  "sharded_dropbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_dropbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

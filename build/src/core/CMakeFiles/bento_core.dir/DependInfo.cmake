@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/api.cpp" "src/core/CMakeFiles/bento_core.dir/api.cpp.o" "gcc" "src/core/CMakeFiles/bento_core.dir/api.cpp.o.d"
+  "/root/repo/src/core/client.cpp" "src/core/CMakeFiles/bento_core.dir/client.cpp.o" "gcc" "src/core/CMakeFiles/bento_core.dir/client.cpp.o.d"
+  "/root/repo/src/core/container.cpp" "src/core/CMakeFiles/bento_core.dir/container.cpp.o" "gcc" "src/core/CMakeFiles/bento_core.dir/container.cpp.o.d"
+  "/root/repo/src/core/message.cpp" "src/core/CMakeFiles/bento_core.dir/message.cpp.o" "gcc" "src/core/CMakeFiles/bento_core.dir/message.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/bento_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/bento_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/server.cpp" "src/core/CMakeFiles/bento_core.dir/server.cpp.o" "gcc" "src/core/CMakeFiles/bento_core.dir/server.cpp.o.d"
+  "/root/repo/src/core/stemfw.cpp" "src/core/CMakeFiles/bento_core.dir/stemfw.cpp.o" "gcc" "src/core/CMakeFiles/bento_core.dir/stemfw.cpp.o.d"
+  "/root/repo/src/core/tokens.cpp" "src/core/CMakeFiles/bento_core.dir/tokens.cpp.o" "gcc" "src/core/CMakeFiles/bento_core.dir/tokens.cpp.o.d"
+  "/root/repo/src/core/world.cpp" "src/core/CMakeFiles/bento_core.dir/world.cpp.o" "gcc" "src/core/CMakeFiles/bento_core.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bento_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bento_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bento_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tor/CMakeFiles/bento_tor.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/bento_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/sandbox/CMakeFiles/bento_sandbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/script/CMakeFiles/bento_script.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

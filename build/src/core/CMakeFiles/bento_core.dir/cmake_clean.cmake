@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bento_core.dir/api.cpp.o"
+  "CMakeFiles/bento_core.dir/api.cpp.o.d"
+  "CMakeFiles/bento_core.dir/client.cpp.o"
+  "CMakeFiles/bento_core.dir/client.cpp.o.d"
+  "CMakeFiles/bento_core.dir/container.cpp.o"
+  "CMakeFiles/bento_core.dir/container.cpp.o.d"
+  "CMakeFiles/bento_core.dir/message.cpp.o"
+  "CMakeFiles/bento_core.dir/message.cpp.o.d"
+  "CMakeFiles/bento_core.dir/policy.cpp.o"
+  "CMakeFiles/bento_core.dir/policy.cpp.o.d"
+  "CMakeFiles/bento_core.dir/server.cpp.o"
+  "CMakeFiles/bento_core.dir/server.cpp.o.d"
+  "CMakeFiles/bento_core.dir/stemfw.cpp.o"
+  "CMakeFiles/bento_core.dir/stemfw.cpp.o.d"
+  "CMakeFiles/bento_core.dir/tokens.cpp.o"
+  "CMakeFiles/bento_core.dir/tokens.cpp.o.d"
+  "CMakeFiles/bento_core.dir/world.cpp.o"
+  "CMakeFiles/bento_core.dir/world.cpp.o.d"
+  "libbento_core.a"
+  "libbento_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bento_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bento_crypto.dir/aead.cpp.o"
+  "CMakeFiles/bento_crypto.dir/aead.cpp.o.d"
+  "CMakeFiles/bento_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/bento_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/bento_crypto.dir/dh.cpp.o"
+  "CMakeFiles/bento_crypto.dir/dh.cpp.o.d"
+  "CMakeFiles/bento_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/bento_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/bento_crypto.dir/poly1305.cpp.o"
+  "CMakeFiles/bento_crypto.dir/poly1305.cpp.o.d"
+  "CMakeFiles/bento_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/bento_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/bento_crypto.dir/sign.cpp.o"
+  "CMakeFiles/bento_crypto.dir/sign.cpp.o.d"
+  "libbento_crypto.a"
+  "libbento_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bento_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

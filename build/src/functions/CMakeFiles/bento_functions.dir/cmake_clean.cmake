@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bento_functions.dir/library.cpp.o"
+  "CMakeFiles/bento_functions.dir/library.cpp.o.d"
+  "CMakeFiles/bento_functions.dir/loadbalancer.cpp.o"
+  "CMakeFiles/bento_functions.dir/loadbalancer.cpp.o.d"
+  "CMakeFiles/bento_functions.dir/multipath.cpp.o"
+  "CMakeFiles/bento_functions.dir/multipath.cpp.o.d"
+  "CMakeFiles/bento_functions.dir/pow.cpp.o"
+  "CMakeFiles/bento_functions.dir/pow.cpp.o.d"
+  "CMakeFiles/bento_functions.dir/shard.cpp.o"
+  "CMakeFiles/bento_functions.dir/shard.cpp.o.d"
+  "libbento_functions.a"
+  "libbento_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bento_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

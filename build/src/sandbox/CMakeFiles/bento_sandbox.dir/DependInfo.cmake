@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sandbox/netfilter.cpp" "src/sandbox/CMakeFiles/bento_sandbox.dir/netfilter.cpp.o" "gcc" "src/sandbox/CMakeFiles/bento_sandbox.dir/netfilter.cpp.o.d"
+  "/root/repo/src/sandbox/resources.cpp" "src/sandbox/CMakeFiles/bento_sandbox.dir/resources.cpp.o" "gcc" "src/sandbox/CMakeFiles/bento_sandbox.dir/resources.cpp.o.d"
+  "/root/repo/src/sandbox/syscalls.cpp" "src/sandbox/CMakeFiles/bento_sandbox.dir/syscalls.cpp.o" "gcc" "src/sandbox/CMakeFiles/bento_sandbox.dir/syscalls.cpp.o.d"
+  "/root/repo/src/sandbox/vfs.cpp" "src/sandbox/CMakeFiles/bento_sandbox.dir/vfs.cpp.o" "gcc" "src/sandbox/CMakeFiles/bento_sandbox.dir/vfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bento_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tor/CMakeFiles/bento_tor.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bento_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bento_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

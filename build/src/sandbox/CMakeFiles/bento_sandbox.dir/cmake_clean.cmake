@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bento_sandbox.dir/netfilter.cpp.o"
+  "CMakeFiles/bento_sandbox.dir/netfilter.cpp.o.d"
+  "CMakeFiles/bento_sandbox.dir/resources.cpp.o"
+  "CMakeFiles/bento_sandbox.dir/resources.cpp.o.d"
+  "CMakeFiles/bento_sandbox.dir/syscalls.cpp.o"
+  "CMakeFiles/bento_sandbox.dir/syscalls.cpp.o.d"
+  "CMakeFiles/bento_sandbox.dir/vfs.cpp.o"
+  "CMakeFiles/bento_sandbox.dir/vfs.cpp.o.d"
+  "libbento_sandbox.a"
+  "libbento_sandbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bento_sandbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/script/interp.cpp" "src/script/CMakeFiles/bento_script.dir/interp.cpp.o" "gcc" "src/script/CMakeFiles/bento_script.dir/interp.cpp.o.d"
+  "/root/repo/src/script/lexer.cpp" "src/script/CMakeFiles/bento_script.dir/lexer.cpp.o" "gcc" "src/script/CMakeFiles/bento_script.dir/lexer.cpp.o.d"
+  "/root/repo/src/script/parser.cpp" "src/script/CMakeFiles/bento_script.dir/parser.cpp.o" "gcc" "src/script/CMakeFiles/bento_script.dir/parser.cpp.o.d"
+  "/root/repo/src/script/stdlib.cpp" "src/script/CMakeFiles/bento_script.dir/stdlib.cpp.o" "gcc" "src/script/CMakeFiles/bento_script.dir/stdlib.cpp.o.d"
+  "/root/repo/src/script/value.cpp" "src/script/CMakeFiles/bento_script.dir/value.cpp.o" "gcc" "src/script/CMakeFiles/bento_script.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bento_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

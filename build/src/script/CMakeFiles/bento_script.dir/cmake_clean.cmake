@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bento_script.dir/interp.cpp.o"
+  "CMakeFiles/bento_script.dir/interp.cpp.o.d"
+  "CMakeFiles/bento_script.dir/lexer.cpp.o"
+  "CMakeFiles/bento_script.dir/lexer.cpp.o.d"
+  "CMakeFiles/bento_script.dir/parser.cpp.o"
+  "CMakeFiles/bento_script.dir/parser.cpp.o.d"
+  "CMakeFiles/bento_script.dir/stdlib.cpp.o"
+  "CMakeFiles/bento_script.dir/stdlib.cpp.o.d"
+  "CMakeFiles/bento_script.dir/value.cpp.o"
+  "CMakeFiles/bento_script.dir/value.cpp.o.d"
+  "libbento_script.a"
+  "libbento_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bento_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

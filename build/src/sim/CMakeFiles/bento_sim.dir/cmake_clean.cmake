@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bento_sim.dir/network.cpp.o"
+  "CMakeFiles/bento_sim.dir/network.cpp.o.d"
+  "CMakeFiles/bento_sim.dir/simulator.cpp.o"
+  "CMakeFiles/bento_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/bento_sim.dir/transport.cpp.o"
+  "CMakeFiles/bento_sim.dir/transport.cpp.o.d"
+  "libbento_sim.a"
+  "libbento_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bento_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

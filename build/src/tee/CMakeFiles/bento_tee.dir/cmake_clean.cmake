@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bento_tee.dir/attestation.cpp.o"
+  "CMakeFiles/bento_tee.dir/attestation.cpp.o.d"
+  "CMakeFiles/bento_tee.dir/conclave.cpp.o"
+  "CMakeFiles/bento_tee.dir/conclave.cpp.o.d"
+  "CMakeFiles/bento_tee.dir/enclave.cpp.o"
+  "CMakeFiles/bento_tee.dir/enclave.cpp.o.d"
+  "CMakeFiles/bento_tee.dir/epc.cpp.o"
+  "CMakeFiles/bento_tee.dir/epc.cpp.o.d"
+  "libbento_tee.a"
+  "libbento_tee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bento_tee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

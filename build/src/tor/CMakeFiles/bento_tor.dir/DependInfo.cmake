@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tor/address.cpp" "src/tor/CMakeFiles/bento_tor.dir/address.cpp.o" "gcc" "src/tor/CMakeFiles/bento_tor.dir/address.cpp.o.d"
+  "/root/repo/src/tor/cell.cpp" "src/tor/CMakeFiles/bento_tor.dir/cell.cpp.o" "gcc" "src/tor/CMakeFiles/bento_tor.dir/cell.cpp.o.d"
+  "/root/repo/src/tor/circuit.cpp" "src/tor/CMakeFiles/bento_tor.dir/circuit.cpp.o" "gcc" "src/tor/CMakeFiles/bento_tor.dir/circuit.cpp.o.d"
+  "/root/repo/src/tor/directory.cpp" "src/tor/CMakeFiles/bento_tor.dir/directory.cpp.o" "gcc" "src/tor/CMakeFiles/bento_tor.dir/directory.cpp.o.d"
+  "/root/repo/src/tor/exitpolicy.cpp" "src/tor/CMakeFiles/bento_tor.dir/exitpolicy.cpp.o" "gcc" "src/tor/CMakeFiles/bento_tor.dir/exitpolicy.cpp.o.d"
+  "/root/repo/src/tor/flow.cpp" "src/tor/CMakeFiles/bento_tor.dir/flow.cpp.o" "gcc" "src/tor/CMakeFiles/bento_tor.dir/flow.cpp.o.d"
+  "/root/repo/src/tor/hs.cpp" "src/tor/CMakeFiles/bento_tor.dir/hs.cpp.o" "gcc" "src/tor/CMakeFiles/bento_tor.dir/hs.cpp.o.d"
+  "/root/repo/src/tor/internet.cpp" "src/tor/CMakeFiles/bento_tor.dir/internet.cpp.o" "gcc" "src/tor/CMakeFiles/bento_tor.dir/internet.cpp.o.d"
+  "/root/repo/src/tor/ntor.cpp" "src/tor/CMakeFiles/bento_tor.dir/ntor.cpp.o" "gcc" "src/tor/CMakeFiles/bento_tor.dir/ntor.cpp.o.d"
+  "/root/repo/src/tor/pathselect.cpp" "src/tor/CMakeFiles/bento_tor.dir/pathselect.cpp.o" "gcc" "src/tor/CMakeFiles/bento_tor.dir/pathselect.cpp.o.d"
+  "/root/repo/src/tor/proxy.cpp" "src/tor/CMakeFiles/bento_tor.dir/proxy.cpp.o" "gcc" "src/tor/CMakeFiles/bento_tor.dir/proxy.cpp.o.d"
+  "/root/repo/src/tor/relaycrypto.cpp" "src/tor/CMakeFiles/bento_tor.dir/relaycrypto.cpp.o" "gcc" "src/tor/CMakeFiles/bento_tor.dir/relaycrypto.cpp.o.d"
+  "/root/repo/src/tor/router.cpp" "src/tor/CMakeFiles/bento_tor.dir/router.cpp.o" "gcc" "src/tor/CMakeFiles/bento_tor.dir/router.cpp.o.d"
+  "/root/repo/src/tor/testbed.cpp" "src/tor/CMakeFiles/bento_tor.dir/testbed.cpp.o" "gcc" "src/tor/CMakeFiles/bento_tor.dir/testbed.cpp.o.d"
+  "/root/repo/src/tor/wire.cpp" "src/tor/CMakeFiles/bento_tor.dir/wire.cpp.o" "gcc" "src/tor/CMakeFiles/bento_tor.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bento_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bento_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bento_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bento_tor.dir/address.cpp.o"
+  "CMakeFiles/bento_tor.dir/address.cpp.o.d"
+  "CMakeFiles/bento_tor.dir/cell.cpp.o"
+  "CMakeFiles/bento_tor.dir/cell.cpp.o.d"
+  "CMakeFiles/bento_tor.dir/circuit.cpp.o"
+  "CMakeFiles/bento_tor.dir/circuit.cpp.o.d"
+  "CMakeFiles/bento_tor.dir/directory.cpp.o"
+  "CMakeFiles/bento_tor.dir/directory.cpp.o.d"
+  "CMakeFiles/bento_tor.dir/exitpolicy.cpp.o"
+  "CMakeFiles/bento_tor.dir/exitpolicy.cpp.o.d"
+  "CMakeFiles/bento_tor.dir/flow.cpp.o"
+  "CMakeFiles/bento_tor.dir/flow.cpp.o.d"
+  "CMakeFiles/bento_tor.dir/hs.cpp.o"
+  "CMakeFiles/bento_tor.dir/hs.cpp.o.d"
+  "CMakeFiles/bento_tor.dir/internet.cpp.o"
+  "CMakeFiles/bento_tor.dir/internet.cpp.o.d"
+  "CMakeFiles/bento_tor.dir/ntor.cpp.o"
+  "CMakeFiles/bento_tor.dir/ntor.cpp.o.d"
+  "CMakeFiles/bento_tor.dir/pathselect.cpp.o"
+  "CMakeFiles/bento_tor.dir/pathselect.cpp.o.d"
+  "CMakeFiles/bento_tor.dir/proxy.cpp.o"
+  "CMakeFiles/bento_tor.dir/proxy.cpp.o.d"
+  "CMakeFiles/bento_tor.dir/relaycrypto.cpp.o"
+  "CMakeFiles/bento_tor.dir/relaycrypto.cpp.o.d"
+  "CMakeFiles/bento_tor.dir/router.cpp.o"
+  "CMakeFiles/bento_tor.dir/router.cpp.o.d"
+  "CMakeFiles/bento_tor.dir/testbed.cpp.o"
+  "CMakeFiles/bento_tor.dir/testbed.cpp.o.d"
+  "CMakeFiles/bento_tor.dir/wire.cpp.o"
+  "CMakeFiles/bento_tor.dir/wire.cpp.o.d"
+  "libbento_tor.a"
+  "libbento_tor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bento_tor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbento_tor.a"
+)

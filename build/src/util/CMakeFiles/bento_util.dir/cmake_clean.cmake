@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bento_util.dir/bytes.cpp.o"
+  "CMakeFiles/bento_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/bento_util.dir/log.cpp.o"
+  "CMakeFiles/bento_util.dir/log.cpp.o.d"
+  "CMakeFiles/bento_util.dir/rng.cpp.o"
+  "CMakeFiles/bento_util.dir/rng.cpp.o.d"
+  "CMakeFiles/bento_util.dir/serialize.cpp.o"
+  "CMakeFiles/bento_util.dir/serialize.cpp.o.d"
+  "CMakeFiles/bento_util.dir/zlite.cpp.o"
+  "CMakeFiles/bento_util.dir/zlite.cpp.o.d"
+  "libbento_util.a"
+  "libbento_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bento_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

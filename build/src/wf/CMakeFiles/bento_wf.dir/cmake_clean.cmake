@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bento_wf.dir/classifier.cpp.o"
+  "CMakeFiles/bento_wf.dir/classifier.cpp.o.d"
+  "CMakeFiles/bento_wf.dir/experiment.cpp.o"
+  "CMakeFiles/bento_wf.dir/experiment.cpp.o.d"
+  "CMakeFiles/bento_wf.dir/features.cpp.o"
+  "CMakeFiles/bento_wf.dir/features.cpp.o.d"
+  "CMakeFiles/bento_wf.dir/pageload.cpp.o"
+  "CMakeFiles/bento_wf.dir/pageload.cpp.o.d"
+  "CMakeFiles/bento_wf.dir/sites.cpp.o"
+  "CMakeFiles/bento_wf.dir/sites.cpp.o.d"
+  "CMakeFiles/bento_wf.dir/trace.cpp.o"
+  "CMakeFiles/bento_wf.dir/trace.cpp.o.d"
+  "libbento_wf.a"
+  "libbento_wf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bento_wf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/functions_e2e_test.dir/functions_e2e_test.cpp.o"
+  "CMakeFiles/functions_e2e_test.dir/functions_e2e_test.cpp.o.d"
+  "functions_e2e_test"
+  "functions_e2e_test.pdb"
+  "functions_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/functions_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tor_cell_test.dir/tor_cell_test.cpp.o"
+  "CMakeFiles/tor_cell_test.dir/tor_cell_test.cpp.o.d"
+  "tor_cell_test"
+  "tor_cell_test.pdb"
+  "tor_cell_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tor_cell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tor_crypto_test.dir/tor_crypto_test.cpp.o"
+  "CMakeFiles/tor_crypto_test.dir/tor_crypto_test.cpp.o.d"
+  "tor_crypto_test"
+  "tor_crypto_test.pdb"
+  "tor_crypto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tor_crypto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

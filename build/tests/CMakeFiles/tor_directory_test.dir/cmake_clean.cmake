@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tor_directory_test.dir/tor_directory_test.cpp.o"
+  "CMakeFiles/tor_directory_test.dir/tor_directory_test.cpp.o.d"
+  "tor_directory_test"
+  "tor_directory_test.pdb"
+  "tor_directory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tor_directory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

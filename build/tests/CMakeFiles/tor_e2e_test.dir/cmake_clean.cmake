@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tor_e2e_test.dir/tor_e2e_test.cpp.o"
+  "CMakeFiles/tor_e2e_test.dir/tor_e2e_test.cpp.o.d"
+  "tor_e2e_test"
+  "tor_e2e_test.pdb"
+  "tor_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tor_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

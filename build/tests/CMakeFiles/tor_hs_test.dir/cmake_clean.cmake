@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tor_hs_test.dir/tor_hs_test.cpp.o"
+  "CMakeFiles/tor_hs_test.dir/tor_hs_test.cpp.o.d"
+  "tor_hs_test"
+  "tor_hs_test.pdb"
+  "tor_hs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tor_hs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

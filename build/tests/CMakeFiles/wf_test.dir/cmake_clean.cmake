@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wf_test.dir/wf_test.cpp.o"
+  "CMakeFiles/wf_test.dir/wf_test.cpp.o.d"
+  "wf_test"
+  "wf_test.pdb"
+  "wf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zlite_test.dir/zlite_test.cpp.o"
+  "CMakeFiles/zlite_test.dir/zlite_test.cpp.o.d"
+  "zlite_test"
+  "zlite_test.pdb"
+  "zlite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zlite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/zlite_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/tor_cell_test[1]_include.cmake")
+include("/root/repo/build/tests/tor_crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/tor_directory_test[1]_include.cmake")
+include("/root/repo/build/tests/tor_e2e_test[1]_include.cmake")
+include("/root/repo/build/tests/tor_hs_test[1]_include.cmake")
+include("/root/repo/build/tests/tee_test[1]_include.cmake")
+include("/root/repo/build/tests/sandbox_test[1]_include.cmake")
+include("/root/repo/build/tests/script_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/core_e2e_test[1]_include.cmake")
+include("/root/repo/build/tests/functions_test[1]_include.cmake")
+include("/root/repo/build/tests/functions_e2e_test[1]_include.cmake")
+include("/root/repo/build/tests/wf_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
