@@ -2,6 +2,7 @@
 // the paper's "functions in a high-level language" substrate.
 #include <benchmark/benchmark.h>
 
+#include "script/analyzer.hpp"
 #include "script/interp.hpp"
 #include "util/zlite.hpp"
 
@@ -27,6 +28,29 @@ def on_message(msg):
   }
 }
 BENCHMARK(BM_ParseBrowserSizedFunction);
+
+static void BM_AnalyzeBrowserSizedFunction(benchmark::State& state) {
+  // The static verifier runs once per upload, before Container::install;
+  // this is the admission-control overhead added to every function upload.
+  std::shared_ptr<const sc::Program> program = sc::parse(R"(
+state = {"padding": 0}
+def fetched(body):
+    compressed = zlib.compress(body)
+    final = compressed
+    padding = state["padding"]
+    if padding - len(final) > 0:
+        final = final + os.urandom(padding - len(final))
+    api.send(final)
+def on_message(msg):
+    req = str(msg).split(" ")
+    state["padding"] = int(req[1])
+    net.get(req[0], fetched)
+)");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sc::analyze(*program));
+  }
+}
+BENCHMARK(BM_AnalyzeBrowserSizedFunction);
 
 static void BM_InterpFib20(benchmark::State& state) {
   std::shared_ptr<const sc::Program> program = sc::parse(R"(

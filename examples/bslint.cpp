@@ -1,0 +1,99 @@
+// bslint — the BentoScript static verifier as a command-line tool.
+//
+// Usage:
+//   bslint file.bs [file2.bs ...]   lint BentoScript source files
+//   bslint                          lint the built-in function library
+//
+// For each program it prints the structured diagnostics, the inferred
+// capability set (the minimal manifest `required` list a box would accept
+// under VerifyMode::Enforce), and the static instruction lower bound.
+// Exit status is the number of programs with errors (capped at 125).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "functions/library.hpp"
+#include "script/analyzer.hpp"
+#include "script/parser.hpp"
+
+namespace sc = bento::script;
+namespace bc = bento::core;
+namespace bf = bento::functions;
+
+namespace {
+
+/// Lints one source; returns false when the program has errors (syntax or
+/// analysis) and prints everything the server would learn at upload time.
+bool lint(const std::string& name, const std::string& source) {
+  std::cout << "== " << name << " ==\n";
+  std::unique_ptr<sc::Program> program;
+  try {
+    program = sc::parse(source);
+  } catch (const sc::SyntaxError& e) {
+    std::cout << "  syntax error: " << e.what() << "\n\n";
+    return false;
+  }
+
+  const sc::AnalysisResult result = sc::analyze(*program);
+  for (const auto& d : result.diagnostics) {
+    std::cout << "  " << d.to_string() << "\n";
+  }
+  if (result.diagnostics.empty()) std::cout << "  no findings\n";
+
+  std::cout << "  modules:";
+  for (const auto& m : result.modules) std::cout << " " << m;
+  if (result.modules.empty()) std::cout << " (none)";
+  std::cout << "\n  required syscalls:";
+  for (const auto& use : result.required) {
+    std::cout << " " << bento::sandbox::to_string(use.syscall) << "(" << use.capability
+              << "@" << use.line << ")";
+  }
+  if (result.required.empty()) std::cout << " (none)";
+  std::cout << "\n  static step lower bound: " << result.min_steps << "\n\n";
+  return !result.has_errors();
+}
+
+bool lint_with_manifest(const std::string& name, const std::string& source,
+                        const bc::FunctionManifest& manifest) {
+  const bool ok = lint(name, source);
+  if (!ok) return false;
+  // Re-run the full admission decision the server makes under Enforce.
+  const bc::VerifyReport report = bc::verify_upload(*sc::parse(source), manifest);
+  if (!report.decision.admitted) {
+    std::cout << "  manifest check FAILED: " << report.decision.reason << "\n\n";
+    return false;
+  }
+  std::cout << "  manifest '" << manifest.name << "' admits this program\n\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int failures = 0;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      std::ifstream in(argv[i]);
+      if (!in) {
+        std::cerr << "bslint: cannot open " << argv[i] << "\n";
+        ++failures;
+        continue;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      if (!lint(argv[i], buf.str())) ++failures;
+    }
+  } else {
+    failures += !lint_with_manifest("browser", bf::browser_source(),
+                                    bf::browser_manifest());
+    failures += !lint_with_manifest("dropbox", bf::dropbox_source(),
+                                    bf::dropbox_manifest());
+    failures += !lint_with_manifest("cover", bf::cover_source(), bf::cover_manifest());
+    failures += !lint_with_manifest("policy-query", bf::policy_query_source(),
+                                    bf::policy_query_manifest());
+  }
+  return failures > 125 ? 125 : failures;
+}

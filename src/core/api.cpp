@@ -5,6 +5,50 @@
 
 namespace bento::core {
 
+const char* to_string(VerifyMode mode) {
+  switch (mode) {
+    case VerifyMode::Off: return "off";
+    case VerifyMode::Warn: return "warn";
+    case VerifyMode::Enforce: return "enforce";
+  }
+  return "?";
+}
+
+VerifyReport verify_upload(const script::Program& program,
+                           const FunctionManifest& manifest) {
+  VerifyReport report;
+  report.analysis = script::analyze(program);
+
+  if (const script::Diagnostic* err = report.analysis.first_error()) {
+    report.decision = {false, "static analysis failed: " + err->to_string()};
+    return report;
+  }
+
+  const std::set<sandbox::Syscall> declared(manifest.required.begin(),
+                                            manifest.required.end());
+  for (const auto& use : report.analysis.required) {
+    if (!declared.contains(use.syscall)) {
+      report.decision = {
+          false, "line " + std::to_string(use.line) + ": function reaches " +
+                     use.capability + " but the manifest does not request " +
+                     sandbox::to_string(use.syscall)};
+      return report;
+    }
+  }
+
+  if (report.analysis.min_steps > manifest.resources.cpu_instructions) {
+    report.decision = {
+        false,
+        "static instruction lower bound " +
+            std::to_string(report.analysis.min_steps) +
+            " exceeds the manifest cpu budget " +
+            std::to_string(manifest.resources.cpu_instructions)};
+    return report;
+  }
+
+  return report;
+}
+
 ParsedUrl parse_url(const std::string& url) {
   const std::string scheme = "http://";
   if (url.rfind(scheme, 0) != 0) {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/policy.hpp"
+#include "script/analyzer.hpp"
 #include "tor/address.hpp"
 #include "util/bytes.hpp"
 #include "util/time.hpp"
@@ -22,6 +23,33 @@
 namespace bento::core {
 
 class StemSession;
+
+// ---- static admission control (load-time verifier) ----
+
+/// How the server treats the BentoScript static verifier at upload time.
+///   Off     — dynamic enforcement only (manifest ∩ policy traps at runtime)
+///   Warn    — run the verifier, log findings, never reject
+///   Enforce — reject uploads with analysis errors, inferred capabilities
+///             beyond the manifest, or a static cost above the manifest's
+///             resource ceiling
+enum class VerifyMode : std::uint8_t { Off, Warn, Enforce };
+
+const char* to_string(VerifyMode mode);
+
+/// Full verifier output for one upload: the admission decision plus the raw
+/// analysis (diagnostics, inferred capabilities, static cost).
+struct VerifyReport {
+  PolicyDecision decision{true, ""};
+  script::AnalysisResult analysis;
+};
+
+/// Statically verifies a parsed function image against its manifest:
+/// (a) lint errors fail admission, (b) every inferred capability must be in
+/// manifest.required, (c) the static lower bound on interpreter steps must
+/// fit manifest.resources.cpu_instructions. Reasons carry source lines so
+/// the uploading client learns *why* (and where) it was refused.
+VerifyReport verify_upload(const script::Program& program,
+                           const FunctionManifest& manifest);
 
 /// URL of the form "http://<dotted-addr>[:port]/<path>".
 struct ParsedUrl {

@@ -108,7 +108,13 @@ void BentoConnection::on_stream_data(util::ByteView data) {
   raw_bytes_ += data.size();
   for (const Message& msg : framer_.feed(data)) {
     if (msg.type == MsgType::Output) {
-      if (output_) output_(msg.blob);
+      if (output_) {
+        // Run a copy so the handler may clear or replace itself (breaking a
+        // keep-alive reference cycle, say) without destroying the closure
+        // it is executing from.
+        auto handler = output_;
+        handler(msg.blob);
+      }
       continue;
     }
     if (pending_.empty()) {

@@ -41,7 +41,8 @@ Container::Container(BentoServer& server, std::uint64_t id, std::string image,
 Container::~Container() { *alive_ = false; }
 
 void Container::install(const FunctionManifest& manifest, const UploadBody& body,
-                        tor::EdgeStream* uploader) {
+                        tor::EdgeStream* uploader,
+                        std::shared_ptr<const script::Program> program) {
   manifest_ = manifest;
   // Enforced filter = manifest ∩ node policy; admit() already verified the
   // manifest fits, so constraining to the manifest alone implements the
@@ -70,7 +71,12 @@ void Container::install(const FunctionManifest& manifest, const UploadBody& body
     options.step_hook = [this](std::uint64_t steps) { resources_->charge_cpu(steps); };
     options.memory_hook = [this](std::size_t bytes) { update_memory(bytes); };
     options.print_hook = [this](const std::string& line) { log(line); };
-    function_ = std::make_unique<ScriptFunction>(body.source, std::move(options));
+    if (program != nullptr) {
+      function_ = std::make_unique<ScriptFunction>(std::move(program),
+                                                   std::move(options));
+    } else {
+      function_ = std::make_unique<ScriptFunction>(body.source, std::move(options));
+    }
   }
   // on_install runs guarded: a function that dies during install fails the
   // upload (the caller observes dead()).
@@ -372,7 +378,12 @@ std::string Container::box_fingerprint() const { return server_.fingerprint(); }
 
 ScriptFunction::ScriptFunction(const std::string& source,
                                script::InterpreterOptions options)
-    : interp_(std::make_unique<script::Interpreter>(script::parse(source),
+    : ScriptFunction(std::shared_ptr<const script::Program>(script::parse(source)),
+                     std::move(options)) {}
+
+ScriptFunction::ScriptFunction(std::shared_ptr<const script::Program> program,
+                               script::InterpreterOptions options)
+    : interp_(std::make_unique<script::Interpreter>(std::move(program),
                                                     std::move(options))) {
   script::install_stdlib(*interp_);
 }

@@ -61,8 +61,12 @@ class Container final : public HostApi {
   std::optional<tee::SecureChannel>& channel() { return channel_; }
 
   /// Installs the function; throws (sandbox/script/parse errors) on failure.
+  /// `program` is the pre-parsed (and statically verified) script image when
+  /// the server already parsed it; null makes the container parse `body`
+  /// itself.
   void install(const FunctionManifest& manifest, const UploadBody& body,
-               tor::EdgeStream* uploader);
+               tor::EdgeStream* uploader,
+               std::shared_ptr<const script::Program> program = nullptr);
 
   /// Routes one Invoke payload into the function.
   void handle_invoke(tor::EdgeStream* from, util::ByteView payload);
@@ -140,6 +144,10 @@ class ScriptFunction final : public Function {
   /// Parses the source eagerly (syntax errors fail the upload). The options
   /// carry the container's step/memory hooks.
   ScriptFunction(const std::string& source, script::InterpreterOptions options);
+  /// Reuses a program the server already parsed for static verification, so
+  /// one upload costs one parse.
+  ScriptFunction(std::shared_ptr<const script::Program> program,
+                 script::InterpreterOptions options);
   void on_install(HostApi& api, util::ByteView args) override;
   void on_message(HostApi& api, util::ByteView payload) override;
   void on_shutdown(HostApi& api) override;

@@ -1,5 +1,6 @@
 #include "core/server.hpp"
 
+#include "script/parser.hpp"
 #include "util/log.hpp"
 
 namespace bento::core {
@@ -203,8 +204,38 @@ void BentoServer::handle_upload(tor::EdgeStream* stream, const Message& msg) {
     return;
   }
 
+  // Script images are parsed once here; the parsed program feeds both the
+  // static verifier and (on admission) the container's interpreter.
+  std::shared_ptr<const script::Program> program;
+  if (body.native.empty()) {
+    try {
+      program = script::parse(body.source);
+    } catch (const script::SyntaxError& e) {
+      reply_error(stream, std::string("install failed: syntax error: ") + e.what());
+      remove_container(msg.container_id);
+      return;
+    }
+    if (config_.verify != VerifyMode::Off) {
+      const VerifyReport report = verify_upload(*program, manifest);
+      for (const auto& d : report.analysis.diagnostics) {
+        util::log_info(kComponent, "verify[", manifest.name, "]: ", d.to_string());
+      }
+      if (!report.decision.admitted) {
+        if (config_.verify == VerifyMode::Enforce) {
+          ++counters_.rejected_static;
+          reply_error(stream, "upload rejected by static verifier: " +
+                                  report.decision.reason);
+          remove_container(msg.container_id);
+          return;
+        }
+        util::log_info(kComponent, "verify[", manifest.name,
+                       "] would reject (mode=warn): ", report.decision.reason);
+      }
+    }
+  }
+
   try {
-    container.install(manifest, body, stream);
+    container.install(manifest, body, stream, std::move(program));
   } catch (const std::exception& e) {
     // If the container killed itself it already reported the reason.
     if (!container.dead()) reply_error(stream, std::string("install failed: ") + e.what());

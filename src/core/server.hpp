@@ -44,6 +44,10 @@ struct BentoServerConfig {
   bool sgx_available = true;
   int max_containers = 64;
   int stem_circuit_cap = 8;
+  /// Static admission control over uploaded BentoScript images. Warn runs
+  /// the verifier on every upload and logs findings without changing
+  /// admission; Enforce rejects before the container ever executes.
+  VerifyMode verify = VerifyMode::Warn;
 };
 
 class BentoServer : public tor::LocalApp {
@@ -91,6 +95,8 @@ class BentoServer : public tor::LocalApp {
     std::uint64_t spawns = 0;
     std::uint64_t uploads = 0;
     std::uint64_t rejected_manifests = 0;
+    /// Uploads refused by the static verifier (Enforce mode only).
+    std::uint64_t rejected_static = 0;
     std::uint64_t invokes = 0;
     std::uint64_t shutdowns = 0;
     std::uint64_t deaths = 0;

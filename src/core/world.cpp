@@ -25,6 +25,7 @@ void BentoWorld::start() {
     BentoServerConfig cfg;
     cfg.policy = options_.policy;
     cfg.sgx_available = options_.sgx_available;
+    cfg.verify = options_.verify;
     servers_.push_back(std::make_unique<BentoServer>(
         bed_.sim(), bed_.net(), router, bed_.directory(), bed_.consensus(), *ias_,
         natives_, cfg, bed_.rng().fork()));

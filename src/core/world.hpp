@@ -18,6 +18,8 @@ struct BentoWorldOptions {
   tor::TestbedOptions testbed;
   MiddleboxPolicy policy = MiddleboxPolicy::permissive();
   bool sgx_available = true;
+  /// Static admission control mode for every server in the world.
+  VerifyMode verify = VerifyMode::Warn;
 
   BentoWorldOptions() { testbed.all_bento = true; }
 };

@@ -92,8 +92,10 @@ void register_multipath(core::NativeRegistry& registry) {
 
 void MultipathFetcher::fetch(const std::string& exit_box, const std::string& url,
                              std::function<double()> now, DoneFn done) {
+  // The stripes' output handlers (owned by the connections, which
+  // BentoClient::live_ anchors) hold the only lasting references to this
+  // state; it must never point back at a connection or nothing would die.
   struct State {
-    std::vector<std::shared_ptr<core::BentoConnection>> conns;
     std::map<std::uint32_t, util::Bytes> chunks;
     std::vector<std::size_t> per_path_bytes;
     std::uint32_t total_chunks = 0;
@@ -160,7 +162,6 @@ void MultipathFetcher::fetch(const std::string& exit_box, const std::string& url
       finish(false);
       return;
     }
-    state->conns.push_back(conn);
     conn->spawn(core::kImagePython, [this, state, finish, attach_output, url,
                                      exit_box, conn](bool ok, std::string) {
       if (!ok) {
@@ -187,19 +188,22 @@ void MultipathFetcher::fetch(const std::string& exit_box, const std::string& url
             // Remaining stripes over their own, relay-disjoint circuits
             // (mTor-style: disjoint paths, common exit). Opened one after
             // another so each sees the relays its predecessors used.
+            // The stored function captures itself weakly: the pending
+            // connect callback (transient) carries the strong reference, so
+            // the chain stays alive exactly until the last path opens.
             auto open_path = std::make_shared<std::function<void(int)>>();
+            std::weak_ptr<std::function<void(int)>> weak_open = open_path;
             *open_path = [this, state, finish, attach_output, url, exit_box,
-                          open_path](int path) {
+                          weak_open](int path) {
               if (path >= state->circuits) return;
               bento_.connect(
                   exit_box, state->used_relays,
                   [state, finish, attach_output, url, path, exit_box,
-                   open_path](std::shared_ptr<core::BentoConnection> c2) {
+                   next = weak_open.lock()](std::shared_ptr<core::BentoConnection> c2) {
                     if (c2 == nullptr) {
                       finish(false);
                       return;
                     }
-                    state->conns.push_back(c2);
                     for (const auto& fp : c2->path_fingerprints()) {
                       if (fp != exit_box) state->used_relays.push_back(fp);
                     }
@@ -208,7 +212,7 @@ void MultipathFetcher::fetch(const std::string& exit_box, const std::string& url
                                util::to_bytes("FETCH " + url + " " +
                                               std::to_string(path) + " " +
                                               std::to_string(state->circuits)));
-                    (*open_path)(path + 1);
+                    if (next != nullptr) (*next)(path + 1);
                   });
             };
             (*open_path)(1);

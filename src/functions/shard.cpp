@@ -264,7 +264,10 @@ void ShardClient::fetch(const std::vector<Placement>& placements, FetchFn done) 
         collect(std::nullopt);
         return;
       }
-      conn->set_output_handler([collect, conn](util::Bytes out) {
+      // The handler must not capture `conn` (a connection owning a closure
+      // that owns the connection never dies); BentoClient::live_ keeps the
+      // connection alive for as long as the reply can arrive.
+      conn->set_output_handler([collect](util::Bytes out) {
         if (util::to_string(out) == "MISSING") {
           collect(std::nullopt);
           return;

@@ -1,0 +1,337 @@
+// Static verifier: lint diagnostics, capability inference over every host
+// module, the static cost lower bound, and the verify_upload admission
+// decision the server takes before Container::install.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/api.hpp"
+#include "functions/library.hpp"
+#include "script/analyzer.hpp"
+#include "script/parser.hpp"
+
+namespace bc = bento::core;
+namespace sc = bento::script;
+namespace sb = bento::sandbox;
+
+namespace {
+
+sc::AnalysisResult analyze(const std::string& source) {
+  return sc::analyze(*sc::parse(source));
+}
+
+/// First diagnostic with the given code, or nullptr.
+const sc::Diagnostic* find_code(const sc::AnalysisResult& result,
+                                const std::string& code) {
+  for (const auto& d : result.diagnostics) {
+    if (d.code == code) return &d;
+  }
+  return nullptr;
+}
+
+bc::FunctionManifest manifest_with(std::vector<sb::Syscall> required) {
+  bc::FunctionManifest m;
+  m.name = "unit";
+  m.required = std::move(required);
+  return m;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- lints ----
+
+TEST(Analyzer, UnknownNameIsBS101) {
+  const auto result = analyze("x = missing + 1\n");
+  const auto* d = find_code(result, "BS101");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, sc::Severity::Error);
+  EXPECT_EQ(d->line, 1);
+  EXPECT_NE(d->message.find("missing"), std::string::npos);
+  EXPECT_TRUE(result.has_errors());
+}
+
+TEST(Analyzer, UseBeforeDefinitionIsBS102) {
+  const auto result = analyze("x = later\nlater = 1\n");
+  const auto* d = find_code(result, "BS102");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->line, 1);
+  // The same name defined before use is fine.
+  EXPECT_EQ(find_code(analyze("later = 1\nx = later\n"), "BS102"), nullptr);
+}
+
+TEST(Analyzer, FunctionBodyMayUseLaterGlobals) {
+  // Bodies run after load, so forward references to globals are legal.
+  const auto result = analyze(
+      "def on_message(msg):\n"
+      "    api.send(greeting)\n"
+      "greeting = \"hi\"\n");
+  EXPECT_FALSE(result.has_errors());
+}
+
+TEST(Analyzer, UnknownModuleAttributeIsBS103) {
+  const auto result = analyze("def on_install(args):\n    fs.chmod(\"f\")\n");
+  const auto* d = find_code(result, "BS103");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("chmod"), std::string::npos);
+}
+
+TEST(Analyzer, BindingArityMismatchIsBS104) {
+  // fs.write takes exactly two arguments.
+  const auto result = analyze("def on_install(args):\n    fs.write(\"f\")\n");
+  ASSERT_NE(find_code(result, "BS104"), nullptr);
+}
+
+TEST(Analyzer, BuiltinArityMismatchIsBS104) {
+  ASSERT_NE(find_code(analyze("x = len()\n"), "BS104"), nullptr);
+  EXPECT_EQ(find_code(analyze("x = len(\"abc\")\n"), "BS104"), nullptr);
+}
+
+TEST(Analyzer, UserFunctionArityMismatchIsBS104) {
+  const auto result = analyze(
+      "def add(a, b):\n"
+      "    return a + b\n"
+      "x = add(1)\n");
+  const auto* d = find_code(result, "BS104");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->line, 3);
+}
+
+TEST(Analyzer, NonCallableAttributeIsBS104) {
+  // bento.self is a plain attribute, not a binding.
+  ASSERT_NE(
+      find_code(analyze("def on_install(args):\n    x = bento.self()\n"), "BS104"),
+      nullptr);
+  EXPECT_EQ(
+      find_code(analyze("def on_install(args):\n    x = bento.self\n"), "BS104"),
+      nullptr);
+}
+
+TEST(Analyzer, UnreachableStatementIsBS110) {
+  const auto result = analyze(
+      "def on_message(msg):\n"
+      "    return 1\n"
+      "    api.send(\"never\")\n");
+  const auto* d = find_code(result, "BS110");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, sc::Severity::Warning);
+  EXPECT_EQ(d->line, 3);
+  EXPECT_FALSE(result.has_errors());  // warnings never block an upload
+}
+
+TEST(Analyzer, ConstantConditionWhileIsBS111) {
+  ASSERT_NE(find_code(analyze("def on_message(msg):\n"
+                              "    while True:\n"
+                              "        x = 1\n"),
+                      "BS111"),
+            nullptr);
+  // A reachable break (even conditional) silences the lint.
+  EXPECT_EQ(find_code(analyze("def on_message(msg):\n"
+                              "    while True:\n"
+                              "        if msg == \"stop\":\n"
+                              "            break\n"),
+                      "BS111"),
+            nullptr);
+  // So does a return.
+  EXPECT_EQ(find_code(analyze("def on_message(msg):\n"
+                              "    while True:\n"
+                              "        return msg\n"),
+                      "BS111"),
+            nullptr);
+}
+
+TEST(Analyzer, MissingEntryPointsIsBS112) {
+  const auto result = analyze("x = 1\n");
+  const auto* d = find_code(result, "BS112");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, sc::Severity::Warning);
+  // Any of the three entry points satisfies the lint.
+  EXPECT_EQ(find_code(analyze("def on_install(args):\n    pass\n"), "BS112"),
+            nullptr);
+  EXPECT_EQ(find_code(analyze("def on_message(msg):\n    pass\n"), "BS112"),
+            nullptr);
+  EXPECT_EQ(find_code(analyze("def on_shutdown():\n    pass\n"), "BS112"),
+            nullptr);
+}
+
+// -------------------------------------------------- capability inference ----
+
+TEST(Analyzer, InfersCapabilitiesForEveryHostModule) {
+  const auto result = analyze(
+      "def on_message(msg):\n"
+      "    api.send(\"x\")\n"
+      "    fs.write(\"f\", msg)\n"
+      "    fs.read(\"f\")\n"
+      "    fs.delete(\"f\")\n"
+      "    net.get(\"example.com:80/\", on_message)\n"
+      "    r = os.urandom(8)\n"
+      "    t = time.now()\n"
+      "    z = zlib.compress(msg)\n"
+      "    bento.deploy(bento.self, \"img\", \"src\", \"\", \"\", on_message)\n");
+  EXPECT_FALSE(result.has_errors());
+
+  const std::set<std::string> want_modules = {"api", "fs",   "net",  "os",
+                                              "time", "zlib", "bento"};
+  EXPECT_EQ(result.modules, want_modules);
+
+  const auto syscalls = result.required_syscalls();
+  EXPECT_TRUE(syscalls.contains(sb::Syscall::FsWrite));
+  EXPECT_TRUE(syscalls.contains(sb::Syscall::FsRead));
+  EXPECT_TRUE(syscalls.contains(sb::Syscall::FsDelete));
+  EXPECT_TRUE(syscalls.contains(sb::Syscall::NetConnect));
+  EXPECT_TRUE(syscalls.contains(sb::Syscall::Random));
+  EXPECT_TRUE(syscalls.contains(sb::Syscall::Clock));
+  EXPECT_TRUE(syscalls.contains(sb::Syscall::SpawnFunction));
+
+  // api and zlib are capability-free.
+  EXPECT_EQ(syscalls.size(), 7u);
+}
+
+TEST(Analyzer, CapabilityRecordsFirstUseLine) {
+  const auto result = analyze(
+      "def on_message(msg):\n"
+      "    fs.write(\"a\", msg)\n"
+      "    fs.write(\"b\", msg)\n");
+  ASSERT_EQ(result.required.size(), 1u);
+  EXPECT_EQ(result.required[0].syscall, sb::Syscall::FsWrite);
+  EXPECT_EQ(result.required[0].capability, "fs.write");
+  EXPECT_EQ(result.required[0].line, 2);
+}
+
+TEST(Analyzer, BareModuleReferenceClaimsWholeModule) {
+  // Aliasing a module makes every binding reachable; the verifier must
+  // over-approximate rather than miss the escape.
+  const auto result = analyze(
+      "def on_message(msg):\n"
+      "    f = fs\n"
+      "    f.delete(msg)\n");
+  EXPECT_FALSE(result.has_errors());
+  const auto syscalls = result.required_syscalls();
+  EXPECT_TRUE(syscalls.contains(sb::Syscall::FsWrite));
+  EXPECT_TRUE(syscalls.contains(sb::Syscall::FsRead));
+  EXPECT_TRUE(syscalls.contains(sb::Syscall::FsDelete));
+}
+
+TEST(Analyzer, ShadowedModuleNameIsOrdinaryValue) {
+  // Rebinding `fs` severs the host module: no capabilities, no BS103.
+  const auto result = analyze(
+      "fs = 7\n"
+      "def on_message(msg):\n"
+      "    x = fs\n"
+      "    api.send(str(x))\n");
+  EXPECT_FALSE(result.has_errors());
+  EXPECT_FALSE(result.modules.contains("fs"));
+  EXPECT_TRUE(result.required_syscalls().empty());
+}
+
+// ----------------------------------------------------------- cost model ----
+
+TEST(Analyzer, CostCountsLiteralRangeLoops) {
+  const auto straight = analyze("def on_message(msg):\n    x = 1\nx = 0\n");
+  const auto loop = analyze(
+      "x = 0\n"
+      "for i in range(1000):\n"
+      "    x = x + i\n"
+      "def on_message(msg):\n"
+      "    api.send(str(x))\n");
+  // 1000 iterations of (driver + assign + expr) dominate the straight-line
+  // version; exact constants are an implementation detail.
+  EXPECT_GE(loop.min_steps, 1000u);
+  EXPECT_LT(straight.min_steps, 100u);
+}
+
+TEST(Analyzer, CostChargesOnInstallBody) {
+  const auto bare = analyze("def on_message(msg):\n    pass\n");
+  const auto with_install = analyze(
+      "def on_message(msg):\n    pass\n"
+      "def on_install(args):\n"
+      "    for i in range(500):\n"
+      "        x = i\n");
+  EXPECT_GT(with_install.min_steps, bare.min_steps + 500);
+}
+
+TEST(Analyzer, InfiniteLoopSaturatesCost) {
+  const auto result = analyze("while True:\n    pass\n");
+  EXPECT_GT(result.min_steps, std::uint64_t{1} << 40);
+}
+
+TEST(Analyzer, WhileMayRunZeroTimes) {
+  // A lower bound cannot assume the loop body ever executes.
+  const auto result = analyze(
+      "def on_message(msg):\n"
+      "    n = len(msg)\n"
+      "    while n > 0:\n"
+      "        n = n - 1\n");
+  EXPECT_LT(result.min_steps, 50u);
+}
+
+// --------------------------------------------------------- verify_upload ----
+
+TEST(VerifyUpload, RejectsManifestUnderstatingCapabilities) {
+  const auto program = sc::parse(
+      "def on_message(msg):\n"
+      "    fs.write(\"f\", msg)\n");
+  const auto report = bc::verify_upload(*program, manifest_with({}));
+  EXPECT_FALSE(report.decision.admitted);
+  // The reason names the capability, the missing syscall, and the line.
+  EXPECT_NE(report.decision.reason.find("line 2"), std::string::npos)
+      << report.decision.reason;
+  EXPECT_NE(report.decision.reason.find("fs.write"), std::string::npos);
+  EXPECT_NE(report.decision.reason.find("fs_write"), std::string::npos);
+}
+
+TEST(VerifyUpload, AdmitsWhenManifestCoversInferredSet) {
+  const auto program = sc::parse(
+      "def on_message(msg):\n"
+      "    fs.write(\"f\", msg)\n"
+      "    api.send(str(time.now()))\n");
+  const auto report = bc::verify_upload(
+      *program, manifest_with({sb::Syscall::FsWrite, sb::Syscall::Clock}));
+  EXPECT_TRUE(report.decision.admitted) << report.decision.reason;
+}
+
+TEST(VerifyUpload, RejectsOnStaticAnalysisError) {
+  const auto program = sc::parse("x = missing\n");
+  const auto report = bc::verify_upload(*program, manifest_with({}));
+  EXPECT_FALSE(report.decision.admitted);
+  EXPECT_NE(report.decision.reason.find("BS101"), std::string::npos);
+}
+
+TEST(VerifyUpload, WarningsDoNotBlockAdmission) {
+  const auto program = sc::parse("x = 1\n");  // BS112 only
+  const auto report = bc::verify_upload(*program, manifest_with({}));
+  EXPECT_TRUE(report.decision.admitted) << report.decision.reason;
+  EXPECT_NE(find_code(report.analysis, "BS112"), nullptr);
+}
+
+TEST(VerifyUpload, RejectsWhenCostExceedsCpuBudget) {
+  const auto program = sc::parse(
+      "def on_message(msg):\n    pass\n"
+      "for i in range(100000):\n"
+      "    x = i\n");
+  auto manifest = manifest_with({});
+  manifest.resources.cpu_instructions = 1000;
+  const auto report = bc::verify_upload(*program, manifest);
+  EXPECT_FALSE(report.decision.admitted);
+  EXPECT_NE(report.decision.reason.find("lower bound"), std::string::npos);
+}
+
+TEST(VerifyUpload, LibraryFunctionsPassTheirOwnManifests) {
+  namespace bf = bento::functions;
+  const struct {
+    const char* name;
+    const std::string& source;
+    bc::FunctionManifest manifest;
+  } cases[] = {
+      {"browser", bf::browser_source(), bf::browser_manifest()},
+      {"dropbox", bf::dropbox_source(), bf::dropbox_manifest()},
+      {"cover", bf::cover_source(), bf::cover_manifest()},
+      {"policy-query", bf::policy_query_source(), bf::policy_query_manifest()},
+  };
+  for (const auto& c : cases) {
+    const auto program = sc::parse(c.source);
+    const auto report = bc::verify_upload(*program, c.manifest);
+    EXPECT_TRUE(report.decision.admitted)
+        << c.name << ": " << report.decision.reason;
+    EXPECT_FALSE(report.analysis.has_errors()) << c.name;
+  }
+}

@@ -242,6 +242,83 @@ TEST(BentoE2E, SyntaxErrorFailsUpload) {
   EXPECT_FALSE(s.error.empty());
 }
 
+TEST(BentoE2E, EnforceModeRejectsManifestUnderstatingFunction) {
+  // Under VerifyMode::Enforce the static verifier refuses the upload before
+  // the container ever runs — with a line-numbered reason naming the
+  // capability the manifest failed to request.
+  bc::BentoWorldOptions options;
+  options.verify = bc::VerifyMode::Enforce;
+  bc::BentoWorld world(options);
+  world.start();
+  auto client = world.make_client("alice");
+  auto boxes = bc::BentoClient::find_boxes(world.bed().consensus());
+
+  bc::FunctionManifest manifest;
+  manifest.name = "sneaky";
+  manifest.required = {};  // claims nothing...
+  manifest.resources.memory_bytes = 1 << 20;
+  manifest.resources.cpu_instructions = 1'000'000;
+  manifest.resources.disk_bytes = 1 << 20;
+  manifest.resources.network_bytes = 1 << 20;
+
+  const std::string source = R"(
+def on_message(msg):
+    fs.write("x", msg)
+)";
+  auto s = establish(world, client, boxes[0], bc::kImagePython, source, "", {},
+                     manifest);
+  EXPECT_FALSE(s.tokens.has_value());
+  EXPECT_NE(s.error.find("static verifier"), std::string::npos) << s.error;
+  EXPECT_NE(s.error.find("line 3"), std::string::npos) << s.error;
+  EXPECT_NE(s.error.find("fs.write"), std::string::npos) << s.error;
+
+  bc::BentoServer* server = world.server_for(boxes[0]);
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->counters().rejected_static, 1u);
+  EXPECT_EQ(server->live_containers(), 0u);  // the spawned container is gone
+}
+
+TEST(BentoE2E, EnforceModeAdmitsCleanFunctionEndToEnd) {
+  bc::BentoWorldOptions options;
+  options.verify = bc::VerifyMode::Enforce;
+  bc::BentoWorld world(options);
+  world.start();
+  auto client = world.make_client("alice");
+  auto boxes = bc::BentoClient::find_boxes(world.bed().consensus());
+
+  auto s = establish(world, client, boxes[1], bc::kImagePython, kEchoSource);
+  ASSERT_TRUE(s.tokens.has_value()) << s.error;
+
+  s.conn->invoke(s.tokens->invocation.bytes(), bu::to_bytes("verified"));
+  world.run();
+  ASSERT_EQ(s.outputs.size(), 1u);
+  EXPECT_EQ(bu::to_string(s.outputs[0]), "echo: verified");
+  EXPECT_EQ(world.server_for(boxes[1])->counters().rejected_static, 0u);
+}
+
+TEST(BentoE2E, WarnModeAdmitsUnderstatingFunction) {
+  // The default mode only logs what Enforce would reject; the dynamic
+  // seccomp-style kill (FunctionExceedingManifestSyscallsDies) still rules.
+  bc::BentoWorld world;  // default verify = Warn
+  world.start();
+  auto client = world.make_client("alice");
+  auto boxes = bc::BentoClient::find_boxes(world.bed().consensus());
+
+  bc::FunctionManifest manifest;
+  manifest.name = "sneaky";
+  manifest.required = {};
+  manifest.resources.memory_bytes = 1 << 20;
+  manifest.resources.cpu_instructions = 1'000'000;
+  manifest.resources.disk_bytes = 1 << 20;
+  manifest.resources.network_bytes = 1 << 20;
+
+  auto s = establish(world, client, boxes[0], bc::kImagePython,
+                     "def on_message(msg):\n    fs.write(\"x\", msg)\n", "", {},
+                     manifest);
+  EXPECT_TRUE(s.tokens.has_value()) << s.error;
+  EXPECT_EQ(world.server_for(boxes[0])->counters().rejected_static, 0u);
+}
+
 TEST(BentoE2E, InvalidTokenRejected) {
   bc::BentoWorld world;
   world.start();
