@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Run the datapath microbenchmarks and distill BENCH_datapath.json.
+#
+# Usage: bench/run_benchmarks.sh [build-dir] [out-json]
+#
+# The JSON records keystream throughput (seed scalar baseline vs the current
+# 8-block kernel), the 3-hop relay datapath (cells/s, MB/s, allocs/cell), and
+# simulator event churn (events/s, allocs/event). CI runs this as a smoke
+# check: it fails if the zero-allocation invariant of the cell datapath is
+# broken or the kernel regresses below 3x the in-binary scalar baseline.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+out_json="${2:-${repo_root}/BENCH_datapath.json}"
+min_time="${BENCH_MIN_TIME:-0.2}"
+
+bin="${build_dir}/bench/datapath"
+if [[ ! -x "${bin}" ]]; then
+  echo "error: ${bin} not built (cmake --build ${build_dir} --target datapath)" >&2
+  exit 1
+fi
+
+raw_json="$(mktemp)"
+trap 'rm -f "${raw_json}"' EXIT
+
+"${bin}" --benchmark_format=json --benchmark_min_time="${min_time}" \
+  >"${raw_json}"
+
+python3 - "${raw_json}" "${out_json}" <<'PY'
+import json
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+by_name = {b["name"]: b for b in raw["benchmarks"]}
+
+def mb_s(name):
+    return round(by_name[name]["bytes_per_second"] / 1e6, 1)
+
+def counter(name, key):
+    return by_name[name][key]
+
+seed_509 = mb_s("BM_ChaCha20Seed/509")
+seed_8192 = mb_s("BM_ChaCha20Seed/8192")
+new_509 = mb_s("BM_ChaCha20/509")
+new_8192 = mb_s("BM_ChaCha20/8192")
+
+relay = by_name["BM_RelayDatapath3Hop"]
+churn = by_name["BM_SimulatorEventChurn"]
+frame = by_name["BM_CellFrameUnframe"]
+
+distilled = {
+    "bench": "datapath",
+    "context": {
+        "host_cpus": raw["context"]["num_cpus"],
+        "mhz_per_cpu": raw["context"]["mhz_per_cpu"],
+        "build_type": raw["context"].get("library_build_type", "unknown"),
+    },
+    "chacha20": {
+        "seed_scalar_mb_s_509": seed_509,
+        "seed_scalar_mb_s_8192": seed_8192,
+        "kernel_mb_s_509": new_509,
+        "kernel_mb_s_8192": new_8192,
+        "speedup_509": round(new_509 / seed_509, 2),
+        "speedup_8192": round(new_8192 / seed_8192, 2),
+    },
+    "relay_datapath_3hop": {
+        "cells_per_sec": round(relay["items_per_second"]),
+        "mb_per_sec": round(relay["bytes_per_second"] / 1e6, 1),
+        "allocs_per_cell": relay["allocs_per_cell"],
+    },
+    "cell_frame_unframe": {
+        "cells_per_sec": round(frame["items_per_second"]),
+        "allocs_per_cell": frame["allocs_per_cell"],
+    },
+    "simulator_event_churn": {
+        "events_per_sec": round(churn["items_per_second"]),
+        "allocs_per_event": churn["allocs_per_event"],
+    },
+}
+
+with open(out_path, "w") as f:
+    json.dump(distilled, f, indent=2)
+    f.write("\n")
+
+print(json.dumps(distilled, indent=2))
+
+# Smoke assertions: the invariants this PR establishes must hold wherever
+# the benchmark runs, independent of absolute host speed.
+failures = []
+if distilled["relay_datapath_3hop"]["allocs_per_cell"] != 0:
+    failures.append("relay datapath allocates per cell")
+if distilled["simulator_event_churn"]["allocs_per_event"] != 0:
+    failures.append("simulator event churn allocates per event")
+if distilled["chacha20"]["speedup_509"] < 3.0:
+    failures.append("ChaCha20 509B speedup below 3x scalar baseline")
+if distilled["chacha20"]["speedup_8192"] < 3.0:
+    failures.append("ChaCha20 8KiB speedup below 3x scalar baseline")
+if failures:
+    print("BENCH SMOKE FAILURES: " + "; ".join(failures), file=sys.stderr)
+    sys.exit(1)
+PY
+
+echo "wrote ${out_json}"

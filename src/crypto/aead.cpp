@@ -30,7 +30,12 @@ Digest compute_tag(const AeadKey& key, const ChaChaNonce& nonce, util::ByteView 
 
 util::Bytes aead_seal(const AeadKey& key, const ChaChaNonce& nonce,
                       util::ByteView aad, util::ByteView plaintext) {
-  util::Bytes out = chacha20_xor(key.enc, nonce, 1, plaintext);
+  // Build the output buffer once (ciphertext + tag room) and crypt in place
+  // instead of round-tripping the plaintext through a second copy.
+  util::Bytes out;
+  out.reserve(plaintext.size() + kAeadTagLen);
+  out.assign(plaintext.begin(), plaintext.end());
+  chacha20_xor_inplace(key.enc, nonce, 1, out);
   const Digest tag = compute_tag(key, nonce, aad, out);
   out.insert(out.end(), tag.begin(), tag.begin() + kAeadTagLen);
   return out;
@@ -45,7 +50,9 @@ std::optional<util::Bytes> aead_open(const AeadKey& key, const ChaChaNonce& nonc
   if (!util::ct_equal(tag, util::ByteView(expect.data(), kAeadTagLen))) {
     return std::nullopt;
   }
-  return chacha20_xor(key.enc, nonce, 1, ciphertext);
+  util::Bytes plaintext(ciphertext.begin(), ciphertext.end());
+  chacha20_xor_inplace(key.enc, nonce, 1, plaintext);
+  return plaintext;
 }
 
 ChaChaNonce nonce_from_counter(std::uint64_t counter) {

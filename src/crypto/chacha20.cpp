@@ -5,19 +5,181 @@
 namespace bento::crypto {
 
 namespace {
-std::uint32_t rotl(std::uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
-
-void quarter_round(std::array<std::uint32_t, 16>& s, int a, int b, int c, int d) {
-  s[a] += s[b]; s[d] ^= s[a]; s[d] = rotl(s[d], 16);
-  s[c] += s[d]; s[b] ^= s[c]; s[b] = rotl(s[b], 12);
-  s[a] += s[b]; s[d] ^= s[a]; s[d] = rotl(s[d], 8);
-  s[c] += s[d]; s[b] ^= s[c]; s[b] = rotl(s[b], 7);
-}
-
 std::uint32_t load32(const std::uint8_t* p) {
   return static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
          static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
 }
+
+void store32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+// ---- 8-block interleaved keystream kernel -------------------------------
+//
+// Eight blocks are produced per refill, stored lane-innermost (x[word][lane])
+// so every quarter-round statement is one 8-wide SIMD operation. On GCC and
+// Clang the body is written with vector extensions (portable: the compiler
+// splits the 32-byte vectors into whatever the target ISA offers) and is
+// instantiated twice — once compiled for AVX2 and once for the baseline ISA
+// — with a one-time runtime dispatch on cpuid. Elsewhere a plain scalar body
+// keeps the same 8 interleaved dependency chains for ILP.
+
+#if defined(__GNUC__) || defined(__clang__)
+#define BENTO_CHACHA_SIMD 1
+#endif
+
+#if BENTO_CHACHA_SIMD
+
+#if (defined(__clang__) || __GNUC__ >= 12) && \
+    __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+// Byte-granular rotates (16 and 8 bits) become single shuffle instructions
+// (vpshufb & co.). The u8/u16 lane indices below assume little-endian lane
+// layout; other targets use the shift-or fallback.
+#define BENTO_ROT16(v)                                                        \
+  __builtin_shufflevector((v), (v), 1, 0, 3, 2, 5, 4, 7, 6, 9, 8, 11, 10, 13, \
+                          12, 15, 14)
+#define BENTO_ROT8(v)                                                         \
+  __builtin_shufflevector((v), (v), 3, 0, 1, 2, 7, 4, 5, 6, 11, 8, 9, 10, 15, \
+                          12, 13, 14, 19, 16, 17, 18, 23, 20, 21, 22, 27, 24, \
+                          25, 26, 31, 28, 29, 30)
+#endif
+
+#define BENTO_CHACHA_QR(a, b, c, d)   \
+  x[a] += x[b];                       \
+  x[d] ^= x[a];                       \
+  BENTO_CHACHA_ROT16(x[d]);           \
+  x[c] += x[d];                       \
+  x[b] ^= x[c];                       \
+  x[b] = (x[b] << 12) | (x[b] >> 20); \
+  x[a] += x[b];                       \
+  x[d] ^= x[a];                       \
+  BENTO_CHACHA_ROT8(x[d]);            \
+  x[c] += x[d];                       \
+  x[b] ^= x[c];                       \
+  x[b] = (x[b] << 7) | (x[b] >> 25);
+
+#ifdef BENTO_ROT16
+#define BENTO_CHACHA_ROT16(v)                                              \
+  {                                                                        \
+    using v16 = std::uint16_t __attribute__((vector_size(32)));            \
+    v16 h;                                                                 \
+    std::memcpy(&h, &(v), 32);                                             \
+    h = BENTO_ROT16(h);                                                    \
+    std::memcpy(&(v), &h, 32);                                             \
+  }
+#define BENTO_CHACHA_ROT8(v)                                               \
+  {                                                                        \
+    using v8 = std::uint8_t __attribute__((vector_size(32)));              \
+    v8 b8;                                                                 \
+    std::memcpy(&b8, &(v), 32);                                            \
+    b8 = BENTO_ROT8(b8);                                                   \
+    std::memcpy(&(v), &b8, 32);                                            \
+  }
+#else
+#define BENTO_CHACHA_ROT16(v) (v) = ((v) << 16) | ((v) >> 16)
+#define BENTO_CHACHA_ROT8(v) (v) = ((v) << 8) | ((v) >> 24)
+#endif
+
+// `state` is the 16-word ChaCha state; writes 8 blocks (512 B) to `block`.
+#define BENTO_CHACHA_REFILL_BODY(state, block)                          \
+  using vec = std::uint32_t __attribute__((vector_size(32)));           \
+  const vec lane_idx = {0, 1, 2, 3, 4, 5, 6, 7};                        \
+  vec x[16];                                                            \
+  for (int i = 0; i < 16; ++i) x[i] = vec{} + (state)[i];               \
+  x[12] += lane_idx; /* per-lane block counters */                      \
+  for (int round = 0; round < 10; ++round) {                            \
+    BENTO_CHACHA_QR(0, 4, 8, 12)                                        \
+    BENTO_CHACHA_QR(1, 5, 9, 13)                                        \
+    BENTO_CHACHA_QR(2, 6, 10, 14)                                       \
+    BENTO_CHACHA_QR(3, 7, 11, 15)                                       \
+    BENTO_CHACHA_QR(0, 5, 10, 15)                                       \
+    BENTO_CHACHA_QR(1, 6, 11, 12)                                       \
+    BENTO_CHACHA_QR(2, 7, 8, 13)                                        \
+    BENTO_CHACHA_QR(3, 4, 9, 14)                                        \
+  }                                                                     \
+  for (int i = 0; i < 16; ++i) x[i] += vec{} + (state)[i];              \
+  x[12] += lane_idx;                                                    \
+  for (int l = 0; l < 8; ++l) {                                         \
+    std::uint8_t* out = (block) + 64 * l;                               \
+    for (int i = 0; i < 16; ++i) store32(out + 4 * i, x[i][l]);         \
+  }
+
+void refill_portable(const std::uint32_t* state, std::uint8_t* block) {
+  BENTO_CHACHA_REFILL_BODY(state, block)
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+__attribute__((target("avx2"))) void refill_avx2(const std::uint32_t* state,
+                                                 std::uint8_t* block) {
+  BENTO_CHACHA_REFILL_BODY(state, block)
+}
+#endif
+
+#undef BENTO_CHACHA_REFILL_BODY
+#undef BENTO_CHACHA_QR
+
+using RefillFn = void (*)(const std::uint32_t*, std::uint8_t*);
+
+RefillFn pick_refill() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx2")) return refill_avx2;
+#endif
+  return refill_portable;
+}
+
+const RefillFn kRefill = pick_refill();
+
+#else  // !BENTO_CHACHA_SIMD: scalar fallback, 8 interleaved chains
+
+void quarter_round(std::uint32_t x[16][8], int a, int b, int c, int d) {
+  for (int l = 0; l < 8; ++l) {
+    x[a][l] += x[b][l];
+    x[d][l] ^= x[a][l];
+    x[d][l] = (x[d][l] << 16) | (x[d][l] >> 16);
+    x[c][l] += x[d][l];
+    x[b][l] ^= x[c][l];
+    x[b][l] = (x[b][l] << 12) | (x[b][l] >> 20);
+    x[a][l] += x[b][l];
+    x[d][l] ^= x[a][l];
+    x[d][l] = (x[d][l] << 8) | (x[d][l] >> 24);
+    x[c][l] += x[d][l];
+    x[b][l] ^= x[c][l];
+    x[b][l] = (x[b][l] << 7) | (x[b][l] >> 25);
+  }
+}
+
+void refill_scalar(const std::uint32_t* state, std::uint8_t* block) {
+  std::uint32_t x[16][8];
+  for (int i = 0; i < 16; ++i) {
+    for (int l = 0; l < 8; ++l) x[i][l] = state[i];
+  }
+  for (int l = 0; l < 8; ++l) x[12][l] += static_cast<std::uint32_t>(l);
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x, 0, 4, 8, 12);
+    quarter_round(x, 1, 5, 9, 13);
+    quarter_round(x, 2, 6, 10, 14);
+    quarter_round(x, 3, 7, 11, 15);
+    quarter_round(x, 0, 5, 10, 15);
+    quarter_round(x, 1, 6, 11, 12);
+    quarter_round(x, 2, 7, 8, 13);
+    quarter_round(x, 3, 4, 9, 14);
+  }
+  for (int l = 0; l < 8; ++l) {
+    std::uint8_t* out = block + 64 * l;
+    for (int i = 0; i < 16; ++i) {
+      std::uint32_t v = x[i][l] + state[i];
+      if (i == 12) v += static_cast<std::uint32_t>(l);
+      store32(out + 4 * i, v);
+    }
+  }
+}
+
+constexpr auto kRefill = refill_scalar;
+
+#endif  // BENTO_CHACHA_SIMD
 }  // namespace
 
 ChaCha20::ChaCha20(const ChaChaKey& key, const ChaChaNonce& nonce, std::uint32_t counter) {
@@ -31,32 +193,33 @@ ChaCha20::ChaCha20(const ChaChaKey& key, const ChaChaNonce& nonce, std::uint32_t
 }
 
 void ChaCha20::refill() {
-  std::array<std::uint32_t, 16> x = state_;
-  for (int round = 0; round < 10; ++round) {
-    quarter_round(x, 0, 4, 8, 12);
-    quarter_round(x, 1, 5, 9, 13);
-    quarter_round(x, 2, 6, 10, 14);
-    quarter_round(x, 3, 7, 11, 15);
-    quarter_round(x, 0, 5, 10, 15);
-    quarter_round(x, 1, 6, 11, 12);
-    quarter_round(x, 2, 7, 8, 13);
-    quarter_round(x, 3, 4, 9, 14);
-  }
-  for (int i = 0; i < 16; ++i) {
-    const std::uint32_t v = x[i] + state_[i];
-    block_[4 * i] = static_cast<std::uint8_t>(v);
-    block_[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
-    block_[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
-    block_[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
-  }
-  state_[12] += 1;
+  kRefill(state_.data(), block_.data());
+  state_[12] += static_cast<std::uint32_t>(kLanes);
   used_ = 0;
 }
 
-void ChaCha20::process(util::Bytes& data) {
-  for (auto& byte : data) {
-    if (used_ == 64) refill();
-    byte ^= block_[used_++];
+void ChaCha20::process(std::span<std::uint8_t> data) {
+  std::size_t off = 0;
+  const std::size_t n = data.size();
+  while (off < n) {
+    if (used_ == block_.size()) refill();
+    const std::size_t take = std::min(block_.size() - used_, n - off);
+    std::uint8_t* d = data.data() + off;
+    const std::uint8_t* k = block_.data() + used_;
+    std::size_t i = 0;
+    // Word-at-a-time XOR; memcpy keeps it alignment- and aliasing-safe and
+    // the compiler widens the loop to full vector registers.
+    for (; i + 8 <= take; i += 8) {
+      std::uint64_t dv;
+      std::uint64_t kv;
+      std::memcpy(&dv, d + i, 8);
+      std::memcpy(&kv, k + i, 8);
+      dv ^= kv;
+      std::memcpy(d + i, &dv, 8);
+    }
+    for (; i < take; ++i) d[i] ^= k[i];
+    used_ += take;
+    off += take;
   }
 }
 
@@ -70,6 +233,12 @@ util::Bytes chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
                          std::uint32_t counter, util::ByteView data) {
   ChaCha20 c(key, nonce, counter);
   return c.transform(data);
+}
+
+void chacha20_xor_inplace(const ChaChaKey& key, const ChaChaNonce& nonce,
+                          std::uint32_t counter, std::span<std::uint8_t> data) {
+  ChaCha20 c(key, nonce, counter);
+  c.process(data);
 }
 
 }  // namespace bento::crypto

@@ -1,11 +1,20 @@
 // ChaCha20 stream cipher (RFC 8439).
 //
 // Provides the relay-crypto layers for onion encryption and the keystream
-// under the AEAD. Verified against the RFC 8439 test vector.
+// under the AEAD. Verified against the RFC 8439 test vectors.
+//
+// The keystream kernel generates eight 64-byte blocks per refill with the
+// quarter-round lanes interleaved (block-index innermost), so each round
+// statement is one wide SIMD operation (AVX2 when the CPU has it, split
+// vectors otherwise) and the blocks' dependency chains overlap. Consumption
+// XORs word-at-a-time against the block-aligned keystream buffer. `process`
+// works in place on a caller-owned span: the relay datapath crypts a cell
+// payload with zero heap allocations.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 #include "util/bytes.hpp"
 
@@ -21,21 +30,27 @@ class ChaCha20 {
  public:
   ChaCha20(const ChaChaKey& key, const ChaChaNonce& nonce, std::uint32_t counter = 0);
 
-  /// XORs the next keystream bytes into data (encrypt == decrypt).
-  void process(util::Bytes& data);
+  /// XORs the next keystream bytes into `data`, in place (encrypt == decrypt).
+  /// Accepts any contiguous mutable byte range, including util::Bytes.
+  void process(std::span<std::uint8_t> data);
 
   /// Convenience returning a transformed copy.
   util::Bytes transform(util::ByteView data);
 
  private:
+  static constexpr std::size_t kLanes = 8;  // blocks generated per refill
   void refill();
   std::array<std::uint32_t, 16> state_;
-  std::array<std::uint8_t, 64> block_;
-  std::size_t used_ = 64;  // forces refill on first use
+  alignas(64) std::array<std::uint8_t, 64 * kLanes> block_;
+  std::size_t used_ = 64 * kLanes;  // forces refill on first use
 };
 
 /// One-shot encryption with an explicit block counter.
 util::Bytes chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
                          std::uint32_t counter, util::ByteView data);
+
+/// One-shot in-place encryption: no copy of `data` is made.
+void chacha20_xor_inplace(const ChaChaKey& key, const ChaChaNonce& nonce,
+                          std::uint32_t counter, std::span<std::uint8_t> data);
 
 }  // namespace bento::crypto

@@ -158,9 +158,10 @@ namespace {
 Poly1305Tag chapoly_tag(const ChaChaKey& key, const ChaChaNonce& nonce,
                         util::ByteView aad, util::ByteView ciphertext) {
   // One-time key = first 32 bytes of the ChaCha20 block with counter 0.
-  util::Bytes otk_stream = chacha20_xor(key, nonce, 0, util::Bytes(32, 0));
+  // XOR-ing keystream into a zeroed array reads the keystream directly;
+  // no temporary buffers.
   Poly1305Key otk{};
-  std::memcpy(otk.data(), otk_stream.data(), 32);
+  chacha20_xor_inplace(key, nonce, 0, otk);
 
   auto pad16 = [](util::Bytes& b) {
     while (b.size() % 16 != 0) b.push_back(0);
@@ -181,7 +182,10 @@ Poly1305Tag chapoly_tag(const ChaChaKey& key, const ChaChaNonce& nonce,
 
 util::Bytes chapoly_seal(const ChaChaKey& key, const ChaChaNonce& nonce,
                          util::ByteView aad, util::ByteView plaintext) {
-  util::Bytes out = chacha20_xor(key, nonce, 1, plaintext);
+  util::Bytes out;
+  out.reserve(plaintext.size() + 16);
+  out.assign(plaintext.begin(), plaintext.end());
+  chacha20_xor_inplace(key, nonce, 1, out);
   const Poly1305Tag tag = chapoly_tag(key, nonce, aad, out);
   out.insert(out.end(), tag.begin(), tag.end());
   return out;
@@ -197,7 +201,9 @@ std::optional<util::Bytes> chapoly_open(const ChaChaKey& key,
                       util::ByteView(expect.data(), expect.size()))) {
     return std::nullopt;
   }
-  return chacha20_xor(key, nonce, 1, ciphertext);
+  util::Bytes plaintext(ciphertext.begin(), ciphertext.end());
+  chacha20_xor_inplace(key, nonce, 1, plaintext);
+  return plaintext;
 }
 
 }  // namespace bento::crypto

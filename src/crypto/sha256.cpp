@@ -25,7 +25,7 @@ Sha256::Sha256()
     : state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
              0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19} {}
 
-void Sha256::compress(const std::uint8_t* block) {
+void Sha256::compress(std::array<std::uint32_t, 8>& state, const std::uint8_t* block) {
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = static_cast<std::uint32_t>(block[4 * i] << 24) |
@@ -38,8 +38,8 @@ void Sha256::compress(const std::uint8_t* block) {
     const std::uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
     w[i] = w[i - 16] + s0 + w[i - 7] + s1;
   }
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
   for (int i = 0; i < 64; ++i) {
     const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
     const std::uint32_t ch = (e & f) ^ (~e & g);
@@ -56,14 +56,14 @@ void Sha256::compress(const std::uint8_t* block) {
     b = a;
     a = t1 + t2;
   }
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+  state[5] += f;
+  state[6] += g;
+  state[7] += h;
 }
 
 void Sha256::update(util::ByteView data) {
@@ -75,12 +75,12 @@ void Sha256::update(util::ByteView data) {
     buffered_ += take;
     off = take;
     if (buffered_ == 64) {
-      compress(buffer_.data());
+      compress(state_, buffer_.data());
       buffered_ = 0;
     }
   }
   while (off + 64 <= data.size()) {
-    compress(data.data() + off);
+    compress(state_, data.data() + off);
     off += 64;
   }
   if (off < data.size()) {
@@ -89,29 +89,33 @@ void Sha256::update(util::ByteView data) {
   }
 }
 
-Digest Sha256::finish() {
+Digest Sha256::peek_digest() const {
+  // Pad into a local tail buffer and run the final compression(s) on a local
+  // copy of the chaining state: the running state is untouched, so callers
+  // can keep absorbing afterwards (and never need to clone the object).
+  std::array<std::uint32_t, 8> st = state_;
+  std::uint8_t tail[128] = {};
+  std::memcpy(tail, buffer_.data(), buffered_);
+  tail[buffered_] = 0x80;
+  const std::size_t padded = buffered_ + 1 + 8 <= 64 ? 64 : 128;
   const std::uint64_t bit_len = total_ * 8;
-  const std::uint8_t pad = 0x80;
-  update(util::ByteView(&pad, 1));
-  static constexpr std::uint8_t kZero[64] = {};
-  while (buffered_ != 56) {
-    std::size_t fill = buffered_ < 56 ? 56 - buffered_ : 64 - buffered_ + 56;
-    std::size_t take = std::min<std::size_t>(fill, 64);
-    // update() handles block boundaries; feed zeros until position 56.
-    update(util::ByteView(kZero, take));
+  for (int i = 0; i < 8; ++i) {
+    tail[padded - 8 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
   }
-  std::uint8_t len_bytes[8];
-  for (int i = 0; i < 8; ++i) len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
-  update(util::ByteView(len_bytes, 8));
+  compress(st, tail);
+  if (padded == 128) compress(st, tail + 64);
   Digest out{};
   for (int i = 0; i < 8; ++i) {
-    out[4 * i] = static_cast<std::uint8_t>(state_[i] >> 24);
-    out[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
-    out[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
-    out[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
+    out[4 * i] = static_cast<std::uint8_t>(st[i] >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(st[i] >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(st[i] >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(st[i]);
   }
   return out;
 }
+
+Digest Sha256::finish() { return peek_digest(); }
 
 Digest sha256(util::ByteView data) {
   Sha256 h;

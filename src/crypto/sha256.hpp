@@ -18,13 +18,18 @@ using Digest = std::array<std::uint8_t, 32>;
 class Sha256 {
  public:
   Sha256();
-  /// Absorbs more input.
+  /// Absorbs more input (any contiguous byte range, zero-copy).
   void update(util::ByteView data);
   /// Finalizes and returns the digest; the object must not be reused after.
   Digest finish();
+  /// Digest of everything absorbed so far, without disturbing the running
+  /// state: the object stays usable and no copy of it is needed. This is
+  /// the relay-datapath path — LayerCrypto commits a cell into the running
+  /// digest and reads the 4-byte check value from here, allocation-free.
+  Digest peek_digest() const;
 
  private:
-  void compress(const std::uint8_t* block);
+  static void compress(std::array<std::uint32_t, 8>& state, const std::uint8_t* block);
   std::array<std::uint32_t, 8> state_;
   std::array<std::uint8_t, 64> buffer_;
   std::size_t buffered_ = 0;

@@ -4,21 +4,47 @@ namespace bento::sim {
 
 Simulator::Simulator(std::uint64_t seed) : now_(Time::from_micros(0)), rng_(seed) {}
 
-void Simulator::at(Time t, std::function<void()> fn) {
+void Simulator::schedule(Time t, EventFn fn) {
   if (t < now_) t = now_;
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  heap_.push_back(Event{t, next_seq_++, std::move(fn)});
+  sift_up(heap_.size() - 1);
 }
 
-void Simulator::after(Duration d, std::function<void()> fn) {
-  at(now_ + d, std::move(fn));
+void Simulator::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!heap_[i].before(heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void Simulator::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t best = i;
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    if (l < n && heap_[l].before(heap_[best])) best = l;
+    if (r < n && heap_[r].before(heap_[best])) best = r;
+    if (best == i) return;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+Simulator::Event Simulator::pop_top() {
+  Event top = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return top;
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  // The queue holds const refs from top(); copy out then pop before running
-  // so handlers can schedule freely.
-  Event ev = queue_.top();
-  queue_.pop();
+  if (heap_.empty()) return false;
+  // Move the event out before running so handlers can schedule freely.
+  Event ev = pop_top();
   now_ = ev.when;
   ++executed_;
   ev.fn();
@@ -31,7 +57,7 @@ void Simulator::run(std::uint64_t limit) {
 }
 
 void Simulator::run_until(Time deadline) {
-  while (!queue_.empty() && !(deadline < queue_.top().when)) {
+  while (!heap_.empty() && !(deadline < heap_.front().when)) {
     step();
   }
   if (now_ < deadline) now_ = deadline;

@@ -4,11 +4,24 @@
 // at construction, and events at equal timestamps fire in scheduling order.
 // Everything above (network, Tor overlay, Bento, experiment harnesses) is
 // written against this clock rather than wall time.
+//
+// Event datapath: scheduling a handler used to box a std::function into a
+// std::priority_queue, which heap-allocates for every capture larger than
+// the libstdc++ SBO (16 bytes — i.e. for essentially every real handler).
+// EventFn below is a move-only callable with 64 bytes of inline storage,
+// sized so the common captures (this + a Packet, this + a couple of words)
+// stay inline; larger captures fall back to a slab pool owned by the
+// Simulator, so steady-state scheduling performs zero heap allocations.
+// The queue itself is an explicit binary heap over a std::vector keyed by
+// (time, sequence number): the strict total order makes pop order — and
+// therefore every seeded run — independent of heap internals.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -19,6 +32,159 @@ namespace bento::sim {
 using util::Duration;
 using util::Time;
 
+/// Recycles fixed-size allocations for event callables that overflow the
+/// inline buffer. Freed slabs go on a free list and are reused by later
+/// events, so even capture-heavy workloads stop allocating once warm.
+class SlabPool {
+ public:
+  static constexpr std::size_t kSlabSize = 192;
+
+  SlabPool() = default;
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+  ~SlabPool() {
+    while (free_ != nullptr) {
+      Slab* next = free_->next;
+      ::operator delete(free_);
+      free_ = next;
+    }
+  }
+
+  void* allocate(std::size_t n) {
+    if (n > kSlabSize) return ::operator new(n);  // oversized: plain heap
+    if (free_ != nullptr) {
+      Slab* s = free_;
+      free_ = s->next;
+      return s;
+    }
+    return ::operator new(sizeof(Slab));
+  }
+
+  void deallocate(void* p, std::size_t n) {
+    if (n > kSlabSize) {
+      ::operator delete(p);
+      return;
+    }
+    Slab* s = static_cast<Slab*>(p);
+    s->next = free_;
+    free_ = s;
+  }
+
+ private:
+  union Slab {
+    Slab* next;
+    alignas(std::max_align_t) std::byte storage[kSlabSize];
+  };
+  Slab* free_ = nullptr;
+};
+
+/// Move-only `void()` callable with small-buffer optimization. Callables up
+/// to kInlineSize bytes live inside the event itself; larger ones borrow a
+/// slab from the scheduler's pool (returned on destruction).
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineSize = 64;
+
+  EventFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  EventFn(SlabPool& pool, F&& f) {
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(inline_)) Fn(std::forward<F>(f));
+      vt_ = &inline_vtable<Fn>;
+    } else {
+      heap_ = pool.allocate(sizeof(Fn));
+      try {
+        ::new (heap_) Fn(std::forward<F>(f));
+      } catch (...) {
+        pool.deallocate(heap_, sizeof(Fn));
+        heap_ = nullptr;
+        throw;
+      }
+      pool_ = &pool;
+      vt_ = &heap_vtable<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& o) noexcept { move_from(o); }
+
+  EventFn& operator=(EventFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  void operator()() { vt_->invoke(target()); }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    // Move-construct into dst's inline buffer and destroy src (inline only;
+    // heap callables move by pointer swap and never relocate).
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*);
+    std::size_t heap_size;  // 0 for inline callables
+  };
+
+  template <typename Fn>
+  static constexpr VTable inline_vtable = {
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+      0};
+
+  template <typename Fn>
+  static constexpr VTable heap_vtable = {
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      nullptr,
+      [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+      sizeof(Fn)};
+
+  void* target() noexcept { return heap_ != nullptr ? heap_ : static_cast<void*>(inline_); }
+
+  void move_from(EventFn& o) noexcept {
+    vt_ = o.vt_;
+    heap_ = o.heap_;
+    pool_ = o.pool_;
+    if (vt_ != nullptr && heap_ == nullptr) vt_->relocate(inline_, o.inline_);
+    o.vt_ = nullptr;
+    o.heap_ = nullptr;
+    o.pool_ = nullptr;
+  }
+
+  void reset() noexcept {
+    if (vt_ == nullptr) return;
+    vt_->destroy(target());
+    if (heap_ != nullptr) pool_->deallocate(heap_, vt_->heap_size);
+    vt_ = nullptr;
+    heap_ = nullptr;
+    pool_ = nullptr;
+  }
+
+  alignas(std::max_align_t) std::byte inline_[kInlineSize];
+  void* heap_ = nullptr;
+  SlabPool* pool_ = nullptr;
+  const VTable* vt_ = nullptr;
+};
+
 class Simulator {
  public:
   explicit Simulator(std::uint64_t seed = 1);
@@ -27,10 +193,18 @@ class Simulator {
   util::Rng& rng() { return rng_; }
 
   /// Schedules `fn` at absolute time `t` (clamped to now if in the past).
-  void at(Time t, std::function<void()> fn);
+  /// Accepts any `void()` callable; small captures are stored inline in the
+  /// event queue with no heap allocation.
+  template <typename F>
+  void at(Time t, F&& fn) {
+    schedule(t, EventFn(pool_, std::forward<F>(fn)));
+  }
 
   /// Schedules `fn` after the given delay.
-  void after(Duration d, std::function<void()> fn);
+  template <typename F>
+  void after(Duration d, F&& fn) {
+    at(now_ + d, std::forward<F>(fn));
+  }
 
   /// Runs one event; false if the queue is empty.
   bool step();
@@ -44,25 +218,30 @@ class Simulator {
   /// Number of events executed so far.
   std::uint64_t events_executed() const { return executed_; }
   /// Events still pending.
-  std::size_t pending() const { return queue_.size(); }
+  std::size_t pending() const { return heap_.size(); }
 
  private:
   struct Event {
     Time when;
     std::uint64_t seq;  // FIFO tie-break for equal timestamps
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return b.when < a.when;
-      return b.seq < a.seq;
+    EventFn fn;
+
+    bool before(const Event& o) const {
+      if (when != o.when) return when < o.when;
+      return seq < o.seq;
     }
   };
+
+  void schedule(Time t, EventFn fn);
+  Event pop_top();
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
 
   Time now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SlabPool pool_;  // declared before heap_: events may hold pooled slabs
+  std::vector<Event> heap_;
   util::Rng rng_;
 };
 

@@ -55,7 +55,7 @@ Cell Cell::unpack(util::ByteView wire) {
   Cell c;
   c.circ_id = r.u32();
   c.command = static_cast<CellCommand>(r.u8());
-  util::Bytes body = r.raw(kCellPayloadLen);
+  const util::ByteView body = r.view(kCellPayloadLen);
   std::memcpy(c.payload.data(), body.data(), kCellPayloadLen);
   return c;
 }
@@ -72,15 +72,21 @@ std::array<std::uint8_t, kCellPayloadLen> RelayCell::pack() const {
   if (data.size() > kRelayDataMax) {
     throw std::invalid_argument("RelayCell::pack: data too large");
   }
+  // Serialized straight into the fixed payload array: the relay header is
+  // big-endian per tor-spec, and packing must not heap-allocate (datapath).
   std::array<std::uint8_t, kCellPayloadLen> out{};
-  util::Writer w;
-  w.u8(static_cast<std::uint8_t>(relay_cmd));
-  w.u16(recognized);
-  w.u16(stream_id);
-  w.u32(digest);
-  w.u16(static_cast<std::uint16_t>(data.size()));
-  w.raw(data);
-  std::memcpy(out.data(), w.data().data(), w.data().size());
+  out[0] = static_cast<std::uint8_t>(relay_cmd);
+  out[1] = static_cast<std::uint8_t>(recognized >> 8);
+  out[2] = static_cast<std::uint8_t>(recognized);
+  out[3] = static_cast<std::uint8_t>(stream_id >> 8);
+  out[4] = static_cast<std::uint8_t>(stream_id);
+  out[5] = static_cast<std::uint8_t>(digest >> 24);
+  out[6] = static_cast<std::uint8_t>(digest >> 16);
+  out[7] = static_cast<std::uint8_t>(digest >> 8);
+  out[8] = static_cast<std::uint8_t>(digest);
+  out[9] = static_cast<std::uint8_t>(data.size() >> 8);
+  out[10] = static_cast<std::uint8_t>(data.size());
+  if (!data.empty()) std::memcpy(out.data() + kRelayHeaderLen, data.data(), data.size());
   return out;
 }
 

@@ -30,15 +30,11 @@ LayerCrypto::LayerCrypto(const LayerKeys& keys)
 }
 
 void LayerCrypto::crypt_forward(std::array<std::uint8_t, kCellPayloadLen>& payload) {
-  util::Bytes buf(payload.begin(), payload.end());
-  fwd_cipher_.process(buf);
-  std::memcpy(payload.data(), buf.data(), payload.size());
+  fwd_cipher_.process(payload);
 }
 
 void LayerCrypto::crypt_backward(std::array<std::uint8_t, kCellPayloadLen>& payload) {
-  util::Bytes buf(payload.begin(), payload.end());
-  bwd_cipher_.process(buf);
-  std::memcpy(payload.data(), buf.data(), payload.size());
+  bwd_cipher_.process(payload);
 }
 
 void LayerCrypto::seal(crypto::Sha256& running,
@@ -46,8 +42,8 @@ void LayerCrypto::seal(crypto::Sha256& running,
   // Digest field must be zero while hashing.
   std::memset(payload.data() + kDigestOff, 0, 4);
   running.update(payload);
-  crypto::Sha256 snapshot = running;  // running state is copyable
-  const crypto::Digest d = snapshot.finish();
+  // peek_digest finalizes into locals; no copy of the running state needed.
+  const crypto::Digest d = running.peek_digest();
   std::memcpy(payload.data() + kDigestOff, d.data(), 4);
 }
 
@@ -59,17 +55,16 @@ bool LayerCrypto::check(crypto::Sha256& running,
   std::memcpy(claimed, payload.data() + kDigestOff, 4);
   std::memset(payload.data() + kDigestOff, 0, 4);
 
+  // One copy only: the candidate that becomes the committed state on match.
   crypto::Sha256 candidate = running;
   candidate.update(payload);
-  crypto::Sha256 snapshot = candidate;
-  const crypto::Digest d = snapshot.finish();
+  const crypto::Digest d = candidate.peek_digest();
+  std::memcpy(payload.data() + kDigestOff, claimed, 4);
   if (std::memcmp(claimed, d.data(), 4) != 0) {
-    // Not ours: restore the digest field and leave the running state alone.
-    std::memcpy(payload.data() + kDigestOff, claimed, 4);
+    // Not ours: payload is restored and the running state was never touched.
     return false;
   }
   running = candidate;
-  std::memcpy(payload.data() + kDigestOff, claimed, 4);
   return true;
 }
 

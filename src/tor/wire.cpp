@@ -5,10 +5,17 @@
 namespace bento::tor {
 
 util::Bytes frame_cell(const Cell& cell) {
+  // One allocation: marker + header + payload written straight into the
+  // frame instead of appending a Cell::pack() temporary.
   util::Bytes out;
   out.reserve(kCellLen + 1);
   out.push_back(kCellFrameMarker);
-  util::append(out, cell.pack());
+  out.push_back(static_cast<std::uint8_t>(cell.circ_id >> 24));
+  out.push_back(static_cast<std::uint8_t>(cell.circ_id >> 16));
+  out.push_back(static_cast<std::uint8_t>(cell.circ_id >> 8));
+  out.push_back(static_cast<std::uint8_t>(cell.circ_id));
+  out.push_back(static_cast<std::uint8_t>(cell.command));
+  out.insert(out.end(), cell.payload.begin(), cell.payload.end());
   return out;
 }
 

@@ -81,6 +81,13 @@ Bytes Reader::raw(std::size_t n) {
   return out;
 }
 
+ByteView Reader::view(std::size_t n) {
+  need(n);
+  ByteView out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
 Bytes Reader::blob() {
   std::uint32_t n = u32();
   return raw(n);

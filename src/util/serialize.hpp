@@ -53,6 +53,9 @@ class Reader {
   std::uint32_t u32();
   std::uint64_t u64();
   Bytes raw(std::size_t n);
+  /// Zero-copy variant of raw(): a view into the underlying buffer, valid
+  /// only as long as the buffer the Reader was constructed over.
+  ByteView view(std::size_t n);
   Bytes blob();
   std::string str();
   std::uint64_t varint();

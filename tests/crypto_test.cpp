@@ -176,6 +176,109 @@ TEST(ChaCha20, PipePairDecrypts) {
   }
 }
 
+// RFC 8439 §2.3.2: key 00..1f, nonce 00 00 00 09 00 00 00 4a 00 00 00 00,
+// counter 1 — the serialized keystream block. XOR-ing zeros recovers the
+// raw keystream, so this checks the kernel (not just a round trip).
+TEST(ChaCha20, Rfc8439KeystreamBlock) {
+  bc::ChaChaKey key{};
+  for (int i = 0; i < 32; ++i) key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  bc::ChaChaNonce nonce{};
+  nonce[3] = 0x09;
+  nonce[7] = 0x4a;
+  bu::Bytes zeros(64, 0);
+  bc::chacha20_xor_inplace(key, nonce, 1, zeros);
+  EXPECT_EQ(bu::to_hex(zeros),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+// RFC 8439 A.1 test vector #1: all-zero key and nonce, counter 0.
+TEST(ChaCha20, Rfc8439ZeroKeyKeystream) {
+  bu::Bytes zeros(64, 0);
+  bc::chacha20_xor_inplace(bc::ChaChaKey{}, bc::ChaChaNonce{}, 0, zeros);
+  EXPECT_EQ(bu::to_hex(zeros),
+            "76b8e0ada0f13d90405d6ae55386bd28bdd219b8a08ded1aa836efcc8b770dc7"
+            "da41597c5157488d7724e03fb8d84a376a43b8f41518a11cc387b669b2ee6586");
+}
+
+// RFC 8439 §2.4.2: the full 114-byte sunscreen ciphertext, not just a
+// prefix — catches any lane-ordering bug in the multi-block kernel.
+TEST(ChaCha20, Rfc8439FullCiphertext) {
+  bc::ChaChaKey key{};
+  for (int i = 0; i < 32; ++i) key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  bc::ChaChaNonce nonce{};
+  nonce[7] = 0x4a;
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  bu::Bytes ct = bu::to_bytes(plaintext);
+  bc::chacha20_xor_inplace(key, nonce, 1, ct);
+  EXPECT_EQ(bu::to_hex(ct),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42874d");
+}
+
+// The kernel generates keystream several blocks at a time; consuming it in
+// odd-sized pieces that straddle both the 64-byte block boundary and the
+// multi-block refill boundary must match one-shot output exactly.
+TEST(ChaCha20, SplitsAcrossBlockAndRefillBoundaries) {
+  bc::ChaChaKey key{};
+  key[5] = 0xab;
+  bc::ChaChaNonce nonce{};
+  bu::Rng rng(99);
+  bu::Bytes data = rng.bytes(3000);
+
+  bu::Bytes oneshot = bc::chacha20_xor(key, nonce, 0, data);
+
+  const std::size_t splits[] = {1, 63, 64, 65, 1, 127, 509, 511, 512, 513, 3, 256};
+  bc::ChaCha20 c(key, nonce, 0);
+  bu::Bytes pieced = data;
+  std::size_t off = 0;
+  std::size_t si = 0;
+  while (off < pieced.size()) {
+    const std::size_t n = std::min(splits[si++ % 12], pieced.size() - off);
+    c.process(std::span<std::uint8_t>(pieced.data() + off, n));
+    off += n;
+  }
+  EXPECT_EQ(pieced, oneshot);
+}
+
+TEST(ChaCha20, InPlaceMatchesTransform) {
+  bc::ChaChaKey key{};
+  key[0] = 1;
+  bc::ChaChaNonce nonce{};
+  bu::Rng rng(7);
+  bu::Bytes data = rng.bytes(509);
+  bc::ChaCha20 a(key, nonce), b(key, nonce);
+  bu::Bytes copy = data;
+  a.process(copy);
+  EXPECT_EQ(copy, b.transform(data));
+}
+
+// ---- SHA-256: peek_digest ----
+
+TEST(Sha256, PeekDigestMatchesFinish) {
+  bu::Rng rng(21);
+  // Cover padding both with and without an extra compression block.
+  for (std::size_t len : {0u, 1u, 54u, 55u, 56u, 63u, 64u, 65u, 127u, 128u, 509u}) {
+    bu::Bytes data = rng.bytes(len);
+    bc::Sha256 h;
+    h.update(data);
+    EXPECT_EQ(h.peek_digest(), bc::sha256(data)) << len;
+  }
+}
+
+TEST(Sha256, PeekDigestDoesNotDisturbState) {
+  bc::Sha256 h;
+  h.update(bu::to_bytes("abc"));
+  const bc::Digest first = h.peek_digest();
+  EXPECT_EQ(h.peek_digest(), first);  // idempotent
+  h.update(bu::to_bytes("def"));
+  EXPECT_EQ(h.peek_digest(), bc::sha256(bu::to_bytes("abcdef")));
+}
+
 // ---- AEAD ----
 
 TEST(Aead, SealOpenRoundTrip) {

@@ -76,6 +76,116 @@ TEST(Simulator, RunWithLimit) {
   EXPECT_EQ(count, 10);
 }
 
+// ---- Event-queue determinism & callback storage ----
+
+namespace {
+// Replays a seed-driven workload exercising every scheduling shape the
+// event queue supports: same-timestamp ties, past-scheduled events, nested
+// scheduling, rng-driven delays, and captures spanning inline storage, the
+// slab pool, and the oversized fallback. Returns a fingerprint of the
+// exact execution order.
+struct RunTrace {
+  std::uint64_t events = 0;
+  std::int64_t final_clock_us = 0;
+  std::uint64_t order_hash = 0;
+  bool operator==(const RunTrace&) const = default;
+};
+
+RunTrace run_determinism_workload(std::uint64_t seed) {
+  bs::Simulator sim(seed);
+  RunTrace t;
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  // A burst of same-timestamp ties (FIFO order must hold).
+  for (int i = 0; i < 32; ++i) {
+    sim.at(Time::from_micros(5000), [&, i] {
+             mix(static_cast<std::uint64_t>(i));
+             mix(static_cast<std::uint64_t>(sim.now().micros()));
+           });
+  }
+  // Rng-driven delays with nested re-scheduling and occasional past events.
+  for (int i = 0; i < 200; ++i) {
+    const auto delay =
+        Duration::micros(static_cast<std::int64_t>(sim.rng().uniform(0, 20000)));
+    sim.after(delay, [&, i] {
+      mix(0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(i));
+      mix(static_cast<std::uint64_t>(sim.now().micros()));
+      if (i % 3 == 0) {
+        // Past timestamp: clamps to now, keeps FIFO order among clamped.
+        sim.at(Time::from_micros(0), [&] { mix(0xabcdULL); });
+      }
+      if (i % 5 == 0) {
+        // Oversized capture: exercises the slab pool / heap fallback.
+        std::array<std::uint64_t, 32> big{};
+        big[0] = static_cast<std::uint64_t>(i);
+        sim.after(Duration::micros(100), [&, big] { mix(big[0]); });
+      }
+    });
+  }
+  sim.run();
+  t.events = sim.events_executed();
+  t.final_clock_us = sim.now().micros();
+  t.order_hash = h;
+  return t;
+}
+}  // namespace
+
+TEST(Simulator, IdenticalSeedsReplayIdenticalEventSequences) {
+  const RunTrace a = run_determinism_workload(42);
+  const RunTrace b = run_determinism_workload(42);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.final_clock_us, b.final_clock_us);
+  EXPECT_EQ(a.order_hash, b.order_hash);
+  EXPECT_GT(a.events, 200u);  // the workload actually ran
+
+  // And a different seed genuinely changes the schedule (the hash is not
+  // insensitive to ordering).
+  const RunTrace c = run_determinism_workload(43);
+  EXPECT_NE(a.order_hash, c.order_hash);
+}
+
+TEST(Simulator, LargeCapturesExecuteCorrectly) {
+  bs::Simulator sim(1);
+  // Inline (small), pooled-slab (mid), and oversized (plain heap) captures.
+  int small_sum = 0;
+  std::array<int, 20> mid{};
+  std::array<int, 100> big{};
+  mid.fill(2);
+  big.fill(3);
+  int got_mid = 0;
+  int got_big = 0;
+  sim.after(Duration::micros(1), [&small_sum] { small_sum = 1; });
+  sim.after(Duration::micros(2), [&got_mid, mid] {
+    for (int v : mid) got_mid += v;
+  });
+  sim.after(Duration::micros(3), [&got_big, big] {
+    for (int v : big) got_big += v;
+  });
+  sim.run();
+  EXPECT_EQ(small_sum, 1);
+  EXPECT_EQ(got_mid, 40);
+  EXPECT_EQ(got_big, 300);
+}
+
+TEST(Simulator, SlabPoolRecyclesAcrossManyEvents) {
+  bs::Simulator sim(1);
+  // Thousands of slab-sized captures; with pooling this stays warm and
+  // correct. (The allocation count itself is asserted in bench/datapath.)
+  std::uint64_t sum = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      std::array<std::uint64_t, 16> payload{};
+      payload[15] = static_cast<std::uint64_t>(round * 20 + i);
+      sim.after(Duration::micros(round * 10 + i), [&sum, payload] { sum += payload[15]; });
+    }
+  }
+  sim.run();
+  EXPECT_EQ(sum, 999ull * 1000 / 2);
+}
+
 namespace {
 class Recorder : public bs::MessageHandler {
  public:

@@ -89,6 +89,52 @@ TEST(LayerCrypto, FailedCheckDoesNotDesyncState) {
   EXPECT_TRUE(relay.check_forward(ours));
 }
 
+// Regression for the middle-relay forwarding path: a cell that passes the
+// cheap recognized==0 pre-check but fails the digest comparison (so the
+// full hash runs) must leave the payload — including the digest field —
+// and the relay's running digest state bit-identical, or every later cell
+// on the circuit would be mis-rejected.
+TEST(LayerCrypto, FailedCheckLeavesPayloadAndStateBitIdentical) {
+  auto keys = test_keys(8);
+  bt::LayerCrypto origin(keys);
+  bt::LayerCrypto relay(keys);    // takes the failed check
+  bt::LayerCrypto control(keys);  // never sees the bad cell
+
+  // Warm all three with one legitimate exchange so running state is nontrivial.
+  auto warm = make_payload(bt::RelayCommand::Data, 1, "warmup");
+  origin.seal_forward(warm);
+  origin.crypt_forward(warm);
+  auto warm_control = warm;
+  relay.crypt_forward(warm);
+  ASSERT_TRUE(relay.check_forward(warm));
+  control.crypt_forward(warm_control);
+  ASSERT_TRUE(control.check_forward(warm_control));
+
+  // Crafted miss: recognized field zero (pre-check passes), digest wrong.
+  auto bad = make_payload(bt::RelayCommand::Data, 2, "not for this hop");
+  bad[5] = 0xde;  // digest field: arbitrary wrong value
+  bad[6] = 0xad;
+  bad[7] = 0xbe;
+  bad[8] = 0xef;
+  const auto before = bad;
+  EXPECT_FALSE(relay.check_forward(bad));
+  EXPECT_EQ(bad, before);  // payload (and its digest field) untouched
+
+  // Running state identical to the control that never saw the bad cell:
+  // the next legitimate cell must be accepted by both, producing identical
+  // bytes at every step.
+  auto next = make_payload(bt::RelayCommand::Data, 1, "after the miss");
+  origin.seal_forward(next);
+  origin.crypt_forward(next);
+  auto next_control = next;
+  relay.crypt_forward(next);
+  control.crypt_forward(next_control);
+  EXPECT_EQ(next, next_control);
+  EXPECT_TRUE(relay.check_forward(next));
+  EXPECT_TRUE(control.check_forward(next_control));
+  EXPECT_EQ(next, next_control);
+}
+
 TEST(LayerCrypto, BackwardDirectionIndependent) {
   auto keys = test_keys(7);
   bt::LayerCrypto origin(keys), relay(keys);
