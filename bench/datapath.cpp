@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "crypto/chacha20.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "tor/cell.hpp"
 #include "tor/relaycrypto.hpp"
@@ -132,6 +134,52 @@ class SeedChaCha20 {
 
 std::uint64_t allocs() { return g_allocs.load(std::memory_order_relaxed); }
 
+namespace bo = bento::obs;
+
+// Shared 3-hop circuit setup: origin seals for the exit and onion-encrypts
+// all three layers; each relay peels its layer and runs recognition. Every
+// hop's cipher and digest state advances exactly as on a live circuit.
+struct Datapath3Hop {
+  std::vector<bento::tor::LayerCrypto> origin;
+  std::vector<bento::tor::LayerCrypto> relays;
+  std::array<std::uint8_t, bento::tor::kCellPayloadLen> cell_template;
+  std::uint64_t recognized_at_exit = 0;
+
+  Datapath3Hop() {
+    namespace bt = bento::tor;
+    bento::util::Rng rng(3);
+    std::array<bt::LayerKeys, 3> keys = {
+        bt::LayerKeys::derive(rng.bytes(32), "hop0"),
+        bt::LayerKeys::derive(rng.bytes(32), "hop1"),
+        bt::LayerKeys::derive(rng.bytes(32), "hop2"),
+    };
+    for (int i = 0; i < 3; ++i) {
+      origin.emplace_back(keys[static_cast<std::size_t>(i)]);
+      relays.emplace_back(keys[static_cast<std::size_t>(i)]);
+    }
+    bt::RelayCell rc;
+    rc.relay_cmd = bt::RelayCommand::Data;
+    rc.stream_id = 7;
+    rc.data = rng.bytes(bt::kRelayDataMax);
+    cell_template = rc.pack();
+  }
+
+  void traverse() {
+    auto payload = cell_template;
+    origin[2].seal_forward(payload);
+    for (int i = 2; i >= 0; --i) origin[static_cast<std::size_t>(i)].crypt_forward(payload);
+    for (int hop = 0; hop < 3; ++hop) {
+      auto& relay = relays[static_cast<std::size_t>(hop)];
+      relay.crypt_forward(payload);
+      if (relay.check_forward(payload)) {
+        ++recognized_at_exit;
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(payload.data());
+  }
+};
+
 }  // namespace
 
 static void BM_ChaCha20Seed(benchmark::State& state) {
@@ -160,52 +208,17 @@ static void BM_ChaCha20(benchmark::State& state) {
 }
 BENCHMARK(BM_ChaCha20)->Arg(509)->Arg(8192);
 
-// Full 3-hop circuit datapath: origin seals for the exit and onion-encrypts
-// all three layers; each relay peels its layer and runs recognition. Every
-// hop's cipher and digest state advances exactly as on a live circuit. The
-// whole traversal must not touch the heap.
+// The whole 3-hop traversal must not touch the heap — with the metrics
+// registry live (it is on by default; recognition counters fire per check).
 static void BM_RelayDatapath3Hop(benchmark::State& state) {
-  bu::Rng rng(3);
-  std::array<bt::LayerKeys, 3> keys = {
-      bt::LayerKeys::derive(rng.bytes(32), "hop0"),
-      bt::LayerKeys::derive(rng.bytes(32), "hop1"),
-      bt::LayerKeys::derive(rng.bytes(32), "hop2"),
-  };
-  std::vector<bt::LayerCrypto> origin;
-  std::vector<bt::LayerCrypto> relays;
-  for (int i = 0; i < 3; ++i) {
-    origin.emplace_back(keys[static_cast<std::size_t>(i)]);
-    relays.emplace_back(keys[static_cast<std::size_t>(i)]);
-  }
-
-  bt::RelayCell rc;
-  rc.relay_cmd = bt::RelayCommand::Data;
-  rc.stream_id = 7;
-  rc.data = rng.bytes(bt::kRelayDataMax);
-  const auto cell_template = rc.pack();
-
-  std::uint64_t recognized_at_exit = 0;
-  auto traverse = [&] {
-    auto payload = cell_template;
-    origin[2].seal_forward(payload);
-    for (int i = 2; i >= 0; --i) origin[static_cast<std::size_t>(i)].crypt_forward(payload);
-    for (int hop = 0; hop < 3; ++hop) {
-      auto& relay = relays[static_cast<std::size_t>(hop)];
-      relay.crypt_forward(payload);
-      if (relay.check_forward(payload)) {
-        ++recognized_at_exit;
-        break;
-      }
-    }
-    benchmark::DoNotOptimize(payload.data());
-  };
-
-  traverse();  // warm-up outside the measured/counted region
+  bo::set_metrics_enabled(true);
+  Datapath3Hop path;
+  path.traverse();  // warm-up: registers metric cells outside the counted region
 
   const std::uint64_t allocs_before = allocs();
   std::uint64_t cells = 0;
   for (auto _ : state) {
-    traverse();
+    path.traverse();
     ++cells;
   }
   const std::uint64_t allocs_delta = allocs() - allocs_before;
@@ -214,9 +227,96 @@ static void BM_RelayDatapath3Hop(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(cells * bt::kCellPayloadLen));
   state.counters["allocs_per_cell"] = benchmark::Counter(
       static_cast<double>(allocs_delta) / static_cast<double>(cells ? cells : 1));
-  state.counters["recognized"] = benchmark::Counter(static_cast<double>(recognized_at_exit));
+  state.counters["recognized"] =
+      benchmark::Counter(static_cast<double>(path.recognized_at_exit));
 }
 BENCHMARK(BM_RelayDatapath3Hop);
+
+// Same traversal with the registry globally disabled: the difference to
+// BM_RelayDatapath3Hop is the whole cost of live metrics on the cell
+// datapath (BENCH_obs.json asserts it stays in the noise).
+static void BM_RelayDatapath3HopMetricsOff(benchmark::State& state) {
+  Datapath3Hop path;
+  path.traverse();
+  bo::set_metrics_enabled(false);
+  std::uint64_t cells = 0;
+  for (auto _ : state) {
+    path.traverse();
+    ++cells;
+  }
+  bo::set_metrics_enabled(true);
+  state.SetItemsProcessed(static_cast<std::int64_t>(cells));
+  state.SetBytesProcessed(static_cast<std::int64_t>(cells * bt::kCellPayloadLen));
+}
+BENCHMARK(BM_RelayDatapath3HopMetricsOff);
+
+// Traversal with the flight recorder armed and the per-cell trace points a
+// relay emits (receive + recognition) recorded each cell. The ring is
+// preallocated at enable(), so the traced datapath must stay allocation-free
+// even while continuously wrapping.
+static void BM_RelayDatapath3HopTraced(benchmark::State& state) {
+  Datapath3Hop path;
+  path.traverse();
+  bo::recorder().enable(std::size_t{1} << 12);
+
+  const std::uint64_t allocs_before = allocs();
+  std::uint64_t cells = 0;
+  for (auto _ : state) {
+    bo::trace(bo::Ev::CellRecv, 42, 1);
+    path.traverse();
+    bo::trace(bo::Ev::CellRecognized, 42, 2);
+    ++cells;
+  }
+  const std::uint64_t allocs_delta = allocs() - allocs_before;
+  bo::recorder().disable();
+
+  state.SetItemsProcessed(static_cast<std::int64_t>(cells));
+  state.SetBytesProcessed(static_cast<std::int64_t>(cells * bt::kCellPayloadLen));
+  state.counters["allocs_per_cell"] = benchmark::Counter(
+      static_cast<double>(allocs_delta) / static_cast<double>(cells ? cells : 1));
+}
+BENCHMARK(BM_RelayDatapath3HopTraced);
+
+// Raw registry handle costs: one pre-registered counter increment / histogram
+// record per iteration. These are the budget every instrumentation point
+// spends; BENCH_obs.json records the absolute ns.
+static void BM_CounterIncrement(benchmark::State& state) {
+  bo::Counter c = bo::registry().counter("bench.counter");
+  for (auto _ : state) {
+    c.inc();
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CounterIncrement);
+
+static void BM_HistogramRecord(benchmark::State& state) {
+  bo::Histogram h = bo::registry().histogram("bench.histogram");
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    h.record(v);
+    v = (v + 977) % 1'200'000;  // sweep across all buckets
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramRecord);
+
+static void BM_TraceRecord(benchmark::State& state) {
+  bo::recorder().enable(std::size_t{1} << 12);
+  std::uint32_t a = 0;
+  const std::uint64_t allocs_before = allocs();
+  for (auto _ : state) {
+    bo::trace(bo::Ev::CellSend, a++, 7);
+  }
+  const std::uint64_t allocs_delta = allocs() - allocs_before;
+  bo::recorder().disable();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["allocs_per_event"] = benchmark::Counter(
+      static_cast<double>(allocs_delta) /
+      static_cast<double>(state.iterations() ? state.iterations() : 1));
+}
+BENCHMARK(BM_TraceRecord);
 
 // Cell framing/unframing for the wire: one allocation per framed cell (the
 // owned wire buffer) is inherent; this tracks that it stays at exactly one.

@@ -1,19 +1,25 @@
 #!/usr/bin/env bash
-# Run the datapath microbenchmarks and distill BENCH_datapath.json.
+# Run the datapath microbenchmarks and distill BENCH_datapath.json plus
+# BENCH_obs.json.
 #
-# Usage: bench/run_benchmarks.sh [build-dir] [out-json]
+# Usage: bench/run_benchmarks.sh [build-dir] [out-json] [obs-out-json]
 #
-# The JSON records keystream throughput (seed scalar baseline vs the current
-# 8-block kernel), the 3-hop relay datapath (cells/s, MB/s, allocs/cell), and
-# simulator event churn (events/s, allocs/event). CI runs this as a smoke
-# check: it fails if the zero-allocation invariant of the cell datapath is
-# broken or the kernel regresses below 3x the in-binary scalar baseline.
+# BENCH_datapath.json records keystream throughput (seed scalar baseline vs
+# the current 8-block kernel), the 3-hop relay datapath (cells/s, MB/s,
+# allocs/cell), and simulator event churn (events/s, allocs/event).
+# BENCH_obs.json records the observability overhead story: the metrics-on vs
+# metrics-off datapath delta, the traced datapath, and the raw per-op cost of
+# counter/histogram/trace-record handles. CI runs this as a smoke check: it
+# fails if any zero-allocation invariant breaks, the kernel regresses below
+# 3x the scalar baseline, or live metrics cost the cell datapath more than
+# 10% throughput.
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 out_json="${2:-${repo_root}/BENCH_datapath.json}"
+obs_out_json="${3:-${repo_root}/BENCH_obs.json}"
 min_time="${BENCH_MIN_TIME:-0.2}"
 
 bin="${build_dir}/bench/datapath"
@@ -28,11 +34,11 @@ trap 'rm -f "${raw_json}"' EXIT
 "${bin}" --benchmark_format=json --benchmark_min_time="${min_time}" \
   >"${raw_json}"
 
-python3 - "${raw_json}" "${out_json}" <<'PY'
+python3 - "${raw_json}" "${out_json}" "${obs_out_json}" <<'PY'
 import json
 import sys
 
-raw_path, out_path = sys.argv[1], sys.argv[2]
+raw_path, out_path, obs_out_path = sys.argv[1], sys.argv[2], sys.argv[3]
 with open(raw_path) as f:
     raw = json.load(f)
 
@@ -89,7 +95,44 @@ with open(out_path, "w") as f:
 
 print(json.dumps(distilled, indent=2))
 
-# Smoke assertions: the invariants this PR establishes must hold wherever
+# Observability overhead distillation (BENCH_obs.json).
+metrics_on = by_name["BM_RelayDatapath3Hop"]
+metrics_off = by_name["BM_RelayDatapath3HopMetricsOff"]
+traced = by_name["BM_RelayDatapath3HopTraced"]
+on_cells = metrics_on["items_per_second"]
+off_cells = metrics_off["items_per_second"]
+overhead_pct = round((off_cells - on_cells) / off_cells * 100.0, 2)
+
+def ns_per_op(name):
+    b = by_name[name]
+    unit = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[b["time_unit"]]
+    return round(b["cpu_time"] * unit, 3)
+
+obs = {
+    "bench": "obs",
+    "relay_datapath_3hop": {
+        "metrics_on_cells_per_sec": round(on_cells),
+        "metrics_off_cells_per_sec": round(off_cells),
+        "metrics_overhead_pct": overhead_pct,
+        "metrics_on_allocs_per_cell": metrics_on["allocs_per_cell"],
+        "traced_cells_per_sec": round(traced["items_per_second"]),
+        "traced_allocs_per_cell": traced["allocs_per_cell"],
+    },
+    "handles": {
+        "counter_inc_ns": ns_per_op("BM_CounterIncrement"),
+        "histogram_record_ns": ns_per_op("BM_HistogramRecord"),
+        "trace_record_ns": ns_per_op("BM_TraceRecord"),
+        "trace_record_allocs_per_event": by_name["BM_TraceRecord"]["allocs_per_event"],
+    },
+}
+
+with open(obs_out_path, "w") as f:
+    json.dump(obs, f, indent=2)
+    f.write("\n")
+
+print(json.dumps(obs, indent=2))
+
+# Smoke assertions: the invariants these PRs establish must hold wherever
 # the benchmark runs, independent of absolute host speed.
 failures = []
 if distilled["relay_datapath_3hop"]["allocs_per_cell"] != 0:
@@ -100,9 +143,18 @@ if distilled["chacha20"]["speedup_509"] < 3.0:
     failures.append("ChaCha20 509B speedup below 3x scalar baseline")
 if distilled["chacha20"]["speedup_8192"] < 3.0:
     failures.append("ChaCha20 8KiB speedup below 3x scalar baseline")
+if obs["relay_datapath_3hop"]["metrics_on_allocs_per_cell"] != 0:
+    failures.append("metrics-on datapath allocates per cell")
+if obs["relay_datapath_3hop"]["traced_allocs_per_cell"] != 0:
+    failures.append("traced datapath allocates per cell")
+if obs["handles"]["trace_record_allocs_per_event"] != 0:
+    failures.append("trace record allocates per event")
+# Noise-tolerant: live metrics must stay within 10% of the disabled path.
+if obs["relay_datapath_3hop"]["metrics_overhead_pct"] > 10.0:
+    failures.append("metrics overhead on the cell datapath above 10%")
 if failures:
     print("BENCH SMOKE FAILURES: " + "; ".join(failures), file=sys.stderr)
     sys.exit(1)
 PY
 
-echo "wrote ${out_json}"
+echo "wrote ${out_json} and ${obs_out_json}"

@@ -3,6 +3,7 @@
 #include "core/client.hpp"
 #include "core/server.hpp"
 #include "util/log.hpp"
+#include "util/simclock.hpp"
 #include "util/zlite.hpp"
 
 namespace bento::core {
@@ -82,10 +83,13 @@ void Container::install(const FunctionManifest& manifest, const UploadBody& body
   // upload (the caller observes dead()).
   run_guarded([&] { function_->on_install(*this, body.args); });
   if (dead_) throw std::runtime_error("function died during install: " + death_reason_);
+  fn_stats_.installed_at_us = util::sim_now_micros();
 }
 
 void Container::handle_invoke(tor::EdgeStream* from, util::ByteView payload) {
   if (dead_ || function_ == nullptr) return;
+  fn_stats_.invokes += 1;
+  fn_stats_.bytes_in += payload.size();
   bound_stream_ = from;
   util::Bytes copy(payload.begin(), payload.end());
   if (conclave_ != nullptr) {
@@ -173,6 +177,7 @@ void Container::update_memory(std::size_t sandbox_estimate) {
 void Container::send(util::ByteView payload) {
   if (bound_stream_ == nullptr) return;
   resources_->charge_network(payload.size());
+  fn_stats_.bytes_out += payload.size();
   Message out;
   out.type = MsgType::Output;
   out.container_id = id_;
@@ -194,6 +199,7 @@ void Container::send_to(std::uint64_t handle, util::ByteView payload) {
   auto it = reply_handles_.find(handle);
   if (it == reply_handles_.end()) return;
   resources_->charge_network(payload.size());
+  fn_stats_.bytes_out += payload.size();
   Message out;
   out.type = MsgType::Output;
   out.container_id = id_;

@@ -50,6 +50,16 @@ class Container final : public HostApi {
   Container(BentoServer& server, std::uint64_t id, std::string image, util::Rng rng);
   ~Container() override;
 
+  /// Per-function scoped stats: invocation volume and lifetime, read by
+  /// BentoWorld::snapshot_stats() for the per-function telemetry section.
+  struct FnStats {
+    std::uint64_t invokes = 0;
+    std::uint64_t bytes_in = 0;   // invoke payload bytes routed in
+    std::uint64_t bytes_out = 0;  // Output message bytes sent back
+    std::int64_t installed_at_us = -1;  // sim time of successful install
+  };
+  const FnStats& fn_stats() const { return fn_stats_; }
+
   std::uint64_t id() const { return id_; }
   const std::string& image() const { return image_; }
   bool sgx() const { return conclave_ != nullptr; }
@@ -57,6 +67,7 @@ class Container final : public HostApi {
   bool dead() const { return dead_; }
   const std::string& death_reason() const { return death_reason_; }
   const TokenPair& tokens() const { return tokens_; }
+  const FunctionManifest& manifest() const { return manifest_; }
   tee::Conclave* conclave() { return conclave_.get(); }
   std::optional<tee::SecureChannel>& channel() { return channel_; }
 
@@ -121,6 +132,7 @@ class Container final : public HostApi {
   std::optional<tee::SecureChannel> channel_;
   std::unique_ptr<StemSession> stem_;
   std::unique_ptr<Function> function_;
+  FnStats fn_stats_;
   TokenPair tokens_;
   tor::EdgeStream* bound_stream_ = nullptr;
   std::map<std::uint64_t, tor::EdgeStream*> reply_handles_;

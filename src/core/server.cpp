@@ -1,5 +1,7 @@
 #include "core/server.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "script/parser.hpp"
 #include "util/log.hpp"
 
@@ -7,7 +9,21 @@ namespace bento::core {
 
 namespace {
 constexpr char kComponent[] = "bento.server";
+
+// Fleet-wide function lifecycle counters; the per-server Counters struct
+// stays as the scoped view, these feed the global registry snapshot.
+struct ServerMetrics {
+  obs::Counter uploads = obs::registry().counter("bento.uploads");
+  obs::Counter invokes = obs::registry().counter("bento.invokes");
+  obs::Counter shutdowns = obs::registry().counter("bento.shutdowns");
+  obs::Counter token_failures = obs::registry().counter("bento.token_failures");
+  obs::Counter policy_denials = obs::registry().counter("bento.policy_denials");
+};
+ServerMetrics& server_metrics() {
+  static ServerMetrics m;
+  return m;
 }
+}  // namespace
 
 util::Bytes BentoServer::runtime_image() {
   // Canonical bytes of the execution environment: in a real deployment this
@@ -46,6 +62,13 @@ BentoServer::BentoServer(sim::Simulator& sim, sim::Network& net, tor::Router& ro
   net.attach(op_node, stem_proxy_.get());
   net.set_latency(op_node, router_.node(), util::Duration::micros(50));
   router_.bind_local_app(config_.port, this);
+}
+
+std::vector<const Container*> BentoServer::containers() const {
+  std::vector<const Container*> out;
+  out.reserve(containers_.size());
+  for (const auto& [id, container] : containers_) out.push_back(container.get());
+  return out;
 }
 
 std::size_t BentoServer::total_memory_bytes() const {
@@ -200,6 +223,9 @@ void BentoServer::handle_upload(tor::EdgeStream* stream, const Message& msg) {
   const PolicyDecision decision = admit(config_.policy, manifest);
   if (!decision.admitted) {
     ++counters_.rejected_manifests;
+    server_metrics().policy_denials.inc();
+    obs::trace(obs::Ev::PolicyDeny, static_cast<std::uint32_t>(msg.container_id),
+               0, /*ok=*/false);
     reply_error(stream, "manifest rejected: " + decision.reason);
     return;
   }
@@ -223,6 +249,10 @@ void BentoServer::handle_upload(tor::EdgeStream* stream, const Message& msg) {
       if (!report.decision.admitted) {
         if (config_.verify == VerifyMode::Enforce) {
           ++counters_.rejected_static;
+          server_metrics().policy_denials.inc();
+          obs::trace(obs::Ev::PolicyDeny,
+                     static_cast<std::uint32_t>(msg.container_id), 1,
+                     /*ok=*/false);
           reply_error(stream, "upload rejected by static verifier: " +
                                   report.decision.reason);
           remove_container(msg.container_id);
@@ -244,6 +274,9 @@ void BentoServer::handle_upload(tor::EdgeStream* stream, const Message& msg) {
   }
 
   ++counters_.uploads;
+  server_metrics().uploads.inc();
+  obs::trace(obs::Ev::FnUpload, static_cast<std::uint32_t>(msg.container_id),
+             body.source.size());
   UploadReplyBody reply_body;
   reply_body.invocation_token = container.tokens().invocation.bytes();
   reply_body.shutdown_token = container.tokens().shutdown.bytes();
@@ -259,20 +292,31 @@ void BentoServer::handle_upload(tor::EdgeStream* stream, const Message& msg) {
 void BentoServer::handle_invoke(tor::EdgeStream* stream, const Message& msg) {
   Container* container = find_by_invocation(msg.token);
   if (container == nullptr) {
+    server_metrics().token_failures.inc();
+    obs::trace(obs::Ev::TokenCheck, 0, 0, /*ok=*/false);
     reply_error(stream, "bad invocation token");
     return;
   }
+  obs::trace(obs::Ev::TokenCheck, static_cast<std::uint32_t>(container->id()), 0);
   ++counters_.invokes;
+  server_metrics().invokes.inc();
+  obs::trace(obs::Ev::FnInvoke, static_cast<std::uint32_t>(container->id()),
+             msg.blob.size());
   container->handle_invoke(stream, msg.blob);
 }
 
 void BentoServer::handle_shutdown(tor::EdgeStream* stream, const Message& msg) {
   Container* container = find_by_shutdown(msg.token);
   if (container == nullptr) {
+    server_metrics().token_failures.inc();
+    obs::trace(obs::Ev::TokenCheck, 0, 1, /*ok=*/false);
     reply_error(stream, "bad shutdown token");
     return;
   }
+  obs::trace(obs::Ev::TokenCheck, static_cast<std::uint32_t>(container->id()), 1);
   ++counters_.shutdowns;
+  server_metrics().shutdowns.inc();
+  obs::trace(obs::Ev::FnShutdown, static_cast<std::uint32_t>(container->id()));
   container->graceful_shutdown();
   remove_container(container->id());
   Message ok;

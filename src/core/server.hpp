@@ -90,6 +90,9 @@ class BentoServer : public tor::LocalApp {
   std::size_t live_containers() const { return containers_.size(); }
   /// Total container memory (for the §7.3 scalability experiment).
   std::size_t total_memory_bytes() const;
+  /// Read-only view of live containers, id-ordered (snapshot_stats walks
+  /// these for the per-function telemetry section).
+  std::vector<const Container*> containers() const;
 
   struct Counters {
     std::uint64_t spawns = 0;

@@ -1,8 +1,23 @@
 #include "core/stemfw.hpp"
 
+#include "obs/trace.hpp"
 #include "sandbox/resources.hpp"
 
 namespace bento::core {
+
+namespace {
+// Records the denial into the flight recorder, then lets the sandbox
+// exception propagate to kill the offending function.
+void checked(sandbox::SyscallFilter& filter, sandbox::Syscall sc) {
+  try {
+    filter.check(sc);
+  } catch (...) {
+    obs::trace(obs::Ev::StemDeny, static_cast<std::uint32_t>(sc),
+               obs::Recorder::kStemSyscall, /*ok=*/false);
+    throw;
+  }
+}
+}  // namespace
 
 StemSession::StemSession(tor::OnionProxy& proxy, tor::DirectoryAuthority& directory,
                          sandbox::SyscallFilter& filter, int max_circuits)
@@ -26,8 +41,10 @@ StemSession::~StemSession() {
 
 void StemSession::build_circuit(const tor::PathConstraints& constraints,
                                 std::function<void(CircuitHandle)> done) {
-  filter_.check(sandbox::Syscall::TorCircuit);
+  checked(filter_, sandbox::Syscall::TorCircuit);
   if (circuits_.size() >= static_cast<std::size_t>(max_circuits_)) {
+    obs::trace(obs::Ev::StemDeny, static_cast<std::uint32_t>(circuits_.size()),
+               obs::Recorder::kStemCircuitCap, /*ok=*/false);
     throw sandbox::ResourceExceeded("stem: circuit cap reached");
   }
   proxy_.build_circuit(constraints, [this, done = std::move(done)](
@@ -45,7 +62,7 @@ void StemSession::build_circuit(const tor::PathConstraints& constraints,
 
 tor::Stream* StemSession::open_stream(CircuitHandle handle, const tor::Endpoint& to,
                                       tor::Stream::Callbacks cbs) {
-  filter_.check(sandbox::Syscall::TorCircuit);
+  checked(filter_, sandbox::Syscall::TorCircuit);
   auto it = circuits_.find(handle);
   if (it == circuits_.end() || it->second == nullptr) return nullptr;
   return it->second->open_stream(to, std::move(cbs));
@@ -63,12 +80,12 @@ void StemSession::destroy_circuit(CircuitHandle handle) {
 }
 
 const tor::Consensus& StemSession::consensus() {
-  filter_.check(sandbox::Syscall::TorDirectory);
+  checked(filter_, sandbox::Syscall::TorDirectory);
   return proxy_.consensus();
 }
 
 tor::HiddenServiceHost& StemSession::create_hidden_service(int intro_count) {
-  filter_.check(sandbox::Syscall::TorHs);
+  checked(filter_, sandbox::Syscall::TorHs);
   hs_hosts_.push_back(
       std::make_unique<tor::HiddenServiceHost>(proxy_, directory_, intro_count));
   return *hs_hosts_.back();
@@ -76,7 +93,7 @@ tor::HiddenServiceHost& StemSession::create_hidden_service(int intro_count) {
 
 tor::HiddenServiceHost& StemSession::create_hidden_service(
     const tor::HiddenServiceHost::Identity& identity, int intro_count) {
-  filter_.check(sandbox::Syscall::TorHs);
+  checked(filter_, sandbox::Syscall::TorHs);
   hs_hosts_.push_back(std::make_unique<tor::HiddenServiceHost>(
       proxy_, directory_, identity, intro_count));
   return *hs_hosts_.back();
@@ -84,7 +101,7 @@ tor::HiddenServiceHost& StemSession::create_hidden_service(
 
 void StemSession::connect_hs(const std::string& onion_id,
                              std::function<void(tor::CircuitOrigin*)> done) {
-  filter_.check(sandbox::Syscall::TorCircuit);
+  checked(filter_, sandbox::Syscall::TorCircuit);
   if (hs_client_ == nullptr) {
     hs_client_ = std::make_unique<tor::HsClient>(proxy_, directory_);
   }

@@ -1,5 +1,7 @@
 #include "core/world.hpp"
 
+#include <sstream>
+
 namespace bento::core {
 
 namespace {
@@ -44,6 +46,43 @@ BentoWorld::Client BentoWorld::make_client(const std::string& name, double bandw
   client.proxy = bed_.make_client(name, bandwidth);
   client.bento = std::make_unique<BentoClient>(*client.proxy, client_config());
   return client;
+}
+
+obs::Snapshot BentoWorld::snapshot_stats() {
+  obs::Snapshot snap = obs::registry().snapshot();
+
+  std::ostringstream servers;
+  servers << "bento servers (" << servers_.size() << ")\n";
+  for (const auto& server : servers_) {
+    const BentoServer::Counters& c = server->counters();
+    servers << "  " << server->fingerprint() << ": spawns=" << c.spawns
+            << " uploads=" << c.uploads << " invokes=" << c.invokes
+            << " shutdowns=" << c.shutdowns << " deaths=" << c.deaths
+            << " rejected=" << (c.rejected_manifests + c.rejected_static)
+            << " live=" << server->live_containers()
+            << " mem=" << server->total_memory_bytes() << "B\n";
+    for (const Container* container : server->containers()) {
+      const Container::FnStats& fs = container->fn_stats();
+      servers << "    fn " << container->manifest().name << "@" << container->id()
+              << " [" << container->image() << "]: invokes=" << fs.invokes
+              << " bytes_in=" << fs.bytes_in << " bytes_out=" << fs.bytes_out
+              << " installed_at_us=" << fs.installed_at_us << "\n";
+    }
+  }
+  snap.sections.push_back(std::move(servers).str());
+
+  std::ostringstream nodes;
+  sim::Network& net = bed_.net();
+  nodes << "network nodes (" << net.node_count() << ")\n";
+  for (sim::NodeId n = 0; n < net.node_count(); ++n) {
+    const sim::NodeStats& ns = net.stats(n);
+    nodes << "  " << n << " " << net.spec(n).name << ": tx=" << ns.bytes_sent
+          << "B/" << ns.messages_sent << "msg rx=" << ns.bytes_received << "B/"
+          << ns.messages_received << "msg queue_hw=" << ns.up_queue_high_water
+          << "up/" << ns.down_queue_high_water << "down\n";
+  }
+  snap.sections.push_back(std::move(nodes).str());
+  return snap;
 }
 
 BentoClientConfig BentoWorld::client_config() const {

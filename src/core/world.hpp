@@ -10,6 +10,7 @@
 #include "core/api.hpp"
 #include "core/client.hpp"
 #include "core/server.hpp"
+#include "obs/metrics.hpp"
 #include "tor/testbed.hpp"
 
 namespace bento::core {
@@ -53,6 +54,12 @@ class BentoWorld {
 
   void run(std::uint64_t max_events = 100'000'000) { bed_.run(max_events); }
   void run_for(util::Duration d) { bed_.run_for(d); }
+
+  /// One consolidated telemetry snapshot: the global registry (counters,
+  /// gauges, histograms) plus formatted per-server/per-function and
+  /// per-node network sections. snapshot.to_string() is the stats dump
+  /// artifact referenced by EXPERIMENTS.md.
+  obs::Snapshot snapshot_stats();
 
  private:
   BentoWorldOptions options_;

@@ -1,0 +1,147 @@
+// Flight recorder: a bounded ring of POD trace events in sim time
+// (DESIGN.md §8).
+//
+// record() is the hot-path entry: one branch on the enabled flag, one mask
+// test, then a fixed-size store into preallocated storage — no heap, no
+// strings, no formatting. Memory is bounded by the capacity chosen at
+// enable(); when the ring wraps, the *oldest* events are overwritten so a
+// post-mortem always holds the newest window (hence "flight recorder").
+//
+// Events carry a kind, the sim timestamp, an ok/fail flag and two untyped
+// operands (a: circuit/container/node id, b: bytes/lag/stream id — see the
+// per-kind conventions next to Ev). Naming and structure are resolved at
+// export time: to Chrome `trace_event` JSON (load in chrome://tracing or
+// Perfetto) or to a JSONL stream (one event per line, byte-stable across
+// identical seeded runs — the determinism regression diffs these).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "util/simclock.hpp"
+
+namespace bento::obs {
+
+/// Trace event kinds. Operand conventions in trailing comments.
+enum class Ev : std::uint8_t {
+  SimDispatch = 0,   // a: -            b: events pending after dispatch
+  CircExtend,        // a: circ id      b: hop index just completed
+  CircBuilt,         // a: circ id      b: hop count
+  CircTeardown,      // a: circ id      b: -
+  StreamOpen,        // a: circ id      b: stream id
+  StreamTtfb,        // a: stream id    b: sim µs from open to first byte
+  StreamTtlb,        // a: stream id    b: sim µs from open to last byte
+  CellSend,          // a: circ id      b: relay command (origin send)
+  CellRecv,          // a: circ id      b: receiving relay's node id
+  CellRecognized,    // a: circ id      b: relay command
+  CellUnrecognized,  // a: circ id      b: node id (edge violation / drop)
+  FnUpload,          // a: container id b: function source bytes; flags: ok
+  FnInvoke,          // a: container id b: payload bytes
+  FnShutdown,        // a: container id b: -
+  TokenCheck,        // a: container id b: token kind (0 invoke, 1 shutdown); flags: ok
+  PolicyDeny,        // a: container id b: 0 manifest, 1 static verifier
+  StemDeny,          // a: container id b: denial class (Recorder::kStem*)
+  kCount,
+};
+
+/// Stable lower_snake names used by both exporters.
+const char* ev_name(Ev kind);
+
+struct TraceEvent {
+  std::int64_t ts_us;
+  std::uint64_t b;
+  std::uint32_t a;
+  Ev kind;
+  std::uint8_t flags;  // bit 0: ok
+};
+
+class Recorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+  // StemDeny `b` operand values.
+  static constexpr std::uint64_t kStemCircuitCap = 0;
+  static constexpr std::uint64_t kStemSyscall = 1;
+
+  /// Starts (or restarts) recording into a fresh ring of `capacity` events.
+  /// The one place the recorder allocates.
+  void enable(std::size_t capacity = kDefaultCapacity);
+  void disable();
+  bool enabled() const { return enabled_; }
+
+  /// Per-kind filter; bit i gates Ev(i). Default: everything on. Use
+  /// mask_of() to build masks, e.g. to silence the SimDispatch firehose.
+  void set_mask(std::uint32_t mask) { mask_ = mask; }
+  std::uint32_t mask() const { return mask_; }
+  static constexpr std::uint32_t mask_of(Ev kind) {
+    return std::uint32_t{1} << static_cast<unsigned>(kind);
+  }
+  static constexpr std::uint32_t mask_all() {
+    return (std::uint32_t{1} << static_cast<unsigned>(Ev::kCount)) - 1;
+  }
+
+  void record(Ev kind, std::uint32_t a = 0, std::uint64_t b = 0, bool ok = true) {
+    if (!enabled_) return;
+    if ((mask_ & mask_of(kind)) == 0) return;
+    TraceEvent& e = ring_[head_];
+    e.ts_us = util::sim_now_micros();
+    e.b = b;
+    e.a = a;
+    e.kind = kind;
+    e.flags = ok ? 1 : 0;
+    head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+    if (size_ < ring_.size()) {
+      ++size_;
+    } else {
+      ++overwritten_;
+    }
+    ++recorded_;
+  }
+
+  /// Events currently held (≤ capacity).
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return ring_.size(); }
+  /// Total record() calls accepted since enable().
+  std::uint64_t recorded() const { return recorded_; }
+  /// Events lost to ring wraparound.
+  std::uint64_t overwritten() const { return overwritten_; }
+
+  /// Held events, oldest first (insertion order == sim-time order, since
+  /// recording happens as the simulation advances).
+  std::vector<TraceEvent> events() const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}); instant events on
+  /// one lane per subsystem, timestamps in sim microseconds.
+  void export_chrome_trace(std::ostream& os) const;
+  /// One compact JSON object per line; byte-stable for identical runs.
+  void export_jsonl(std::ostream& os) const;
+
+ private:
+  template <typename Fn>
+  void for_each(Fn&& fn) const;  // oldest -> newest
+
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t overwritten_ = 0;
+  std::uint32_t mask_ = mask_all();
+  bool enabled_ = false;
+};
+
+namespace detail {
+// Constant-initialized (all members have constexpr default ctors), so
+// trace() is safe from any static-init context.
+inline Recorder g_recorder;
+}  // namespace detail
+
+inline Recorder& recorder() { return detail::g_recorder; }
+
+/// Convenience hot-path entry: obs::trace(Ev::CellSend, circ, cmd).
+inline void trace(Ev kind, std::uint32_t a = 0, std::uint64_t b = 0, bool ok = true) {
+  detail::g_recorder.record(kind, a, b, ok);
+}
+
+}  // namespace bento::obs

@@ -10,6 +10,12 @@ std::pair<NodeId, NodeId> ordered(NodeId a, NodeId b) {
 }
 }  // namespace
 
+Network::Network(Simulator& sim)
+    : sim_(sim),
+      m_messages_(obs::registry().counter("net.messages")),
+      m_bytes_(obs::registry().counter("net.bytes")),
+      m_queue_depth_(obs::registry().gauge("net.link_queue_depth")) {}
+
 void Network::check_node(NodeId node) const {
   if (node >= nodes_.size()) throw std::out_of_range("Network: unknown node id");
 }
@@ -25,6 +31,8 @@ NodeId Network::add_node(const NodeSpec& spec, MessageHandler* handler) {
   st.handler = handler;
   st.up.bytes_per_sec = spec.up_bytes_per_sec;
   st.down.bytes_per_sec = spec.down_bytes_per_sec;
+  st.up.high_water = &st.stats.up_queue_high_water;
+  st.down.high_water = &st.stats.down_queue_high_water;
   // Uplink sink: propagate, then enqueue on the receiver's downlink.
   st.up.sink = [this](Packet&& pkt) {
     const Duration prop = latency(pkt.from, pkt.to);
@@ -70,6 +78,8 @@ void Network::send(NodeId from, NodeId to, util::Bytes payload) {
   NodeState& src = *nodes_[from];
   src.stats.bytes_sent += payload.size();
   src.stats.messages_sent += 1;
+  m_messages_.inc();
+  m_bytes_.inc(payload.size());
   Packet pkt{from, to, std::move(payload), 0};
   pkt.wire_size = pkt.payload.size() + kMessageOverhead;
   enqueue(src.up, to, std::move(pkt));
@@ -98,6 +108,11 @@ void Network::enqueue(LinkQueue& lq, NodeId peer_key, Packet pkt) {
   auto [it, inserted] = lq.queues.try_emplace(peer_key);
   it->second.push_back(std::move(pkt));
   if (inserted) lq.rr_order.push_back(peer_key);
+  lq.queued += 1;
+  if (lq.high_water != nullptr && lq.queued > *lq.high_water) {
+    *lq.high_water = lq.queued;
+  }
+  m_queue_depth_.set(static_cast<std::int64_t>(lq.queued));
   if (!lq.busy) serve(lq);
 }
 
@@ -111,6 +126,7 @@ void Network::serve(LinkQueue& lq) {
     if (qit == lq.queues.end() || qit->second.empty()) continue;
     Packet pkt = std::move(qit->second.front());
     qit->second.pop_front();
+    lq.queued -= 1;
     lq.busy = true;
     const Duration ser =
         Duration::seconds(static_cast<double>(pkt.wire_size) / lq.bytes_per_sec);

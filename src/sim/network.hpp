@@ -54,11 +54,16 @@ struct NodeStats {
   std::uint64_t bytes_received = 0;
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_received = 0;
+  /// High-water marks of this node's access-link queues (packets waiting
+  /// for serialization), one per direction — the congestion signal the
+  /// Figure-5 style experiments read.
+  std::size_t up_queue_high_water = 0;
+  std::size_t down_queue_high_water = 0;
 };
 
 class Network {
  public:
-  explicit Network(Simulator& sim) : sim_(sim) {}
+  explicit Network(Simulator& sim);
 
   /// Adds a node; handler may be null and attached later.
   NodeId add_node(const NodeSpec& spec, MessageHandler* handler = nullptr);
@@ -105,6 +110,8 @@ class Network {
     std::map<NodeId, std::deque<Packet>> queues;  // keyed by remote peer
     std::vector<NodeId> rr_order;                 // round-robin cursor state
     std::size_t rr_next = 0;
+    std::size_t queued = 0;             // packets waiting across all peers
+    std::size_t* high_water = nullptr;  // -> the owning NodeStats field
     std::function<void(Packet&&)> sink;
   };
 
@@ -127,6 +134,9 @@ class Network {
   std::map<std::pair<NodeId, NodeId>, Duration> latency_;
   Duration default_latency_ = Duration::millis(40);
   WireMonitor monitor_;
+  obs::Counter m_messages_;
+  obs::Counter m_bytes_;
+  obs::Gauge m_queue_depth_;  // worst single-link depth, with high-water
 };
 
 }  // namespace bento::sim

@@ -24,6 +24,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
@@ -188,6 +190,11 @@ class EventFn {
 class Simulator {
  public:
   explicit Simulator(std::uint64_t seed = 1);
+  // The simulator registers itself as the process-wide sim clock (its
+  // address is the registration key), so it must stay put.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
 
   Time now() const { return now_; }
   util::Rng& rng() { return rng_; }
@@ -223,6 +230,7 @@ class Simulator {
  private:
   struct Event {
     Time when;
+    Time queued_at;     // scheduling time, for the dispatch-lag histogram
     std::uint64_t seq;  // FIFO tie-break for equal timestamps
     EventFn fn;
 
@@ -243,6 +251,11 @@ class Simulator {
   SlabPool pool_;  // declared before heap_: events may hold pooled slabs
   std::vector<Event> heap_;
   util::Rng rng_;
+  // Pre-registered observability handles: per-dispatch cost is a flag
+  // branch plus pointer-indirect adds (DESIGN.md §8 overhead contract).
+  obs::Counter m_events_;
+  obs::Histogram m_dispatch_lag_us_;
+  obs::Gauge m_pending_;
 };
 
 }  // namespace bento::sim

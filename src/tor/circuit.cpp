@@ -2,15 +2,33 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tor/wire.hpp"
 #include "util/log.hpp"
 #include "util/serialize.hpp"
+#include "util/simclock.hpp"
 
 namespace bento::tor {
 
 namespace {
 constexpr char kComponent[] = "tor.circuit";
+
+// Registered once; every CircuitOrigin shares these handles so circuit
+// construction stays free of registry lookups.
+struct CircuitMetrics {
+  obs::Counter built = obs::registry().counter("tor.circuits.built");
+  obs::Counter destroyed = obs::registry().counter("tor.circuits.destroyed");
+  obs::Counter cells_sent = obs::registry().counter("tor.origin.cells_sent");
+  obs::Counter cells_received = obs::registry().counter("tor.origin.cells_received");
+  obs::Histogram build_us = obs::registry().histogram("tor.circuit_build_us");
+  obs::Histogram ttfb_us = obs::registry().histogram("tor.stream_ttfb_us");
+};
+CircuitMetrics& circuit_metrics() {
+  static CircuitMetrics m;
+  return m;
 }
+}  // namespace
 
 void Stream::send(util::ByteView data) {
   if (circ_ == nullptr) return;
@@ -30,6 +48,7 @@ CircuitOrigin::CircuitOrigin(sim::Network& net, sim::NodeId own_node, Path path,
     : net_(net), own_node_(own_node), path_(std::move(path)), circ_id_(circ_id),
       rng_(rng) {
   if (path_.empty()) throw std::invalid_argument("CircuitOrigin: empty path");
+  counters_.created_us = util::sim_now_micros();
 }
 
 void CircuitOrigin::send_cell(const Cell& cell) {
@@ -52,6 +71,14 @@ void CircuitOrigin::build(BuiltFn done) {
 void CircuitOrigin::continue_build() {
   if (next_hop_to_build_ >= path_.size()) {
     built_ = true;
+    counters_.built_us = util::sim_now_micros();
+    CircuitMetrics& m = circuit_metrics();
+    m.built.inc();
+    if (counters_.created_us >= 0 && counters_.built_us >= 0) {
+      m.build_us.record(counters_.built_us - counters_.created_us);
+    }
+    obs::trace(obs::Ev::CircBuilt, circ_id_,
+               static_cast<std::uint64_t>(hop_count()));
     if (built_cb_) {
       auto cb = std::move(built_cb_);
       built_cb_ = nullptr;
@@ -93,11 +120,14 @@ void CircuitOrigin::handle_cell(const Cell& cell) {
         return;
       }
       layers_.push_back(std::make_unique<LayerCrypto>(*keys));
+      obs::trace(obs::Ev::CircExtend, circ_id_, 0);
       next_hop_to_build_ = 1;
       continue_build();
       return;
     }
     case CellCommand::Relay: {
+      circuit_metrics().cells_received.inc();
+      obs::trace(obs::Ev::CellRecv, circ_id_, 0);
       auto payload = cell.payload;
       for (std::size_t i = 0; i < layers_.size(); ++i) {
         layers_[i]->crypt_backward(payload);
@@ -132,6 +162,8 @@ void CircuitOrigin::handle_cell(const Cell& cell) {
     }
     case CellCommand::Destroy: {
       destroyed_ = true;
+      circuit_metrics().destroyed.inc();
+      obs::trace(obs::Ev::CircTeardown, circ_id_, 1);  // b=1: remote destroy
       // Callbacks may touch the stream map; detach it first.
       auto doomed = std::move(streams_);
       streams_.clear();
@@ -154,6 +186,9 @@ void CircuitOrigin::handle_cell(const Cell& cell) {
 
 void CircuitOrigin::send_relay(RelayCell rc, int hop) {
   if (destroyed_) return;
+  circuit_metrics().cells_sent.inc();
+  obs::trace(obs::Ev::CellSend, circ_id_,
+             static_cast<std::uint64_t>(rc.relay_cmd));
   if (virtual_relay_.has_value()) {
     // Service side: seal at the virtual layer (relay-style, backward
     // digest), then wrap in every real hop's forward keystream without
@@ -204,8 +239,10 @@ Stream* CircuitOrigin::open_stream(const Endpoint& to, Stream::Callbacks cbs) {
   stream->circ_ = this;
   stream->id_ = sid;
   stream->cbs_ = std::move(cbs);
+  stream->opened_us = util::sim_now_micros();
   Stream* out = stream.get();
   streams_[sid] = std::move(stream);
+  obs::trace(obs::Ev::StreamOpen, circ_id_, sid);
 
   RelayCell begin;
   begin.relay_cmd = RelayCommand::Begin;
@@ -228,6 +265,7 @@ void CircuitOrigin::pump_stream(Stream& stream) {
     stream.package_window--;
     circ_package_window_--;
     counters_.data_cells_sent++;
+    counters_.bytes_sent += data.data.size();
     send_relay(std::move(data));
   }
   if (stream.outbuf.empty() && stream.end_after_flush) {
@@ -251,6 +289,7 @@ void CircuitOrigin::dispatch_relay(const RelayCell& rc, int hop) {
         return;
       }
       layers_.push_back(std::make_unique<LayerCrypto>(*keys));
+      obs::trace(obs::Ev::CircExtend, circ_id_, next_hop_to_build_);
       next_hop_to_build_++;
       continue_build();
       return;
@@ -264,6 +303,10 @@ void CircuitOrigin::dispatch_relay(const RelayCell& rc, int hop) {
     }
     case RelayCommand::Data: {
       counters_.data_cells_received++;
+      counters_.bytes_received += rc.data.size();
+      const std::int64_t now_us = util::sim_now_micros();
+      if (counters_.first_byte_us < 0) counters_.first_byte_us = now_us;
+      counters_.last_byte_us = now_us;
       circ_delivered_++;
       if (circ_delivered_ % kCircuitWindowIncrement == 0) {
         RelayCell sendme;
@@ -273,6 +316,15 @@ void CircuitOrigin::dispatch_relay(const RelayCell& rc, int hop) {
       auto it = streams_.find(rc.stream_id);
       if (it == streams_.end()) return;
       Stream& stream = *it->second;
+      if (stream.first_byte_us < 0) {
+        stream.first_byte_us = now_us;
+        if (stream.opened_us >= 0) {
+          circuit_metrics().ttfb_us.record(now_us - stream.opened_us);
+          obs::trace(obs::Ev::StreamTtfb, circ_id_,
+                     static_cast<std::uint64_t>(now_us - stream.opened_us));
+        }
+      }
+      stream.last_byte_us = now_us;
       stream.delivered++;
       if (stream.delivered % kStreamWindowIncrement == 0) {
         RelayCell sendme;
@@ -289,6 +341,11 @@ void CircuitOrigin::dispatch_relay(const RelayCell& rc, int hop) {
       auto stream = std::move(it->second);
       streams_.erase(it);
       stream->circ_ = nullptr;
+      if (stream->opened_us >= 0 && stream->last_byte_us >= 0) {
+        obs::trace(obs::Ev::StreamTtlb, circ_id_,
+                   static_cast<std::uint64_t>(stream->last_byte_us -
+                                              stream->opened_us));
+      }
       if (stream->cbs_.on_end) stream->cbs_.on_end();
       return;
     }
@@ -349,6 +406,8 @@ void CircuitOrigin::dispatch_relay(const RelayCell& rc, int hop) {
 void CircuitOrigin::destroy() {
   if (destroyed_) return;
   destroyed_ = true;
+  circuit_metrics().destroyed.inc();
+  obs::trace(obs::Ev::CircTeardown, circ_id_, 0);  // b=0: local teardown
   Cell destroy_cell;
   destroy_cell.circ_id = circ_id_;
   destroy_cell.command = CellCommand::Destroy;

@@ -64,6 +64,11 @@ class Stream {
   int delivered = 0;
   ByteQueue outbuf;
   bool end_after_flush = false;
+  // Sim-time telemetry (micros; -1 = not yet). TTFB/TTLB land in the trace
+  // and the tor.stream_ttfb_us histogram when the stream ends.
+  std::int64_t opened_us = -1;
+  std::int64_t first_byte_us = -1;
+  std::int64_t last_byte_us = -1;
 };
 
 class CircuitOrigin {
@@ -115,10 +120,18 @@ class CircuitOrigin {
   /// Tears down (DESTROY toward the guard) and fires stream/circuit ends.
   void destroy();
 
-  /// Cells of cover traffic absorbed, bytes delivered — for experiments.
+  /// Per-circuit scoped stats: cell/byte volume plus the sim-time marks the
+  /// paper's evaluation is built from (TTFB/TTLB relative to creation).
+  /// Times are microseconds of sim time, -1 until the event happened.
   struct Counters {
     std::uint64_t data_cells_sent = 0;
     std::uint64_t data_cells_received = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+    std::int64_t created_us = -1;
+    std::int64_t built_us = -1;
+    std::int64_t first_byte_us = -1;  // first DATA payload byte delivered
+    std::int64_t last_byte_us = -1;   // most recent DATA payload byte
   };
   const Counters& counters() const { return counters_; }
 

@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "crypto/hmac.hpp"
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
 
 namespace bento::tor {
 
@@ -10,6 +12,20 @@ namespace {
 // Payload offsets of the relay header fields (see cell.hpp).
 constexpr std::size_t kRecognizedOff = 1;
 constexpr std::size_t kDigestOff = 5;
+
+// Recognition outcomes on the per-cell hot path. A miss is normal for cells
+// addressed to a later hop; a digest mismatch (recognized field zero but
+// the running digest disagrees) is the signature of reordering/tampering.
+struct RecognitionMetrics {
+  obs::Counter hits = obs::registry().counter("tor.recognition.hits");
+  obs::Counter misses = obs::registry().counter("tor.recognition.misses");
+  obs::Counter digest_mismatches =
+      obs::registry().counter("tor.recognition.digest_mismatches");
+};
+RecognitionMetrics& recognition_metrics() {
+  static RecognitionMetrics m;
+  return m;
+}
 }  // namespace
 
 LayerKeys LayerKeys::derive(util::ByteView secret, std::string_view label) {
@@ -49,8 +65,12 @@ void LayerCrypto::seal(crypto::Sha256& running,
 
 bool LayerCrypto::check(crypto::Sha256& running,
                         std::array<std::uint8_t, kCellPayloadLen>& payload) {
+  RecognitionMetrics& metrics = recognition_metrics();
   // Cheap pre-check: recognized field must be zero.
-  if (payload[kRecognizedOff] != 0 || payload[kRecognizedOff + 1] != 0) return false;
+  if (payload[kRecognizedOff] != 0 || payload[kRecognizedOff + 1] != 0) {
+    metrics.misses.inc();
+    return false;
+  }
   std::uint8_t claimed[4];
   std::memcpy(claimed, payload.data() + kDigestOff, 4);
   std::memset(payload.data() + kDigestOff, 0, 4);
@@ -62,8 +82,18 @@ bool LayerCrypto::check(crypto::Sha256& running,
   std::memcpy(payload.data() + kDigestOff, claimed, 4);
   if (std::memcmp(claimed, d.data(), 4) != 0) {
     // Not ours: payload is restored and the running state was never touched.
+    metrics.misses.inc();
+    metrics.digest_mismatches.inc();
+    // Formatting four hex bytes per unmatched cell would dominate the relay
+    // loop; the fast predicate keeps it free unless someone turned Trace on.
+    if (util::log_enabled(util::LogLevel::Trace)) {
+      util::log(util::LogLevel::Trace, "tor.relaycrypto",
+                "recognition digest mismatch: claimed ", util::to_hex({claimed, 4}),
+                " computed ", util::to_hex({d.data(), 4}));
+    }
     return false;
   }
+  metrics.hits.inc();
   running = candidate;
   return true;
 }

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "tor/ntor.hpp"
 #include "tor/wire.hpp"
 #include "util/log.hpp"
@@ -103,6 +104,7 @@ Router::Circuit* Router::find_circuit(const Key& key) {
 
 void Router::handle_cell(sim::NodeId from, const Cell& cell) {
   ++counters_.cells_in;
+  obs::trace(obs::Ev::CellRecv, cell.circ_id, node_);
   switch (cell.command) {
     case CellCommand::Create: handle_create(from, cell); break;
     case CellCommand::Created: handle_created(from, cell); break;
@@ -173,6 +175,7 @@ void Router::handle_relay(sim::NodeId from, const Cell& cell) {
   if (forward) {
     circ->crypto->crypt_forward(payload);
     if (circ->crypto->check_forward(payload)) {
+      obs::trace(obs::Ev::CellRecognized, cell.circ_id, node_);
       RelayCell rc;
       try {
         rc = RelayCell::unpack(payload);
@@ -199,6 +202,7 @@ void Router::handle_relay(sim::NodeId from, const Cell& cell) {
       return;
     }
     // Unrecognized at an edge with nowhere to go: protocol violation.
+    obs::trace(obs::Ev::CellUnrecognized, cell.circ_id, node_, /*ok=*/false);
     destroy_circuit(key, true, true);
     return;
   }

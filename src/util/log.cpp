@@ -1,11 +1,20 @@
 #include "util/log.hpp"
 
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
+
+#include "util/simclock.hpp"
 
 namespace bento::util {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
+// Set when BENTO_LOG_LEVEL supplied the threshold; set_log_level() then
+// leaves the environment's choice in place.
+bool g_env_forced = false;
+
 const char* level_name(LogLevel l) {
   switch (l) {
     case LogLevel::Trace: return "trace";
@@ -19,12 +28,49 @@ const char* level_name(LogLevel l) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+std::optional<LogLevel> parse_log_level(const char* text) {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  std::string lower;
+  for (const char* p = text; *p != '\0'; ++p) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (lower.size() == 1 && lower[0] >= '0' && lower[0] <= '5') {
+    return static_cast<LogLevel>(lower[0] - '0');
+  }
+  if (lower == "trace") return LogLevel::Trace;
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "off" || lower == "none") return LogLevel::Off;
+  return std::nullopt;
+}
+
+LogLevel detail::initial_log_level() {
+  if (auto parsed = parse_log_level(std::getenv("BENTO_LOG_LEVEL"))) {
+    g_env_forced = true;
+    return *parsed;
+  }
+  return LogLevel::Warn;
+}
+
+void set_log_level(LogLevel level) {
+  if (g_env_forced) return;  // the operator's environment override wins
+  detail::g_log_threshold = level;
+}
 
 void log_line(LogLevel level, const std::string& component, const std::string& message) {
-  if (level < g_level) return;
-  std::cerr << "[" << level_name(level) << "] " << component << ": " << message << "\n";
+  if (!log_enabled(level)) return;
+  std::cerr << "[" << level_name(level) << "] ";
+  const std::int64_t us = sim_now_micros();
+  if (us >= 0) {
+    char stamp[32];
+    std::snprintf(stamp, sizeof stamp, "t=%lld.%06llds ",
+                  static_cast<long long>(us / 1'000'000),
+                  static_cast<long long>(us % 1'000'000));
+    std::cerr << stamp;
+  }
+  std::cerr << component << ": " << message << "\n";
 }
 
 }  // namespace bento::util

@@ -1,10 +1,20 @@
 // Minimal leveled logger.
 //
 // Logging defaults to Warn so test/bench output stays clean; examples raise
-// it to Info to narrate the scenario. Not thread-safe by design: the whole
-// system is a single-threaded discrete-event simulation.
+// it to Info to narrate the scenario. The `BENTO_LOG_LEVEL` environment
+// variable (trace|debug|info|warn|error|off, or 0-5) overrides both the
+// default and any set_log_level() call, so a scenario's verbosity can be
+// raised without recompiling. When a simulation clock is installed
+// (util/simclock.hpp) every line is stamped with the current sim time.
+//
+// Hot paths gate on log_enabled(level) *before* evaluating expensive
+// arguments: the predicate is an inline threshold compare, so a disabled
+// log site costs one well-predicted branch and never formats anything.
+// Not thread-safe by design: the whole system is a single-threaded
+// discrete-event simulation.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -12,11 +22,27 @@ namespace bento::util {
 
 enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
 
-/// Global threshold; messages below it are discarded.
-void set_log_level(LogLevel level);
-LogLevel log_level();
+namespace detail {
+/// Initial threshold: BENTO_LOG_LEVEL when set and parseable, else Warn.
+LogLevel initial_log_level();
+inline LogLevel g_log_threshold = initial_log_level();
+}  // namespace detail
 
-/// Emits one line to stderr as "[level] component: message".
+/// Parses a level name ("debug", "WARN") or digit ("1"); nullopt on junk.
+std::optional<LogLevel> parse_log_level(const char* text);
+
+/// Global threshold; messages below it are discarded. A BENTO_LOG_LEVEL
+/// override wins over this call (the environment out-ranks compiled-in
+/// defaults so tests/examples can raise verbosity externally).
+void set_log_level(LogLevel level);
+inline LogLevel log_level() { return detail::g_log_threshold; }
+
+/// Fast predicate for hot call sites: guard argument formatting with this
+/// when the arguments themselves are expensive to build.
+inline bool log_enabled(LogLevel level) { return level >= detail::g_log_threshold; }
+
+/// Emits one line to stderr as "[level] t=<sim seconds> component: message"
+/// (the timestamp appears only while a sim clock is installed).
 void log_line(LogLevel level, const std::string& component, const std::string& message);
 
 namespace detail {
@@ -30,7 +56,7 @@ void format_into(std::ostringstream& os, const T& v, const Rest&... rest) {
 
 template <typename... Args>
 void log(LogLevel level, const std::string& component, const Args&... args) {
-  if (level < log_level()) return;
+  if (!log_enabled(level)) return;
   std::ostringstream os;
   detail::format_into(os, args...);
   log_line(level, component, os.str());

@@ -1,0 +1,50 @@
+// Global simulation-clock hook.
+//
+// The observability layer and the logger both want "what simulated time is
+// it?" without a dependency edge from util up to sim. The Simulator installs
+// itself here (type-erased as a function pointer + context) on construction
+// and uninstalls on destruction; anything below can then timestamp output in
+// sim time when a clock is present and stay wall-silent otherwise.
+//
+// Header-only and allocation-free: one pointer pair of process state, so a
+// query is a load + indirect call. Single-threaded by design, like the rest
+// of the simulation.
+#pragma once
+
+#include <cstdint>
+
+namespace bento::util {
+
+/// Returns microseconds of simulation time for `ctx`.
+using SimClockFn = std::int64_t (*)(const void* ctx);
+
+namespace detail {
+inline SimClockFn g_sim_clock_fn = nullptr;
+inline const void* g_sim_clock_ctx = nullptr;
+}  // namespace detail
+
+/// Installs `fn(ctx)` as the process-wide sim clock (last caller wins).
+inline void install_sim_clock(SimClockFn fn, const void* ctx) {
+  detail::g_sim_clock_fn = fn;
+  detail::g_sim_clock_ctx = ctx;
+}
+
+/// Clears the clock, but only if `ctx` is still the installed owner — a
+/// dying Simulator must not tear down a newer one's clock.
+inline void uninstall_sim_clock(const void* ctx) {
+  if (detail::g_sim_clock_ctx == ctx) {
+    detail::g_sim_clock_fn = nullptr;
+    detail::g_sim_clock_ctx = nullptr;
+  }
+}
+
+inline bool sim_clock_installed() { return detail::g_sim_clock_fn != nullptr; }
+
+/// Current sim time in microseconds, or -1 when no clock is installed.
+inline std::int64_t sim_now_micros() {
+  return detail::g_sim_clock_fn != nullptr
+             ? detail::g_sim_clock_fn(detail::g_sim_clock_ctx)
+             : -1;
+}
+
+}  // namespace bento::util
