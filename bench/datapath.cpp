@@ -24,6 +24,7 @@
 
 #include "crypto/chacha20.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "tor/cell.hpp"
@@ -276,6 +277,37 @@ static void BM_RelayDatapath3HopTraced(benchmark::State& state) {
       static_cast<double>(allocs_delta) / static_cast<double>(cells ? cells : 1));
 }
 BENCHMARK(BM_RelayDatapath3HopTraced);
+
+// Traversal under an active causal span, exactly as the relay datapath runs
+// when a traced request transits the hop: per cell, a SpanScope opens and
+// closes a relay.forward span (SpanBegin + SpanEnd into the preallocated
+// ring) nested under a live client.invoke root. Spans are POD events in the
+// same ring, so this must hold the 0-allocs/cell line too — the span tracer
+// is only shippable if tracing a request costs no heap on the cell path.
+static void BM_RelayDatapath3HopSpanTraced(benchmark::State& state) {
+  Datapath3Hop path;
+  path.traverse();
+  bo::recorder().enable(std::size_t{1} << 12);
+  bo::reset_spans();
+  // Root request context, as BentoConnection::invoke() establishes it.
+  bo::SpanScope root(bo::SpanScope::kRoot, bo::Stage::ClientInvoke);
+
+  const std::uint64_t allocs_before = allocs();
+  std::uint64_t cells = 0;
+  for (auto _ : state) {
+    bo::SpanScope hop(bo::Stage::RelayForward, 42);
+    path.traverse();
+    ++cells;
+  }
+  const std::uint64_t allocs_delta = allocs() - allocs_before;
+  bo::recorder().disable();
+
+  state.SetItemsProcessed(static_cast<std::int64_t>(cells));
+  state.SetBytesProcessed(static_cast<std::int64_t>(cells * bt::kCellPayloadLen));
+  state.counters["allocs_per_cell"] = benchmark::Counter(
+      static_cast<double>(allocs_delta) / static_cast<double>(cells ? cells : 1));
+}
+BENCHMARK(BM_RelayDatapath3HopSpanTraced);
 
 // Raw registry handle costs: one pre-registered counter increment / histogram
 // record per iteration. These are the budget every instrumentation point

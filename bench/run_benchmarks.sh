@@ -8,11 +8,20 @@
 # the current 8-block kernel), the 3-hop relay datapath (cells/s, MB/s,
 # allocs/cell), and simulator event churn (events/s, allocs/event).
 # BENCH_obs.json records the observability overhead story: the metrics-on vs
-# metrics-off datapath delta, the traced datapath, and the raw per-op cost of
-# counter/histogram/trace-record handles. CI runs this as a smoke check: it
-# fails if any zero-allocation invariant breaks, the kernel regresses below
-# 3x the scalar baseline, or live metrics cost the cell datapath more than
-# 10% throughput.
+# metrics-off datapath delta, the traced and span-traced datapaths, and the
+# raw per-op cost of counter/histogram/trace-record handles. CI runs this as
+# a smoke check: it fails if any zero-allocation invariant breaks, the kernel
+# regresses below 3x the scalar baseline, or live metrics/span tracing cost
+# the cell datapath more than 10%/15% throughput.
+#
+# Regression gate: after distilling, the run is compared against the
+# *committed* BENCH_datapath.json / BENCH_obs.json baselines. Only
+# host-independent metrics are gated (speedup ratios and alloc counts — raw
+# cells/s vary with the runner): a >15% drop in either ChaCha20 speedup or
+# any alloc metric moving off its baseline fails the script. Every gated run
+# also appends one line to BENCH_trajectory.jsonl so the perf history of the
+# repo is recorded PR over PR. Set BENCH_BASELINE_SKIP=1 to bypass the gate
+# (e.g. when intentionally refreshing the committed baselines).
 
 set -euo pipefail
 
@@ -21,6 +30,10 @@ build_dir="${1:-${repo_root}/build}"
 out_json="${2:-${repo_root}/BENCH_datapath.json}"
 obs_out_json="${3:-${repo_root}/BENCH_obs.json}"
 min_time="${BENCH_MIN_TIME:-0.2}"
+baseline_json="${BENCH_BASELINE:-${repo_root}/BENCH_datapath.json}"
+obs_baseline_json="${BENCH_OBS_BASELINE:-${repo_root}/BENCH_obs.json}"
+trajectory_jsonl="${BENCH_TRAJECTORY:-${repo_root}/BENCH_trajectory.jsonl}"
+git_rev="$(git -C "${repo_root}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
 bin="${build_dir}/bench/datapath"
 if [[ ! -x "${bin}" ]]; then
@@ -29,16 +42,26 @@ if [[ ! -x "${bin}" ]]; then
 fi
 
 raw_json="$(mktemp)"
-trap 'rm -f "${raw_json}"' EXIT
+baseline_copy="$(mktemp)"
+obs_baseline_copy="$(mktemp)"
+trap 'rm -f "${raw_json}" "${baseline_copy}" "${obs_baseline_copy}"' EXIT
+
+# Snapshot the committed baselines before anything overwrites them (the
+# default out paths are the baseline files themselves).
+if [[ -f "${baseline_json}" ]]; then cp "${baseline_json}" "${baseline_copy}"; else : >"${baseline_copy}"; fi
+if [[ -f "${obs_baseline_json}" ]]; then cp "${obs_baseline_json}" "${obs_baseline_copy}"; else : >"${obs_baseline_copy}"; fi
 
 "${bin}" --benchmark_format=json --benchmark_min_time="${min_time}" \
   >"${raw_json}"
 
-python3 - "${raw_json}" "${out_json}" "${obs_out_json}" <<'PY'
+python3 - "${raw_json}" "${out_json}" "${obs_out_json}" \
+  "${baseline_copy}" "${obs_baseline_copy}" "${trajectory_jsonl}" \
+  "${git_rev}" "${BENCH_BASELINE_SKIP:-0}" <<'PY'
 import json
 import sys
 
-raw_path, out_path, obs_out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+(raw_path, out_path, obs_out_path, baseline_path, obs_baseline_path,
+ trajectory_path, git_rev, baseline_skip) = sys.argv[1:9]
 with open(raw_path) as f:
     raw = json.load(f)
 
@@ -99,9 +122,14 @@ print(json.dumps(distilled, indent=2))
 metrics_on = by_name["BM_RelayDatapath3Hop"]
 metrics_off = by_name["BM_RelayDatapath3HopMetricsOff"]
 traced = by_name["BM_RelayDatapath3HopTraced"]
+span_traced = by_name["BM_RelayDatapath3HopSpanTraced"]
 on_cells = metrics_on["items_per_second"]
 off_cells = metrics_off["items_per_second"]
+span_cells = span_traced["items_per_second"]
 overhead_pct = round((off_cells - on_cells) / off_cells * 100.0, 2)
+# Span overhead is measured against the metrics-on path from the same run:
+# both sides share the host, so the ratio is host-independent.
+span_overhead_pct = round((on_cells - span_cells) / on_cells * 100.0, 2)
 
 def ns_per_op(name):
     b = by_name[name]
@@ -117,6 +145,9 @@ obs = {
         "metrics_on_allocs_per_cell": metrics_on["allocs_per_cell"],
         "traced_cells_per_sec": round(traced["items_per_second"]),
         "traced_allocs_per_cell": traced["allocs_per_cell"],
+        "span_traced_cells_per_sec": round(span_cells),
+        "span_traced_allocs_per_cell": span_traced["allocs_per_cell"],
+        "span_overhead_pct": span_overhead_pct,
     },
     "handles": {
         "counter_inc_ns": ns_per_op("BM_CounterIncrement"),
@@ -147,14 +178,93 @@ if obs["relay_datapath_3hop"]["metrics_on_allocs_per_cell"] != 0:
     failures.append("metrics-on datapath allocates per cell")
 if obs["relay_datapath_3hop"]["traced_allocs_per_cell"] != 0:
     failures.append("traced datapath allocates per cell")
+if obs["relay_datapath_3hop"]["span_traced_allocs_per_cell"] != 0:
+    failures.append("span-traced datapath allocates per cell")
 if obs["handles"]["trace_record_allocs_per_event"] != 0:
     failures.append("trace record allocates per event")
-# Noise-tolerant: live metrics must stay within 10% of the disabled path.
+# Noise-tolerant: live metrics must stay within 10% of the disabled path,
+# and per-cell span scopes within 15% of the metrics-on path.
 if obs["relay_datapath_3hop"]["metrics_overhead_pct"] > 10.0:
     failures.append("metrics overhead on the cell datapath above 10%")
+if obs["relay_datapath_3hop"]["span_overhead_pct"] > 15.0:
+    failures.append("span tracing overhead on the cell datapath above 15%")
+
+# ---- Regression gate against the committed baselines --------------------
+# Only host-independent metrics are gated; raw cells/s and MB/s depend on
+# the runner and would make CI flaky.
+def load_baseline(path):
+    try:
+        with open(path) as f:
+            text = f.read().strip()
+        return json.loads(text) if text else None
+    except (OSError, ValueError):
+        return None
+
+if baseline_skip == "1":
+    print("bench gate: skipped (BENCH_BASELINE_SKIP=1)")
+else:
+    base = load_baseline(baseline_path)
+    obs_base = load_baseline(obs_baseline_path)
+    if base is None or obs_base is None:
+        print("bench gate: no committed baseline found, skipping comparison")
+    else:
+        def gate_speedup(label, now, then):
+            if now < then * 0.85:
+                failures.append(
+                    f"{label} regressed >15% vs baseline ({now} < {then} * 0.85)")
+
+        def gate_allocs(label, now, then):
+            if now > then:
+                failures.append(
+                    f"{label} allocations regressed vs baseline ({now} > {then})")
+
+        gate_speedup("ChaCha20 509B speedup",
+                     distilled["chacha20"]["speedup_509"],
+                     base["chacha20"]["speedup_509"])
+        gate_speedup("ChaCha20 8KiB speedup",
+                     distilled["chacha20"]["speedup_8192"],
+                     base["chacha20"]["speedup_8192"])
+        gate_allocs("relay datapath",
+                    distilled["relay_datapath_3hop"]["allocs_per_cell"],
+                    base["relay_datapath_3hop"]["allocs_per_cell"])
+        gate_allocs("cell frame/unframe",
+                    distilled["cell_frame_unframe"]["allocs_per_cell"],
+                    base["cell_frame_unframe"]["allocs_per_cell"])
+        gate_allocs("simulator event churn",
+                    distilled["simulator_event_churn"]["allocs_per_event"],
+                    base["simulator_event_churn"]["allocs_per_event"])
+        gate_allocs("traced datapath",
+                    obs["relay_datapath_3hop"]["traced_allocs_per_cell"],
+                    obs_base["relay_datapath_3hop"]["traced_allocs_per_cell"])
+        base_span = obs_base["relay_datapath_3hop"].get("span_traced_allocs_per_cell")
+        if base_span is not None:
+            gate_allocs("span-traced datapath",
+                        obs["relay_datapath_3hop"]["span_traced_allocs_per_cell"],
+                        base_span)
+        print("bench gate: compared against committed baselines"
+              + (" — FAILED" if failures else " — ok"))
+
+# Append this run to the perf trajectory (one JSON object per line) so the
+# repo accumulates a PR-over-PR history of the gated metrics.
+trajectory_entry = {
+    "rev": git_rev,
+    "speedup_509": distilled["chacha20"]["speedup_509"],
+    "speedup_8192": distilled["chacha20"]["speedup_8192"],
+    "relay_cells_per_sec": distilled["relay_datapath_3hop"]["cells_per_sec"],
+    "relay_allocs_per_cell": distilled["relay_datapath_3hop"]["allocs_per_cell"],
+    "churn_allocs_per_event": distilled["simulator_event_churn"]["allocs_per_event"],
+    "metrics_overhead_pct": obs["relay_datapath_3hop"]["metrics_overhead_pct"],
+    "span_overhead_pct": obs["relay_datapath_3hop"]["span_overhead_pct"],
+    "span_traced_allocs_per_cell":
+        obs["relay_datapath_3hop"]["span_traced_allocs_per_cell"],
+    "gate": "skip" if baseline_skip == "1" else ("fail" if failures else "pass"),
+}
+with open(trajectory_path, "a") as f:
+    f.write(json.dumps(trajectory_entry, sort_keys=True) + "\n")
+
 if failures:
     print("BENCH SMOKE FAILURES: " + "; ".join(failures), file=sys.stderr)
     sys.exit(1)
 PY
 
-echo "wrote ${out_json} and ${obs_out_json}"
+echo "wrote ${out_json}, ${obs_out_json}; appended ${trajectory_jsonl}"

@@ -7,7 +7,9 @@
 //                 (diff two runs to prove determinism),
 //   stats.txt   — World::snapshot_stats() text dump: registry counters,
 //                 gauges, latency histograms, per-server/per-function and
-//                 per-node sections.
+//                 per-node sections,
+//   stats.json  — same snapshot as byte-stable JSON (Snapshot::to_json),
+//                 for machine diffing and the CI artifact.
 //
 // The scenario is quickstart's workflow (spawn, sealed upload, invoke,
 // shutdown) plus a clearnet fetch, so the trace shows both the function
@@ -140,8 +142,13 @@ int main(int argc, char** argv) {
     std::ofstream f(out_dir + "/stats.txt");
     f << snap.to_string();
   }
+  {
+    std::ofstream f(out_dir + "/stats.json");
+    snap.to_json(f);
+  }
   std::cout << "wrote " << out_dir << "/trace.json (chrome://tracing), "
-            << out_dir << "/trace.jsonl, " << out_dir << "/stats.txt\n\n"
+            << out_dir << "/trace.jsonl, " << out_dir << "/stats.txt, "
+            << out_dir << "/stats.json\n\n"
             << snap.to_string();
   return fetched && closed ? 0 : 1;
 }

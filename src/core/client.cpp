@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "obs/span.hpp"
 #include "util/log.hpp"
 
 namespace bento::core {
@@ -56,10 +57,16 @@ void BentoClient::connect(const std::string& box_fingerprint,
       std::make_shared<std::function<void(std::shared_ptr<BentoConnection>)>>(
           std::move(done));
   auto answered = std::make_shared<bool>(false);
+  // Trace origin: the ClientConnect span covers circuit build + Bento
+  // stream open, ending at the connected/refused/failed callback. It stays
+  // current across build_circuit() so the CREATE cells inherit the context.
+  obs::SpanScope connect_span(obs::SpanScope::kRoot, obs::Stage::ClientConnect);
+  const std::uint32_t span = connect_span.detach();
   proxy_.build_circuit(constraints, [conn, bento_endpoint, done_shared,
-                                     answered](tor::CircuitOrigin* circ) {
+                                     answered, span](tor::CircuitOrigin* circ) {
     if (circ == nullptr) {
       *answered = true;
+      obs::end_span(span, obs::Stage::ClientConnect, /*ok=*/false);
       (*done_shared)(nullptr);
       return;
     }
@@ -71,17 +78,19 @@ void BentoClient::connect(const std::string& box_fingerprint,
     }
     tor::Stream::Callbacks cbs;
     cbs.on_data = [conn](util::ByteView d) { conn->on_stream_data(d); };
-    cbs.on_end = [conn, done_shared, answered] {
+    cbs.on_end = [conn, done_shared, answered, span] {
       conn->on_stream_end();
       if (!*answered) {  // refused before CONNECTED (no Bento server there)
         *answered = true;
+        obs::end_span(span, obs::Stage::ClientConnect, /*ok=*/false);
         (*done_shared)(nullptr);
       }
     };
     tor::Stream* stream = circ->open_stream(bento_endpoint, std::move(cbs));
     conn->stream_ = stream;
-    stream->set_on_connected([conn, done_shared, answered] {
+    stream->set_on_connected([conn, done_shared, answered, span] {
       *answered = true;
+      obs::end_span(span, obs::Stage::ClientConnect);
       (*done_shared)(conn);
     });
   });
@@ -108,6 +117,11 @@ void BentoConnection::on_stream_data(util::ByteView data) {
   raw_bytes_ += data.size();
   for (const Message& msg : framer_.feed(data)) {
     if (msg.type == MsgType::Output) {
+      if (invoke_span_ != 0) {
+        // First Output after an invoke = the client-observed response.
+        obs::end_span(invoke_span_, obs::Stage::ClientInvoke);
+        invoke_span_ = 0;
+      }
       if (output_) {
         // Run a copy so the handler may clear or replace itself (breaking a
         // keep-alive reference cycle, say) without destroying the closure
@@ -130,6 +144,12 @@ void BentoConnection::on_stream_data(util::ByteView data) {
 
 void BentoConnection::on_stream_end() {
   stream_ = nullptr;
+  if (invoke_span_ != 0) {
+    // Circuit torn down mid-request: the invoke span ends as a failure so
+    // the trace shows an orphaned request, not a silent hole.
+    obs::end_span(invoke_span_, obs::Stage::ClientInvoke, /*ok=*/false);
+    invoke_span_ = 0;
+  }
   // Fail anything still waiting.
   while (!pending_.empty()) {
     auto handler = std::move(pending_.front());
@@ -159,6 +179,8 @@ void BentoConnection::get_policy(PolicyFn done) {
 }
 
 void BentoConnection::spawn(const std::string& image, SpawnFn done) {
+  obs::SpanScope span(obs::SpanScope::kRoot, obs::Stage::ClientSpawn);
+  const std::uint32_t span_id = span.detach();
   Message msg;
   msg.type = MsgType::Spawn;
   msg.text = image;
@@ -168,7 +190,9 @@ void BentoConnection::spawn(const std::string& image, SpawnFn done) {
     msg.blob2 = tee::SecureChannel::client_hello(channel_eph_, proxy_->rng()).to_bytes();
   }
   auto self = shared_from_this();
-  expect([self, sgx, done = std::move(done)](const Message& reply) {
+  expect([self, sgx, span_id, done = std::move(done)](const Message& reply) {
+    obs::end_span(span_id, obs::Stage::ClientSpawn,
+                  reply.type == MsgType::SpawnReply);
     if (reply.type != MsgType::SpawnReply) {
       done(false, reply.text.empty() ? "spawn failed" : reply.text);
       return;
@@ -219,6 +243,9 @@ void BentoConnection::upload(const FunctionManifest& manifest,
   body.native = native;
   body.args = util::Bytes(args.begin(), args.end());
 
+  obs::SpanScope span(obs::SpanScope::kRoot, obs::Stage::ClientUpload,
+                      static_cast<std::uint32_t>(container_id_));
+  const std::uint32_t span_id = span.detach();
   Message msg;
   msg.type = MsgType::Upload;
   msg.container_id = container_id_;
@@ -226,7 +253,9 @@ void BentoConnection::upload(const FunctionManifest& manifest,
   msg.blob = channel_.has_value() ? channel_->seal(serialized) : serialized;
 
   auto self = shared_from_this();
-  expect([self, done = std::move(done)](const Message& reply) {
+  expect([self, span_id, done = std::move(done)](const Message& reply) {
+    obs::end_span(span_id, obs::Stage::ClientUpload,
+                  reply.type == MsgType::UploadReply);
     if (reply.type != MsgType::UploadReply) {
       done(std::nullopt, reply.text.empty() ? "upload failed" : reply.text);
       return;
@@ -254,6 +283,15 @@ void BentoConnection::upload(const FunctionManifest& manifest,
 }
 
 void BentoConnection::invoke(util::ByteView invocation_token, util::ByteView payload) {
+  // A newer invoke supersedes an unanswered one: close the old span at the
+  // point it stopped being the request we are waiting on.
+  if (invoke_span_ != 0) {
+    obs::end_span(invoke_span_, obs::Stage::ClientInvoke);
+    invoke_span_ = 0;
+  }
+  obs::SpanScope span(obs::SpanScope::kRoot, obs::Stage::ClientInvoke,
+                      static_cast<std::uint32_t>(container_id_));
+  invoke_span_ = span.detach();
   Message msg;
   msg.type = MsgType::Invoke;
   msg.token = util::Bytes(invocation_token.begin(), invocation_token.end());
@@ -262,10 +300,14 @@ void BentoConnection::invoke(util::ByteView invocation_token, util::ByteView pay
 }
 
 void BentoConnection::shutdown(util::ByteView shutdown_token, SimpleFn done) {
+  obs::SpanScope span(obs::SpanScope::kRoot, obs::Stage::ClientShutdown,
+                      static_cast<std::uint32_t>(container_id_));
+  const std::uint32_t span_id = span.detach();
   Message msg;
   msg.type = MsgType::Shutdown;
   msg.token = util::Bytes(shutdown_token.begin(), shutdown_token.end());
-  expect([done = std::move(done)](const Message& reply) {
+  expect([span_id, done = std::move(done)](const Message& reply) {
+    obs::end_span(span_id, obs::Stage::ClientShutdown, reply.type == MsgType::Ok);
     done(reply.type == MsgType::Ok);
   });
   send_msg(msg);

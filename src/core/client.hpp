@@ -85,6 +85,10 @@ class BentoConnection : public std::enable_shared_from_this<BentoConnection> {
   StreamFramer framer_;
   std::size_t raw_bytes_ = 0;
   std::deque<std::function<void(const Message&)>> pending_;
+  // Open ClientInvoke span for the in-flight invoke (0 when none): invoke()
+  // is fire-and-stream, so the span closes on the first Output back — or
+  // with ok=false if the stream dies first (orphan handling).
+  std::uint32_t invoke_span_ = 0;
   OutputFn output_;
   std::uint64_t container_id_ = 0;
   crypto::DhKeyPair channel_eph_;

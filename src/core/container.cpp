@@ -2,6 +2,8 @@
 
 #include "core/client.hpp"
 #include "core/server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/log.hpp"
 #include "util/simclock.hpp"
 #include "util/zlite.hpp"
@@ -94,15 +96,28 @@ void Container::handle_invoke(tor::EdgeStream* from, util::ByteView payload) {
   util::Bytes copy(payload.begin(), payload.end());
   if (conclave_ != nullptr) {
     // Enclave transition costs (§7.3) are modeled as a small scheduling
-    // delay in and out of the conclave.
+    // delay in and out of the conclave. The fn.dispatch span measures
+    // exactly that transition: it opens here and closes when the deferred
+    // event fires inside the conclave, so bentotrace attributes the
+    // kEcallOverhead to "conclave dispatch" rather than to function compute.
+    static obs::Counter ecalls = obs::registry().counter("tee.ecalls");
+    ecalls.inc();
+    obs::SpanScope dispatch(obs::Stage::FnDispatch, static_cast<std::uint32_t>(id_));
+    const std::uint32_t dispatch_span = dispatch.detach();
     std::weak_ptr<bool> alive = alive_;
-    server_.simulator().after(kEcallOverhead, [this, alive, copy = std::move(copy)] {
+    server_.simulator().after(kEcallOverhead, [this, alive, dispatch_span,
+                                               copy = std::move(copy)] {
+      obs::end_span(dispatch_span, obs::Stage::FnDispatch);
       if (alive.expired() || dead_ || function_ == nullptr) return;
+      obs::SpanScope exec(obs::Stage::FnExecute, static_cast<std::uint32_t>(id_));
       run_guarded([&] { function_->on_message(*this, copy); });
+      exec.set_ok(!dead_);
     });
     return;
   }
+  obs::SpanScope exec(obs::Stage::FnExecute, static_cast<std::uint32_t>(id_));
   run_guarded([&] { function_->on_message(*this, copy); });
+  exec.set_ok(!dead_);
 }
 
 void Container::graceful_shutdown() {

@@ -1,6 +1,7 @@
 #include "core/server.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "script/parser.hpp"
 #include "util/log.hpp"
@@ -107,6 +108,11 @@ void BentoServer::reply_error(tor::EdgeStream* stream, const std::string& text) 
 }
 
 void BentoServer::handle_message(tor::EdgeStream* stream, const Message& msg) {
+  // Child of the client's request span (inert when untraced): everything
+  // the box does for this message — attestation, verification, dispatch —
+  // nests under one server.handle span.
+  obs::SpanScope span(obs::Stage::ServerHandle,
+                      static_cast<std::uint32_t>(msg.container_id));
   switch (msg.type) {
     case MsgType::GetPolicy: {
       Message reply;
@@ -154,10 +160,12 @@ void BentoServer::handle_spawn(tor::EdgeStream* stream, const Message& msg) {
 
   if (msg.text == kImagePythonOpSgx) {
     // Attested channel handshake + stapled IAS report (paper §5.4).
+    obs::SpanScope attest_span(obs::Stage::Attest, static_cast<std::uint32_t>(id));
     tee::SecureChannel::Hello hello;
     try {
       hello = tee::SecureChannel::Hello::from_bytes(msg.blob2);
     } catch (const std::exception&) {
+      attest_span.set_ok(false);
       reply_error(stream, "malformed channel hello");
       return;
     }
@@ -167,6 +175,7 @@ void BentoServer::handle_spawn(tor::EdgeStream* stream, const Message& msg) {
     auto report =
         ias_.verify_quote(accept.quote, static_cast<std::uint64_t>(sim_.now().micros()));
     if (!report.has_value()) {
+      attest_span.set_ok(false);
       reply_error(stream, "IAS refused quote");
       return;
     }

@@ -1,17 +1,22 @@
 #include "core/stemfw.hpp"
 
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "sandbox/resources.hpp"
 
 namespace bento::core {
 
 namespace {
-// Records the denial into the flight recorder, then lets the sandbox
-// exception propagate to kill the offending function.
+// Mediation of one Stem control-plane call: a stem.mediate span (inert when
+// the request is untraced) around the capability check. On denial the span
+// closes as a failure and the event is recorded into the flight recorder,
+// then the sandbox exception propagates to kill the offending function.
 void checked(sandbox::SyscallFilter& filter, sandbox::Syscall sc) {
+  obs::SpanScope span(obs::Stage::StemMediate, static_cast<std::uint32_t>(sc));
   try {
     filter.check(sc);
   } catch (...) {
+    span.set_ok(false);
     obs::trace(obs::Ev::StemDeny, static_cast<std::uint32_t>(sc),
                obs::Recorder::kStemSyscall, /*ok=*/false);
     throw;

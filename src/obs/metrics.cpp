@@ -122,4 +122,78 @@ std::string Snapshot::to_string() const {
   return os.str();
 }
 
+namespace {
+void json_escape(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+}  // namespace
+
+void Snapshot::to_json(std::ostream& os) const {
+  os << "{\"counters\":{";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) os << ",";
+    json_escape(os, counters[i].name);
+    os << ":" << counters[i].value;
+  }
+  os << "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    if (i > 0) os << ",";
+    const GaugeCell& g = gauges[i];
+    const std::int64_t high =
+        g.high_water == std::numeric_limits<std::int64_t>::min() ? 0 : g.high_water;
+    json_escape(os, g.name);
+    os << ":{\"value\":" << g.value << ",\"high_water\":" << high << "}";
+  }
+  os << "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    if (i > 0) os << ",";
+    const HistogramCell& h = histograms[i];
+    json_escape(os, h.name);
+    os << ":{\"count\":" << h.count << ",\"sum\":" << h.sum
+       << ",\"min\":" << (h.count > 0 ? h.min : 0)
+       << ",\"max\":" << (h.count > 0 ? h.max : 0) << ",\"buckets\":[";
+    for (std::size_t j = 0; j < h.buckets.size(); ++j) {
+      if (j > 0) os << ",";
+      // [upper_bound, count]; the final overflow bucket has a null bound.
+      os << "[";
+      if (j < h.bounds.size()) {
+        os << h.bounds[j];
+      } else {
+        os << "null";
+      }
+      os << "," << h.buckets[j] << "]";
+    }
+    os << "]}";
+  }
+  os << "},\"sections\":[";
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    if (i > 0) os << ",";
+    json_escape(os, sections[i]);
+  }
+  os << "]}\n";
+}
+
+std::string Snapshot::to_json() const {
+  std::ostringstream os;
+  to_json(os);
+  return os.str();
+}
+
 }  // namespace bento::obs

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <limits>
 #include <map>
 #include <memory>
@@ -152,6 +153,13 @@ struct Snapshot {
 
   /// Human-readable text dump (the "stats dump" artifact).
   std::string to_string() const;
+
+  /// Machine-readable dump: one JSON object with sorted counter/gauge/
+  /// histogram maps plus the free-form sections as escaped strings. Integer
+  /// values only and map order fixed by the registry's sorted interning, so
+  /// identical seeded runs produce byte-identical output (CI diffs these).
+  void to_json(std::ostream& os) const;
+  std::string to_json() const;
 };
 
 class Registry {

@@ -1,6 +1,7 @@
 #include "obs/trace.hpp"
 
 #include <ostream>
+#include <string_view>
 
 namespace bento::obs {
 
@@ -23,9 +24,27 @@ const char* ev_name(Ev kind) {
     case Ev::TokenCheck: return "token.check";
     case Ev::PolicyDeny: return "policy.deny";
     case Ev::StemDeny: return "stem.deny";
+    case Ev::SpanBegin: return "span.begin";
+    case Ev::SpanEnd: return "span.end";
+    case Ev::SpanNote: return "span.note";
+    case Ev::SandboxNetDeny: return "sandbox.net_deny";
+    case Ev::SandboxSyscallDeny: return "sandbox.syscall_deny";
+    case Ev::SandboxResourceTrip: return "sandbox.resource_trip";
+    case Ev::TeeAttest: return "tee.attest";
+    case Ev::TeeEpcPage: return "tee.epc_page";
     case Ev::kCount: break;
   }
   return "unknown";
+}
+
+bool ev_names_complete() {
+  for (unsigned i = 0; i < static_cast<unsigned>(Ev::kCount); ++i) {
+    const char* name = ev_name(static_cast<Ev>(i));
+    if (name == nullptr || name[0] == '\0') return false;
+    // ev_name falls through to "unknown" for kinds without a case label.
+    if (name[0] == 'u' && std::string_view(name) == "unknown") return false;
+  }
+  return true;
 }
 
 namespace {
@@ -56,6 +75,7 @@ void Recorder::enable(std::size_t capacity) {
   size_ = 0;
   recorded_ = 0;
   overwritten_ = 0;
+  ++generation_;
   enabled_ = true;
 }
 

@@ -43,11 +43,23 @@ enum class Ev : std::uint8_t {
   TokenCheck,        // a: container id b: token kind (0 invoke, 1 shutdown); flags: ok
   PolicyDeny,        // a: container id b: 0 manifest, 1 static verifier
   StemDeny,          // a: container id b: denial class (Recorder::kStem*)
+  SpanBegin,         // a: span id      b: parent span id << 32 | Stage
+  SpanEnd,           // a: span id      b: Stage; flags: ok
+  SpanNote,          // a: span id      b: note kind << 32 | value (kNote*)
+  SandboxNetDeny,    // a: dest IPv4    b: dest port
+  SandboxSyscallDeny,  // a: Syscall    b: -
+  SandboxResourceTrip, // a: -          b: resource class (kResource*)
+  TeeAttest,         // a: platform id  b: quote TCB version; flags: ok
+  TeeEpcPage,        // a: enclave id   b: page faults added by this allocate
   kCount,
 };
 
 /// Stable lower_snake names used by both exporters.
 const char* ev_name(Ev kind);
+
+/// Startup self-check: true iff every kind below kCount resolves to a real
+/// name. Catches silent enum drift (a kind added without an ev_name entry).
+bool ev_names_complete();
 
 struct TraceEvent {
   std::int64_t ts_us;
@@ -64,6 +76,14 @@ class Recorder {
   // StemDeny `b` operand values.
   static constexpr std::uint64_t kStemCircuitCap = 0;
   static constexpr std::uint64_t kStemSyscall = 1;
+
+  // SandboxResourceTrip `b` operand values.
+  static constexpr std::uint64_t kResourceMemory = 0;
+  static constexpr std::uint64_t kResourceCpu = 1;
+  static constexpr std::uint64_t kResourceDisk = 2;
+  static constexpr std::uint64_t kResourceNetwork = 3;
+  static constexpr std::uint64_t kResourceFiles = 4;
+  static constexpr std::uint64_t kResourceConnections = 5;
 
   /// Starts (or restarts) recording into a fresh ring of `capacity` events.
   /// The one place the recorder allocates.
@@ -107,6 +127,9 @@ class Recorder {
   std::uint64_t recorded() const { return recorded_; }
   /// Events lost to ring wraparound.
   std::uint64_t overwritten() const { return overwritten_; }
+  /// Bumped by every enable(); span id allocation (span.hpp) keys off this
+  /// so seeded reruns hand out identical ids after re-enabling the ring.
+  std::uint64_t generation() const { return generation_; }
 
   /// Held events, oldest first (insertion order == sim-time order, since
   /// recording happens as the simulation advances).
@@ -127,6 +150,7 @@ class Recorder {
   std::size_t size_ = 0;
   std::uint64_t recorded_ = 0;
   std::uint64_t overwritten_ = 0;
+  std::uint64_t generation_ = 0;
   std::uint32_t mask_ = mask_all();
   bool enabled_ = false;
 };

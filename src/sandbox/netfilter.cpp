@@ -1,5 +1,8 @@
 #include "sandbox/netfilter.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace bento::sandbox {
 
 NetFilter NetFilter::from_exit_policy(const tor::ExitPolicy& policy) {
@@ -15,6 +18,10 @@ bool NetFilter::allows(const tor::Endpoint& destination) const {
 bool NetFilter::check(const tor::Endpoint& destination) {
   if (allows(destination)) return true;
   ++rejected_;
+  static obs::Counter denials = obs::registry().counter("sandbox.net_denials");
+  denials.inc();
+  obs::trace(obs::Ev::SandboxNetDeny, destination.addr, destination.port,
+             /*ok=*/false);
   return false;
 }
 

@@ -1,6 +1,21 @@
 #include "sandbox/resources.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace bento::sandbox {
+
+namespace {
+// One counter + one trace event per limit trip; cold path only (every call
+// below throws right after). The `b` operand says which resource class
+// tripped (Recorder::kResource*).
+[[noreturn]] void trip(std::uint64_t resource_class, const std::string& what) {
+  static obs::Counter trips = obs::registry().counter("sandbox.resource_trips");
+  trips.inc();
+  obs::trace(obs::Ev::SandboxResourceTrip, 0, resource_class, /*ok=*/false);
+  throw ResourceExceeded(what);
+}
+}  // namespace
 
 ResourceAccountant::ResourceAccountant(ResourceLimits limits,
                                        AggregateAccountant* aggregate)
@@ -15,8 +30,9 @@ ResourceAccountant::~ResourceAccountant() {
 
 void ResourceAccountant::charge_memory(std::uint64_t bytes) {
   if (bytes > limits_.memory_bytes) {
-    throw ResourceExceeded("memory limit exceeded (" + std::to_string(bytes) + " > " +
-                           std::to_string(limits_.memory_bytes) + ")");
+    trip(obs::Recorder::kResourceMemory,
+         "memory limit exceeded (" + std::to_string(bytes) + " > " +
+             std::to_string(limits_.memory_bytes) + ")");
   }
   if (aggregate_ != nullptr) {
     aggregate_->charge_memory(static_cast<std::int64_t>(bytes) -
@@ -28,7 +44,7 @@ void ResourceAccountant::charge_memory(std::uint64_t bytes) {
 void ResourceAccountant::charge_cpu(std::uint64_t instructions) {
   usage_.cpu_instructions += instructions;
   if (usage_.cpu_instructions > limits_.cpu_instructions) {
-    throw ResourceExceeded("cpu budget exceeded");
+    trip(obs::Recorder::kResourceCpu, "cpu budget exceeded");
   }
   if (aggregate_ != nullptr) aggregate_->charge_cpu(instructions);
 }
@@ -41,7 +57,7 @@ void ResourceAccountant::charge_disk(std::int64_t delta_bytes) {
     return;
   }
   if (static_cast<std::uint64_t>(next) > limits_.disk_bytes) {
-    throw ResourceExceeded("disk quota exceeded");
+    trip(obs::Recorder::kResourceDisk, "disk quota exceeded");
   }
   if (aggregate_ != nullptr) aggregate_->charge_disk(delta_bytes);
   usage_.disk_bytes = static_cast<std::uint64_t>(next);
@@ -50,14 +66,14 @@ void ResourceAccountant::charge_disk(std::int64_t delta_bytes) {
 void ResourceAccountant::charge_network(std::uint64_t bytes) {
   usage_.network_bytes += bytes;
   if (usage_.network_bytes > limits_.network_bytes) {
-    throw ResourceExceeded("network quota exceeded");
+    trip(obs::Recorder::kResourceNetwork, "network quota exceeded");
   }
   if (aggregate_ != nullptr) aggregate_->charge_network(bytes);
 }
 
 void ResourceAccountant::open_file() {
   if (usage_.open_files + 1 > limits_.max_open_files) {
-    throw ResourceExceeded("too many open files");
+    trip(obs::Recorder::kResourceFiles, "too many open files");
   }
   ++usage_.open_files;
 }
@@ -68,7 +84,7 @@ void ResourceAccountant::close_file() {
 
 void ResourceAccountant::open_connection() {
   if (usage_.connections + 1 > limits_.max_connections) {
-    throw ResourceExceeded("too many connections");
+    trip(obs::Recorder::kResourceConnections, "too many connections");
   }
   ++usage_.connections;
 }
@@ -80,7 +96,7 @@ void ResourceAccountant::close_connection() {
 void AggregateAccountant::charge_memory(std::int64_t delta) {
   const std::int64_t next = static_cast<std::int64_t>(usage_.memory_bytes) + delta;
   if (next > static_cast<std::int64_t>(totals_.memory_bytes)) {
-    throw ResourceExceeded("aggregate memory limit exceeded");
+    trip(obs::Recorder::kResourceMemory, "aggregate memory limit exceeded");
   }
   usage_.memory_bytes = next < 0 ? 0 : static_cast<std::uint64_t>(next);
 }
@@ -88,7 +104,7 @@ void AggregateAccountant::charge_memory(std::int64_t delta) {
 void AggregateAccountant::charge_disk(std::int64_t delta) {
   const std::int64_t next = static_cast<std::int64_t>(usage_.disk_bytes) + delta;
   if (next > static_cast<std::int64_t>(totals_.disk_bytes)) {
-    throw ResourceExceeded("aggregate disk limit exceeded");
+    trip(obs::Recorder::kResourceDisk, "aggregate disk limit exceeded");
   }
   usage_.disk_bytes = next < 0 ? 0 : static_cast<std::uint64_t>(next);
 }
@@ -96,14 +112,14 @@ void AggregateAccountant::charge_disk(std::int64_t delta) {
 void AggregateAccountant::charge_network(std::uint64_t bytes) {
   usage_.network_bytes += bytes;
   if (usage_.network_bytes > totals_.network_bytes) {
-    throw ResourceExceeded("aggregate network limit exceeded");
+    trip(obs::Recorder::kResourceNetwork, "aggregate network limit exceeded");
   }
 }
 
 void AggregateAccountant::charge_cpu(std::uint64_t instructions) {
   usage_.cpu_instructions += instructions;
   if (usage_.cpu_instructions > totals_.cpu_instructions) {
-    throw ResourceExceeded("aggregate cpu limit exceeded");
+    trip(obs::Recorder::kResourceCpu, "aggregate cpu limit exceeded");
   }
 }
 

@@ -1,5 +1,8 @@
 #include "sandbox/syscalls.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace bento::sandbox {
 
 const char* to_string(Syscall call) {
@@ -39,6 +42,12 @@ SyscallFilter SyscallFilter::allow_all() {
 void SyscallFilter::check(Syscall call) {
   if (!allows(call)) {
     ++violations_;
+    // Denials are the cold path: telemetry lives here, never on the allow
+    // side, so the check itself stays a set lookup.
+    static obs::Counter denials = obs::registry().counter("sandbox.syscall_denials");
+    denials.inc();
+    obs::trace(obs::Ev::SandboxSyscallDeny, static_cast<std::uint32_t>(call), 0,
+               /*ok=*/false);
     throw SyscallDenied(call);
   }
 }

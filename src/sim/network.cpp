@@ -42,12 +42,16 @@ NodeId Network::add_node(const NodeSpec& spec, MessageHandler* handler) {
       enqueue(dst.down, peer, std::move(pkt));
     });
   };
-  // Downlink sink: hand to the receiver.
+  // Downlink sink: hand to the receiver. The NetLink span closes here —
+  // right at delivery — so its duration is the full network transit (queue
+  // wait + serialize + propagate); the handler runs under the sender's
+  // context (restored by serve()), continuing the causal chain.
   st.down.sink = [this](Packet&& pkt) {
     NodeState& dst = *nodes_[pkt.to];
     dst.stats.bytes_received += pkt.payload.size();
     dst.stats.messages_received += 1;
     if (monitor_) monitor_(pkt.from, pkt.to, pkt.wire_size);
+    obs::end_span(pkt.link_span, obs::Stage::NetLink);
     if (dst.handler != nullptr) {
       dst.handler->on_message(pkt.from, std::move(pkt.payload));
     }
@@ -82,6 +86,12 @@ void Network::send(NodeId from, NodeId to, util::Bytes payload) {
   m_bytes_.inc(payload.size());
   Packet pkt{from, to, std::move(payload), 0};
   pkt.wire_size = pkt.payload.size() + kMessageOverhead;
+  pkt.ctx = obs::current_span();
+  if (pkt.ctx.active()) {
+    pkt.link_span = obs::open_span(obs::Stage::NetLink, to);
+    obs::span_note(pkt.link_span, obs::kNoteWireBytes,
+                   static_cast<std::uint32_t>(pkt.wire_size));
+  }
   enqueue(src.up, to, std::move(pkt));
 }
 
@@ -130,9 +140,17 @@ void Network::serve(LinkQueue& lq) {
     lq.busy = true;
     const Duration ser =
         Duration::seconds(static_cast<double>(pkt.wire_size) / lq.bytes_per_sec);
+    // The completion event fires under whatever context was current when
+    // the link went busy — which, on a contended link, belongs to an
+    // unrelated flow. Restore this packet's own context around the sink so
+    // downstream work (including the propagation event the uplink sink
+    // schedules) stays on the right causal chain.
     sim_.after(ser, [this, &lq, pkt = std::move(pkt)]() mutable {
       lq.busy = false;
+      const obs::SpanContext prev = obs::current_span();
+      obs::set_current_span(pkt.ctx);
       lq.sink(std::move(pkt));
+      obs::set_current_span(prev);
       serve(lq);
     });
     return;

@@ -100,6 +100,14 @@ class Network {
     NodeId to;
     util::Bytes payload;
     std::size_t wire_size;
+    // Sidecar span context captured at send(). A queued packet outlives the
+    // event context it was sent under (the link may be busy serializing an
+    // unrelated flow), so the context rides with the packet and is restored
+    // when its serialization slot fires; never part of the wire bytes.
+    obs::SpanContext ctx;
+    // Open NetLink span covering queue wait + both serializations +
+    // propagation; ended just before handler delivery. 0 when untraced.
+    std::uint32_t link_span = 0;
   };
 
   // Fair scheduler over per-peer FIFO queues for one direction of one

@@ -24,7 +24,7 @@ Simulator::~Simulator() { util::uninstall_sim_clock(this); }
 
 void Simulator::schedule(Time t, EventFn fn) {
   if (t < now_) t = now_;
-  heap_.push_back(Event{t, now_, next_seq_++, std::move(fn)});
+  heap_.push_back(Event{t, now_, next_seq_++, obs::current_span(), std::move(fn)});
   sift_up(heap_.size() - 1);
 }
 
@@ -75,7 +75,13 @@ bool Simulator::step() {
     util::log(util::LogLevel::Trace, "sim", "dispatch #", executed_, " at t=",
               now_.micros(), "us, ", heap_.size(), " pending");
   }
+  // Dispatch under the span context captured at schedule() so downstream
+  // instrumentation (and any events this handler schedules) inherit the
+  // originating request's causal chain; cleared after, never leaked across
+  // events.
+  obs::set_current_span(ev.ctx);
   ev.fn();
+  obs::set_current_span(obs::SpanContext{});
   return true;
 }
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
@@ -232,6 +233,10 @@ class Simulator {
     Time when;
     Time queued_at;     // scheduling time, for the dispatch-lag histogram
     std::uint64_t seq;  // FIFO tie-break for equal timestamps
+    // Span context captured at schedule() and restored around dispatch, so
+    // causality crosses timers and modeled delays without any handler
+    // threading it through (DESIGN.md §8). Sidecar only: never on the wire.
+    obs::SpanContext ctx;
     EventFn fn;
 
     bool before(const Event& o) const {

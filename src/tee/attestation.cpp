@@ -1,6 +1,8 @@
 #include "tee/attestation.hpp"
 
 #include "crypto/hmac.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/serialize.hpp"
 
 namespace bento::tee {
@@ -88,15 +90,33 @@ void IntelAttestationService::provision(const Platform& platform) {
   platform_keys_[platform.platform_id()] = platform.attestation_key();
 }
 
+namespace {
+// Per-round telemetry for the attestation service; verify_quote is const so
+// the handles live here rather than on the instance.
+void note_attest_round(const Quote& quote, bool ok) {
+  static obs::Counter rounds = obs::registry().counter("tee.attest_rounds");
+  static obs::Counter failures = obs::registry().counter("tee.attest_failures");
+  rounds.inc();
+  if (!ok) failures.inc();
+  obs::trace(obs::Ev::TeeAttest, static_cast<std::uint32_t>(quote.platform_id),
+             quote.tcb_version, ok);
+}
+}  // namespace
+
 std::optional<AttestationReport> IntelAttestationService::verify_quote(
     const Quote& quote, std::uint64_t now_micros) const {
   auto it = platform_keys_.find(quote.platform_id);
-  if (it == platform_keys_.end()) return std::nullopt;
+  if (it == platform_keys_.end()) {
+    note_attest_round(quote, false);
+    return std::nullopt;
+  }
   const crypto::Digest expect = crypto::hmac_sha256(it->second, quote.mac_input());
   if (!util::ct_equal(util::ByteView(expect.data(), expect.size()),
                       util::ByteView(quote.mac.data(), quote.mac.size()))) {
+    note_attest_round(quote, false);
     return std::nullopt;
   }
+  note_attest_round(quote, true);
   AttestationReport report;
   report.quote = quote;
   report.tcb_status =

@@ -1,6 +1,20 @@
 #include "tee/epc.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace bento::tee {
+
+namespace {
+struct EpcMetrics {
+  obs::Counter page_faults = obs::registry().counter("tee.epc_page_faults");
+  obs::Gauge committed = obs::registry().gauge("tee.epc_committed_bytes");
+};
+EpcMetrics& epc_metrics() {
+  static EpcMetrics m;
+  return m;
+}
+}  // namespace
 
 void EpcManager::allocate(std::uint64_t enclave_id, std::size_t bytes) {
   if (bytes > usable_) {
@@ -17,8 +31,14 @@ void EpcManager::allocate(std::uint64_t enclave_id, std::size_t bytes) {
   committed_ += bytes;
   const std::size_t after_overflow = paged_out_bytes();
   if (after_overflow > before_overflow) {
-    page_faults_ += (after_overflow - before_overflow + kEpcPageBytes - 1) / kEpcPageBytes;
+    const std::size_t faults =
+        (after_overflow - before_overflow + kEpcPageBytes - 1) / kEpcPageBytes;
+    page_faults_ += faults;
+    epc_metrics().page_faults.inc(faults);
+    obs::trace(obs::Ev::TeeEpcPage, static_cast<std::uint32_t>(enclave_id), faults,
+               /*ok=*/false);
   }
+  epc_metrics().committed.set(static_cast<std::int64_t>(committed_));
 }
 
 void EpcManager::free(std::uint64_t enclave_id) {
@@ -26,6 +46,7 @@ void EpcManager::free(std::uint64_t enclave_id) {
   if (it == allocations_.end()) return;
   committed_ -= it->second;
   allocations_.erase(it);
+  epc_metrics().committed.set(static_cast<std::int64_t>(committed_));
 }
 
 }  // namespace bento::tee

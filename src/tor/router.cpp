@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "tor/ntor.hpp"
 #include "tor/wire.hpp"
@@ -105,6 +106,11 @@ Router::Circuit* Router::find_circuit(const Key& key) {
 void Router::handle_cell(sim::NodeId from, const Cell& cell) {
   ++counters_.cells_in;
   obs::trace(obs::Ev::CellRecv, cell.circ_id, node_);
+  // One span per cell per hop: inert unless the cell arrived on a traced
+  // request's causal chain. Zero sim-time (relay processing is modeled as
+  // instantaneous), but it marks which hops the request crossed and in what
+  // order, which is what bentotrace's flow arrows render.
+  obs::SpanScope span(obs::Stage::RelayForward, node_);
   switch (cell.command) {
     case CellCommand::Create: handle_create(from, cell); break;
     case CellCommand::Created: handle_created(from, cell); break;

@@ -10,6 +10,7 @@
 
 #include "core/world.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "tor/testbed.hpp"
@@ -207,6 +208,167 @@ TEST(Trace, ChromeExportIsWellFormed) {
   EXPECT_NE(json.find("\"fn.invoke\""), std::string::npos);
   EXPECT_NE(json.find("\"ts\":1234"), std::string::npos);
   EXPECT_EQ(json.back(), '\n');
+}
+
+namespace {
+
+// Span tests drive the process-global recorder (span events always go
+// there); this scope arms it and guarantees cleanup.
+struct SpanRecorderScope {
+  explicit SpanRecorderScope(std::size_t capacity = 256) {
+    bo::recorder().enable(capacity);
+    bo::reset_spans();
+  }
+  ~SpanRecorderScope() {
+    bo::recorder().disable();
+    bo::reset_spans();
+  }
+};
+
+std::vector<bo::TraceEvent> span_events() {
+  std::vector<bo::TraceEvent> out;
+  for (const bo::TraceEvent& e : bo::recorder().events()) {
+    if (e.kind == bo::Ev::SpanBegin || e.kind == bo::Ev::SpanEnd ||
+        e.kind == bo::Ev::SpanNote) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(Span, RootAndChildRecordBeginEndWithParentLink) {
+  FakeClockScope clock;
+  SpanRecorderScope rec;
+  g_fake_now_us = 10;
+  {
+    bo::SpanScope root(bo::SpanScope::kRoot, bo::Stage::ClientInvoke);
+    g_fake_now_us = 20;
+    {
+      bo::SpanScope child(bo::Stage::RelayForward, /*ref=*/7);
+      g_fake_now_us = 30;
+    }
+    g_fake_now_us = 40;
+  }
+  const auto events = span_events();
+  // root begin, child begin, child ref note, child end, root end.
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0].kind, bo::Ev::SpanBegin);
+  EXPECT_EQ(events[0].a, 1u);  // first span id after reset
+  EXPECT_EQ(events[0].b >> 32, 0u);  // no parent
+  EXPECT_EQ(events[0].b & 0xffffffffu,
+            static_cast<std::uint64_t>(bo::Stage::ClientInvoke));
+  EXPECT_EQ(events[1].kind, bo::Ev::SpanBegin);
+  EXPECT_EQ(events[1].a, 2u);
+  EXPECT_EQ(events[1].b >> 32, 1u);  // parented to the root
+  EXPECT_EQ(events[1].b & 0xffffffffu,
+            static_cast<std::uint64_t>(bo::Stage::RelayForward));
+  EXPECT_EQ(events[2].kind, bo::Ev::SpanNote);
+  EXPECT_EQ(events[2].b >> 32, bo::kNoteRef);
+  EXPECT_EQ(events[2].b & 0xffffffffu, 7u);
+  EXPECT_EQ(events[3].kind, bo::Ev::SpanEnd);
+  EXPECT_EQ(events[3].a, 2u);
+  EXPECT_EQ(events[3].ts_us, 30);
+  EXPECT_EQ(events[4].kind, bo::Ev::SpanEnd);
+  EXPECT_EQ(events[4].a, 1u);
+  EXPECT_EQ(events[4].ts_us, 40);
+}
+
+TEST(Span, ChildScopeInertWithoutActiveParent) {
+  FakeClockScope clock;
+  SpanRecorderScope rec;
+  {
+    bo::SpanScope orphan(bo::Stage::RelayForward);  // no active request
+  }
+  EXPECT_TRUE(span_events().empty());
+  EXPECT_FALSE(bo::current_span().active());
+}
+
+TEST(Span, RootScopeInertWhenRecorderDisabled) {
+  bo::recorder().disable();
+  bo::reset_spans();
+  {
+    bo::SpanScope root(bo::SpanScope::kRoot, bo::Stage::ClientConnect);
+  }
+  EXPECT_FALSE(bo::current_span().active());
+}
+
+TEST(Span, DetachDefersEndToExplicitCall) {
+  FakeClockScope clock;
+  SpanRecorderScope rec;
+  std::uint32_t id = 0;
+  g_fake_now_us = 5;
+  {
+    bo::SpanScope root(bo::SpanScope::kRoot, bo::Stage::ClientUpload);
+    id = root.detach();
+  }
+  ASSERT_NE(id, 0u);
+  auto events = span_events();
+  ASSERT_EQ(events.size(), 1u);  // begin only: the scope exit did not end it
+  EXPECT_EQ(events[0].kind, bo::Ev::SpanBegin);
+  // The async completion lands later and closes the span as a failure.
+  g_fake_now_us = 55;
+  bo::end_span(id, bo::Stage::ClientUpload, /*ok=*/false);
+  events = span_events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].kind, bo::Ev::SpanEnd);
+  EXPECT_EQ(events[1].a, id);
+  EXPECT_EQ(events[1].ts_us, 55);
+  EXPECT_EQ(events[1].flags & 1, 0u);  // ok=false
+  // span.end carries the stage redundantly for wraparound attribution.
+  EXPECT_EQ(events[1].b & 0xffffffffu,
+            static_cast<std::uint64_t>(bo::Stage::ClientUpload));
+}
+
+TEST(Span, IdsRestartEachRecorderGeneration) {
+  FakeClockScope clock;
+  std::uint32_t first_run = 0;
+  std::uint32_t second_run = 0;
+  {
+    SpanRecorderScope rec;
+    bo::SpanScope a(bo::SpanScope::kRoot, bo::Stage::ClientInvoke);
+    bo::SpanScope b(bo::Stage::RelayForward);
+    first_run = a.detach();
+  }
+  {
+    SpanRecorderScope rec;  // re-enable bumps the recorder generation
+    bo::SpanScope a(bo::SpanScope::kRoot, bo::Stage::ClientInvoke);
+    second_run = a.detach();
+  }
+  bo::recorder().disable();
+  EXPECT_EQ(first_run, 1u);
+  EXPECT_EQ(second_run, 1u);  // same ids for the same call sequence
+}
+
+TEST(Span, EndSurvivesRingWraparoundWithStageAttribution) {
+  FakeClockScope clock;
+  SpanRecorderScope rec(4);  // tiny ring: begins will be overwritten
+  bo::SpanScope root(bo::SpanScope::kRoot, bo::Stage::ClientInvoke);
+  const std::uint32_t id = root.detach();
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    bo::trace(bo::Ev::CellSend, i, 0);  // flood: evicts the SpanBegin
+  }
+  g_fake_now_us = 99;
+  bo::end_span(id, bo::Stage::ClientInvoke, /*ok=*/true);
+  const auto events = bo::recorder().events();
+  ASSERT_FALSE(events.empty());
+  const bo::TraceEvent& last = events.back();
+  EXPECT_EQ(last.kind, bo::Ev::SpanEnd);
+  EXPECT_EQ(last.a, id);
+  // Even with the begin gone, the end still names its stage.
+  EXPECT_EQ(last.b & 0xffffffffu,
+            static_cast<std::uint64_t>(bo::Stage::ClientInvoke));
+  bool begin_survived = false;
+  for (const auto& e : events) {
+    if (e.kind == bo::Ev::SpanBegin) begin_survived = true;
+  }
+  EXPECT_FALSE(begin_survived);
+}
+
+TEST(Span, NamesCompleteForEveryStageAndEvKind) {
+  EXPECT_TRUE(bo::stage_names_complete());
+  EXPECT_TRUE(bo::ev_names_complete());
 }
 
 TEST(Log, ParseLogLevel) {

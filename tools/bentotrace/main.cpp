@@ -1,0 +1,86 @@
+// bentotrace — analysis CLI for Bento flight-recorder dumps.
+//
+// Usage:
+//   bentotrace summary <trace.jsonl>   per-stage latency table + TTFB/TTLB
+//   bentotrace tree    <trace.jsonl>   reconstructed span trees, one per request
+//   bentotrace chrome  <trace.jsonl>   Chrome trace_event JSON (about:tracing)
+//
+// `-` reads the dump from stdin. Every subcommand starts with a self-check
+// that obs::ev_name / obs::stage_name cover their whole enums — a new kind
+// added without a name string fails loudly here (and in CI) instead of
+// rendering as "unknown" in reports.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bentotrace/reader.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: bentotrace <summary|tree|chrome> <trace.jsonl|->\n";
+  return 2;
+}
+
+bool self_check() {
+  if (!bento::obs::ev_names_complete()) {
+    std::cerr << "bentotrace: self-check failed: obs::ev_name is missing a "
+                 "name for at least one Ev kind\n";
+    return false;
+  }
+  if (!bento::obs::stage_names_complete()) {
+    std::cerr << "bentotrace: self-check failed: obs::stage_name is missing a "
+                 "name for at least one Stage\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!self_check()) return 3;
+  if (argc != 3) return usage();
+  const std::string cmd = argv[1];
+  const std::string path = argv[2];
+
+  std::vector<bento::tools::RawEvent> events;
+  if (path == "-") {
+    events = bento::tools::read_jsonl(std::cin);
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "bentotrace: cannot open " << path << "\n";
+      return 1;
+    }
+    events = bento::tools::read_jsonl(in);
+  }
+  const bento::tools::TraceForest forest = bento::tools::build_forest(events);
+
+  if (cmd == "summary") {
+    std::cout << "bentotrace summary: " << events.size() << " events, "
+              << forest.spans.size() << " spans, " << forest.roots.size()
+              << " traces\n\n";
+    bento::tools::format_stage_summary(forest, std::cout);
+    std::cout << "\n";
+    bento::tools::format_ttfb_table(forest, std::cout);
+    if (!forest.orphan_ends.empty() || !forest.unfinished.empty() ||
+        forest.unparsed_lines > 0) {
+      std::cout << "\nintegrity: " << forest.orphan_ends.size()
+                << " orphan ends, " << forest.unfinished.size()
+                << " unfinished spans, " << forest.unparsed_lines
+                << " unparsed lines\n";
+    }
+  } else if (cmd == "tree") {
+    bento::tools::format_tree(forest, std::cout);
+  } else if (cmd == "chrome") {
+    bento::tools::export_chrome(forest, std::cout);
+  } else {
+    return usage();
+  }
+  return 0;
+}

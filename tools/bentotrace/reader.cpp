@@ -1,0 +1,357 @@
+#include "bentotrace/reader.hpp"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+namespace bento::tools {
+
+namespace {
+
+// Minimal field scanner for the exporter's fixed shape. Not a general JSON
+// parser on purpose: export_jsonl emits exactly one object per line with the
+// keys ts/ev/a/b/ok in that order, and refusing anything else means a
+// corrupted dump is reported instead of half-read.
+bool skip_literal(std::string_view& s, std::string_view lit) {
+  if (s.substr(0, lit.size()) != lit) return false;
+  s.remove_prefix(lit.size());
+  return true;
+}
+
+template <typename Int>
+bool take_int(std::string_view& s, Int& out) {
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc{} || ptr == begin) return false;
+  s.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return true;
+}
+
+bool take_string(std::string_view& s, std::string& out) {
+  if (s.empty() || s.front() != '"') return false;
+  s.remove_prefix(1);
+  const std::size_t close = s.find('"');
+  if (close == std::string_view::npos) return false;
+  // Event names never contain escapes; a backslash means a foreign line.
+  if (s.substr(0, close).find('\\') != std::string_view::npos) return false;
+  out.assign(s.substr(0, close));
+  s.remove_prefix(close + 1);
+  return true;
+}
+
+}  // namespace
+
+std::optional<RawEvent> parse_jsonl_line(std::string_view line) {
+  while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) {
+    line.remove_suffix(1);
+  }
+  if (line.empty()) return std::nullopt;
+  RawEvent ev;
+  int ok_int = 0;
+  if (!skip_literal(line, "{\"ts\":") || !take_int(line, ev.ts) ||
+      !skip_literal(line, ",\"ev\":") || !take_string(line, ev.ev) ||
+      !skip_literal(line, ",\"a\":") || !take_int(line, ev.a) ||
+      !skip_literal(line, ",\"b\":") || !take_int(line, ev.b) ||
+      !skip_literal(line, ",\"ok\":") || !take_int(line, ok_int) ||
+      !skip_literal(line, "}") || !line.empty()) {
+    return std::nullopt;
+  }
+  ev.ok = ok_int != 0;
+  return ev;
+}
+
+std::vector<RawEvent> read_jsonl(std::istream& is) {
+  std::vector<RawEvent> out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (auto ev = parse_jsonl_line(line)) {
+      out.push_back(std::move(*ev));
+    } else if (!line.empty()) {
+      // Keep a tombstone so build_forest can count unparsed lines.
+      RawEvent bad;
+      bad.ev = "!unparsed";
+      out.push_back(std::move(bad));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+obs::Stage stage_from_index(std::uint64_t idx) {
+  if (idx >= static_cast<std::uint64_t>(obs::Stage::kCount)) {
+    return obs::Stage::None;
+  }
+  return static_cast<obs::Stage>(idx);
+}
+
+}  // namespace
+
+TraceForest build_forest(const std::vector<RawEvent>& events) {
+  TraceForest forest;
+  for (const RawEvent& ev : events) {
+    if (ev.ev == "!unparsed") {
+      ++forest.unparsed_lines;
+      continue;
+    }
+    if (ev.ev == "span.begin") {
+      SpanNode& node = forest.spans[ev.a];
+      node.id = ev.a;
+      node.parent = static_cast<std::uint32_t>(ev.b >> 32);
+      node.stage = stage_from_index(ev.b & 0xffffffffu);
+      node.begin_ts = ev.ts;
+    } else if (ev.ev == "span.end") {
+      auto it = forest.spans.find(ev.a);
+      if (it == forest.spans.end()) {
+        // Begin fell off the ring (wraparound) — synthesize a stub so the
+        // end is still attributable: span.end carries the stage in b.
+        SpanNode& node = forest.spans[ev.a];
+        node.id = ev.a;
+        node.stage = stage_from_index(ev.b & 0xffffffffu);
+        node.end_ts = ev.ts;
+        node.ok = ev.ok;
+        forest.orphan_ends.push_back(ev.a);
+      } else {
+        it->second.end_ts = ev.ts;
+        it->second.ok = ev.ok;
+      }
+    } else if (ev.ev == "span.note") {
+      auto it = forest.spans.find(ev.a);
+      if (it == forest.spans.end()) continue;
+      const std::uint32_t note_kind = static_cast<std::uint32_t>(ev.b >> 32);
+      const std::uint32_t value = static_cast<std::uint32_t>(ev.b & 0xffffffffu);
+      if (note_kind == obs::kNoteRef) {
+        it->second.ref = value;
+      } else if (note_kind == obs::kNoteWireBytes) {
+        it->second.wire_bytes = value;
+      }
+    } else if (ev.ev == "stream.ttfb") {
+      forest.ttfb.emplace_back(ev.a, static_cast<std::int64_t>(ev.b));
+    } else if (ev.ev == "stream.ttlb") {
+      forest.ttlb.emplace_back(ev.a, static_cast<std::int64_t>(ev.b));
+    }
+  }
+  // Link children and collect roots. Span ids are allocated monotonically in
+  // begin order, so iterating the id-sorted map yields begin order and the
+  // children vectors come out chronologically sorted for free.
+  for (auto& [id, node] : forest.spans) {
+    if (node.parent != 0) {
+      auto parent_it = forest.spans.find(node.parent);
+      if (parent_it != forest.spans.end()) {
+        parent_it->second.children.push_back(id);
+        continue;
+      }
+      // Parent lost to wraparound: promote to root so the subtree survives.
+    }
+    forest.roots.push_back(id);
+  }
+  for (const auto& [id, node] : forest.spans) {
+    if (node.begin_ts >= 0 && node.end_ts < 0) forest.unfinished.push_back(id);
+  }
+  return forest;
+}
+
+namespace {
+
+void format_node(const TraceForest& forest, std::uint32_t id, int depth,
+                 std::ostream& os) {
+  const SpanNode& node = forest.spans.at(id);
+  for (int i = 0; i < depth; ++i) os << "  ";
+  os << obs::stage_name(node.stage) << " #" << node.id;
+  if (node.begin_ts < 0) {
+    os << " [begin lost";
+    if (node.end_ts >= 0) os << ", end @" << node.end_ts << "us";
+    os << "]";
+  } else if (node.end_ts < 0) {
+    os << " @" << node.begin_ts << "us [unfinished]";
+  } else {
+    os << " @" << node.begin_ts << "us +" << node.duration_us() << "us";
+  }
+  if (!node.ok) os << " FAILED";
+  if (node.ref != 0) os << " ref=" << node.ref;
+  if (node.wire_bytes != 0) os << " wire=" << node.wire_bytes << "B";
+  os << "\n";
+  for (const std::uint32_t child : node.children) {
+    format_node(forest, child, depth + 1, os);
+  }
+}
+
+std::int64_t percentile(std::vector<std::int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  // Nearest-rank on the sorted sample; deterministic and monotone.
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<std::size_t>(std::llround(rank))];
+}
+
+}  // namespace
+
+void format_tree(const TraceForest& forest, std::ostream& os) {
+  std::size_t trace_no = 0;
+  for (const std::uint32_t root : forest.roots) {
+    os << "trace " << ++trace_no << ":\n";
+    format_node(forest, root, 1, os);
+  }
+  if (!forest.orphan_ends.empty()) {
+    os << "orphan ends (begin lost to ring wraparound): "
+       << forest.orphan_ends.size() << "\n";
+  }
+  if (!forest.unfinished.empty()) {
+    os << "unfinished spans (no end recorded): " << forest.unfinished.size()
+       << "\n";
+  }
+  if (forest.unparsed_lines > 0) {
+    os << "unparsed input lines: " << forest.unparsed_lines << "\n";
+  }
+}
+
+void format_stage_summary(const TraceForest& forest, std::ostream& os) {
+  struct StageAgg {
+    std::vector<std::int64_t> durations;
+    std::size_t count = 0;
+    std::size_t failed = 0;
+    std::size_t incomplete = 0;
+  };
+  std::array<StageAgg, static_cast<std::size_t>(obs::Stage::kCount)> agg;
+  for (const auto& [id, node] : forest.spans) {
+    StageAgg& a = agg[static_cast<std::size_t>(node.stage)];
+    ++a.count;
+    if (!node.ok) ++a.failed;
+    if (node.complete()) {
+      a.durations.push_back(node.duration_us());
+    } else {
+      ++a.incomplete;
+    }
+  }
+  os << "stage                count  fail  total_us    mean_us     p50_us    "
+        " p95_us     max_us\n";
+  for (std::size_t i = 0; i < agg.size(); ++i) {
+    StageAgg& a = agg[i];
+    if (a.count == 0) continue;
+    std::sort(a.durations.begin(), a.durations.end());
+    std::int64_t total = 0;
+    for (const std::int64_t d : a.durations) total += d;
+    const std::int64_t mean =
+        a.durations.empty() ? 0
+                            : total / static_cast<std::int64_t>(a.durations.size());
+    const std::string name(obs::stage_name(static_cast<obs::Stage>(i)));
+    os << name;
+    for (std::size_t pad = name.size(); pad < 20; ++pad) os << ' ';
+    auto col = [&os](std::int64_t v, int width) {
+      const std::string s = std::to_string(v);
+      for (std::size_t pad = s.size(); pad < static_cast<std::size_t>(width);
+           ++pad) {
+        os << ' ';
+      }
+      os << s;
+    };
+    col(static_cast<std::int64_t>(a.count), 6);
+    col(static_cast<std::int64_t>(a.failed), 6);
+    col(total, 10);
+    col(mean, 11);
+    col(percentile(a.durations, 50), 11);
+    col(percentile(a.durations, 95), 11);
+    col(a.durations.empty() ? 0 : a.durations.back(), 11);
+    if (a.incomplete > 0) os << "  (" << a.incomplete << " incomplete)";
+    os << "\n";
+  }
+}
+
+void format_ttfb_table(const TraceForest& forest, std::ostream& os) {
+  auto table = [&os](const char* label,
+                     const std::vector<std::pair<std::uint32_t, std::int64_t>>&
+                         samples) {
+    if (samples.empty()) {
+      os << label << ": no samples\n";
+      return;
+    }
+    std::map<std::uint32_t, std::vector<std::int64_t>> per_circuit;
+    std::vector<std::int64_t> all;
+    for (const auto& [circ, us] : samples) {
+      per_circuit[circ].push_back(us);
+      all.push_back(us);
+    }
+    os << label << " (us):\n";
+    os << "  circuit   count     p50     p95     max\n";
+    auto row = [&os](const std::string& key, std::vector<std::int64_t>& v) {
+      std::sort(v.begin(), v.end());
+      os << "  " << key;
+      for (std::size_t pad = key.size(); pad < 8; ++pad) os << ' ';
+      auto col = [&os](std::int64_t x, int width) {
+        const std::string s = std::to_string(x);
+        for (std::size_t pad = s.size(); pad < static_cast<std::size_t>(width);
+             ++pad) {
+          os << ' ';
+        }
+        os << s;
+      };
+      col(static_cast<std::int64_t>(v.size()), 7);
+      col(percentile(v, 50), 8);
+      col(percentile(v, 95), 8);
+      col(v.back(), 8);
+      os << "\n";
+    };
+    for (auto& [circ, v] : per_circuit) row(std::to_string(circ), v);
+    row("all", all);
+  };
+  table("ttfb", forest.ttfb);
+  table("ttlb", forest.ttlb);
+}
+
+void export_chrome(const TraceForest& forest, std::ostream& os) {
+  // One Chrome lane (tid) per trace, keyed by the root span's id. Async
+  // b/e pairs draw the span bars; s/f flow events draw parent->child arrows
+  // so cross-hop causality stays visible even when Chrome collapses lanes.
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&os, &first](const std::string& json) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n" << json;
+  };
+  for (const std::uint32_t root : forest.roots) {
+    const std::uint32_t lane = root;
+    std::vector<std::uint32_t> stack{root};
+    while (!stack.empty()) {
+      const std::uint32_t id = stack.back();
+      stack.pop_back();
+      const SpanNode& node = forest.spans.at(id);
+      if (node.begin_ts >= 0) {
+        const std::string name(obs::stage_name(node.stage));
+        const std::string common = ",\"pid\":1,\"tid\":" + std::to_string(lane);
+        emit("{\"name\":\"" + name + "\",\"cat\":\"span\",\"ph\":\"b\",\"id\":" +
+             std::to_string(node.id) + common +
+             ",\"ts\":" + std::to_string(node.begin_ts) +
+             ",\"args\":{\"span\":" + std::to_string(node.id) +
+             ",\"parent\":" + std::to_string(node.parent) +
+             ",\"ok\":" + (node.ok ? "true" : "false") + "}}");
+        const std::int64_t end_ts = node.end_ts >= 0 ? node.end_ts : node.begin_ts;
+        emit("{\"name\":\"" + name + "\",\"cat\":\"span\",\"ph\":\"e\",\"id\":" +
+             std::to_string(node.id) + common +
+             ",\"ts\":" + std::to_string(end_ts) + "}");
+        if (node.parent != 0) {
+          auto parent_it = forest.spans.find(node.parent);
+          if (parent_it != forest.spans.end() &&
+              parent_it->second.begin_ts >= 0) {
+            // Flow arrow: parent begin -> child begin.
+            emit("{\"name\":\"causal\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":" +
+                 std::to_string(node.id) + common +
+                 ",\"ts\":" + std::to_string(parent_it->second.begin_ts) + "}");
+            emit("{\"name\":\"causal\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":" +
+                 std::to_string(node.id) + common +
+                 ",\"ts\":" + std::to_string(node.begin_ts) + "}");
+          }
+        }
+      }
+      for (auto it = node.children.rbegin(); it != node.children.rend(); ++it) {
+        stack.push_back(*it);
+      }
+    }
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace bento::tools
