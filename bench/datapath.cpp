@@ -9,23 +9,30 @@
 //   * the full 3-hop relay-crypto datapath (origin onion-encrypt + three
 //     relay peel/check stages) with heap allocations counted per cell —
 //     the zero-allocation invariant of DESIGN.md §7;
-//   * simulator event churn with typical captures, allocations per event.
+//   * simulator event churn with typical captures, allocations per event;
+//   * the network send path with idle chaos hooks vs none — the tax every
+//     packet pays for fault-injection support when no plan is installed
+//     (gated at zero extra allocations and <= 2% throughput).
 //
 // The global operator new/delete overrides below count every heap
 // allocation in the binary; benchmarks report the per-iteration delta.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <new>
 #include <vector>
 
+#include "chaos/chaos.hpp"
 #include "crypto/chacha20.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
+#include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "tor/cell.hpp"
 #include "tor/relaycrypto.hpp"
@@ -408,5 +415,141 @@ static void BM_SimulatorEventChurn(benchmark::State& state) {
       static_cast<double>(allocs_delta) / static_cast<double>(events ? events : 1));
 }
 BENCHMARK(BM_SimulatorEventChurn);
+
+// ---- Chaos-idle guard ----------------------------------------------------
+// The chaos engine taxes every Network::send with two node_down() probes and
+// one on_packet() verdict even when no fault ever fires. This benchmark pair
+// bounds that tax: BM_NetworkSendDatapath is the no-injector baseline,
+// BM_NetworkSendDatapathChaosIdle runs the identical loop with a ChaosEngine
+// installed under an empty plan. run_benchmarks.sh gates the delta — the
+// idle hooks must add zero allocations per cell and cost at most 2% of send
+// throughput.
+namespace {
+
+struct CountingSink : bs::MessageHandler {
+  std::uint64_t received = 0;
+  void on_message(bs::NodeId, bu::Bytes) override { ++received; }
+};
+
+struct NetSendHarness {
+  bs::Simulator sim{1};
+  bs::Network net{sim};
+  CountingSink sink;
+  bs::NodeId a;
+  bs::NodeId b;
+  bu::Bytes cell;
+
+  NetSendHarness() {
+    a = net.add_node({"a", 1e9, 1e9});
+    b = net.add_node({"b", 1e9, 1e9}, &sink);
+    net.set_latency(a, b, bu::Duration::micros(50));
+    bu::Rng rng(5);
+    cell = rng.bytes(bt::kCellLen);
+  }
+
+  // One inherent allocation per message: the owned wire buffer handed to
+  // send(). Everything downstream — event queue, link queues — is pooled or
+  // amortized identically in both variants.
+  void batch(int n) {
+    for (int i = 0; i < n; ++i) net.send(a, b, bu::Bytes(cell));
+    sim.run();
+  }
+};
+
+constexpr int kSendBatch = 64;
+constexpr int kAllocProbeBatches = 32;
+
+// Alloc accounting runs over a fixed batch count *outside* the timed loop so
+// the per-cell figure is exact and iteration-count independent: both
+// variants replay the same sequence from the same warm state, so any
+// difference is precisely what the idle hooks allocate.
+void run_net_send(benchmark::State& state, NetSendHarness& h) {
+  h.batch(kSendBatch);  // warm-up: queue capacities, slab pool, deque chunks
+
+  const std::uint64_t allocs_before = allocs();
+  for (int i = 0; i < kAllocProbeBatches; ++i) h.batch(kSendBatch);
+  const std::uint64_t allocs_delta = allocs() - allocs_before;
+
+  std::uint64_t cells = 0;
+  for (auto _ : state) {
+    h.batch(kSendBatch);
+    cells += kSendBatch;
+  }
+
+  state.SetItemsProcessed(static_cast<std::int64_t>(cells));
+  state.counters["allocs_per_cell"] = benchmark::Counter(
+      static_cast<double>(allocs_delta) /
+      static_cast<double>(kAllocProbeBatches * kSendBatch));
+  benchmark::DoNotOptimize(h.sink.received);
+}
+
+}  // namespace
+
+static void BM_NetworkSendDatapath(benchmark::State& state) {
+  NetSendHarness h;
+  run_net_send(state, h);
+}
+BENCHMARK(BM_NetworkSendDatapath);
+
+static void BM_NetworkSendDatapathChaosIdle(benchmark::State& state) {
+  NetSendHarness h;
+  bento::chaos::ChaosEngine engine(h.sim, h.net);
+  engine.install({});  // hooks live, zero rules: the no-fault fast path
+  run_net_send(state, h);
+}
+BENCHMARK(BM_NetworkSendDatapathChaosIdle);
+
+// Paired A/B measurement for the 2% gate. Comparing two separately-timed
+// benchmarks turns host drift (frequency scaling, a noisy neighbour landing
+// on one of the two runs) into fake overhead far above 2%, so the variants
+// alternate batch by batch inside one timed loop, the order flipping every
+// iteration. The statistic is the ratio of per-batch *medians*: a scheduler
+// preemption spikes one batch by milliseconds, which would dominate a mean
+// but leaves a median untouched. run_benchmarks.sh gates overhead_pct.
+static void BM_NetworkSendChaosIdleOverhead(benchmark::State& state) {
+  NetSendHarness base;
+  NetSendHarness idle;
+  bento::chaos::ChaosEngine engine(idle.sim, idle.net);
+  engine.install({});
+  base.batch(kSendBatch);
+  idle.batch(kSendBatch);
+
+  using clock = std::chrono::steady_clock;
+  std::vector<double> base_ns;
+  std::vector<double> idle_ns;
+  base_ns.reserve(1 << 20);
+  idle_ns.reserve(1 << 20);
+  bool base_first = true;
+  std::uint64_t cells = 0;
+  for (auto _ : state) {
+    NetSendHarness& first = base_first ? base : idle;
+    NetSendHarness& second = base_first ? idle : base;
+    std::vector<double>& t_first = base_first ? base_ns : idle_ns;
+    std::vector<double>& t_second = base_first ? idle_ns : base_ns;
+    const auto t0 = clock::now();
+    first.batch(kSendBatch);
+    const auto t1 = clock::now();
+    second.batch(kSendBatch);
+    const auto t2 = clock::now();
+    t_first.push_back(std::chrono::duration<double, std::nano>(t1 - t0).count());
+    t_second.push_back(std::chrono::duration<double, std::nano>(t2 - t1).count());
+    base_first = !base_first;
+    cells += 2 * kSendBatch;
+  }
+
+  auto median = [](std::vector<double>& v) {
+    if (v.empty()) return 0.0;
+    std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2),
+                     v.end());
+    return v[v.size() / 2];
+  };
+  const double m_base = median(base_ns);
+  const double m_idle = median(idle_ns);
+
+  state.SetItemsProcessed(static_cast<std::int64_t>(cells));
+  state.counters["overhead_pct"] = benchmark::Counter(
+      m_base > 0 ? (m_idle - m_base) / m_base * 100.0 : 0.0);
+}
+BENCHMARK(BM_NetworkSendChaosIdleOverhead);
 
 BENCHMARK_MAIN();

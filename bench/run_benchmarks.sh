@@ -11,8 +11,10 @@
 # metrics-off datapath delta, the traced and span-traced datapaths, and the
 # raw per-op cost of counter/histogram/trace-record handles. CI runs this as
 # a smoke check: it fails if any zero-allocation invariant breaks, the kernel
-# regresses below 3x the scalar baseline, or live metrics/span tracing cost
-# the cell datapath more than 10%/15% throughput.
+# regresses below 3x the scalar baseline, live metrics/span tracing cost
+# the cell datapath more than 10%/15% throughput, or idle chaos hooks (no
+# plan installed) add any allocation or more than 2% overhead to the network
+# send path.
 #
 # Regression gate: after distilling, the run is compared against the
 # *committed* BENCH_datapath.json / BENCH_obs.json baselines. Only
@@ -81,6 +83,18 @@ new_8192 = mb_s("BM_ChaCha20/8192")
 relay = by_name["BM_RelayDatapath3Hop"]
 churn = by_name["BM_SimulatorEventChurn"]
 frame = by_name["BM_CellFrameUnframe"]
+net_base = by_name["BM_NetworkSendDatapath"]
+net_idle = by_name["BM_NetworkSendDatapathChaosIdle"]
+net_base_cells = net_base["items_per_second"]
+net_idle_cells = net_idle["items_per_second"]
+# The gated overhead comes from the paired benchmark, which alternates the
+# two variants inside one timed loop — host drift between two separately-
+# timed runs would otherwise read as fake overhead. Alloc counts are exact
+# (fixed-batch probe in the benchmark), so the delta gates at literal zero.
+chaos_overhead_pct = round(
+    by_name["BM_NetworkSendChaosIdleOverhead"]["overhead_pct"], 2)
+chaos_extra_allocs = round(
+    net_idle["allocs_per_cell"] - net_base["allocs_per_cell"], 6)
 
 distilled = {
     "bench": "datapath",
@@ -109,6 +123,14 @@ distilled = {
     "simulator_event_churn": {
         "events_per_sec": round(churn["items_per_second"]),
         "allocs_per_event": churn["allocs_per_event"],
+    },
+    "network_send_chaos_idle": {
+        "baseline_cells_per_sec": round(net_base_cells),
+        "idle_hooks_cells_per_sec": round(net_idle_cells),
+        "overhead_pct": chaos_overhead_pct,
+        "baseline_allocs_per_cell": net_base["allocs_per_cell"],
+        "idle_hooks_allocs_per_cell": net_idle["allocs_per_cell"],
+        "extra_allocs_per_cell": chaos_extra_allocs,
     },
 }
 
@@ -188,6 +210,13 @@ if obs["relay_datapath_3hop"]["metrics_overhead_pct"] > 10.0:
     failures.append("metrics overhead on the cell datapath above 10%")
 if obs["relay_datapath_3hop"]["span_overhead_pct"] > 15.0:
     failures.append("span tracing overhead on the cell datapath above 15%")
+# Chaos-idle guard (DESIGN.md §9): supporting fault injection must be free
+# when no plan is installed — zero extra allocations, <= 2% send throughput.
+chaos_gate = distilled["network_send_chaos_idle"]
+if chaos_gate["extra_allocs_per_cell"] > 0:
+    failures.append("idle chaos hooks allocate on the network send path")
+if chaos_gate["overhead_pct"] > 2.0:
+    failures.append("idle chaos hooks cost the network send path above 2%")
 
 # ---- Regression gate against the committed baselines --------------------
 # Only host-independent metrics are gated; raw cells/s and MB/s depend on
@@ -241,6 +270,11 @@ else:
             gate_allocs("span-traced datapath",
                         obs["relay_datapath_3hop"]["span_traced_allocs_per_cell"],
                         base_span)
+        base_chaos = base.get("network_send_chaos_idle")
+        if base_chaos is not None:
+            gate_allocs("idle chaos hooks",
+                        chaos_gate["extra_allocs_per_cell"],
+                        base_chaos["extra_allocs_per_cell"])
         print("bench gate: compared against committed baselines"
               + (" — FAILED" if failures else " — ok"))
 
@@ -257,6 +291,8 @@ trajectory_entry = {
     "span_overhead_pct": obs["relay_datapath_3hop"]["span_overhead_pct"],
     "span_traced_allocs_per_cell":
         obs["relay_datapath_3hop"]["span_traced_allocs_per_cell"],
+    "chaos_idle_overhead_pct": chaos_gate["overhead_pct"],
+    "chaos_idle_extra_allocs_per_cell": chaos_gate["extra_allocs_per_cell"],
     "gate": "skip" if baseline_skip == "1" else ("fail" if failures else "pass"),
 }
 with open(trajectory_path, "a") as f:

@@ -1,8 +1,10 @@
 #include "core/client.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace bento::core {
@@ -62,8 +64,9 @@ void BentoClient::connect(const std::string& box_fingerprint,
   // current across build_circuit() so the CREATE cells inherit the context.
   obs::SpanScope connect_span(obs::SpanScope::kRoot, obs::Stage::ClientConnect);
   const std::uint32_t span = connect_span.detach();
-  proxy_.build_circuit(constraints, [conn, bento_endpoint, done_shared,
-                                     answered, span](tor::CircuitOrigin* circ) {
+  proxy_.build_circuit_retry(
+      std::move(constraints), std::max(1, config_.retry.build_attempts),
+      [conn, bento_endpoint, done_shared, answered, span](tor::CircuitOrigin* circ) {
     if (circ == nullptr) {
       *answered = true;
       obs::end_span(span, obs::Stage::ClientConnect, /*ok=*/false);
@@ -159,6 +162,11 @@ void BentoConnection::on_stream_end() {
     err.text = "connection closed";
     handler(err);
   }
+  if (on_close_) {
+    auto fn = std::move(on_close_);
+    on_close_ = nullptr;
+    fn();
+  }
 }
 
 void BentoConnection::get_policy(PolicyFn done) {
@@ -189,10 +197,18 @@ void BentoConnection::spawn(const std::string& image, SpawnFn done) {
   if (sgx) {
     msg.blob2 = tee::SecureChannel::client_hello(channel_eph_, proxy_->rng()).to_bytes();
   }
-  auto self = shared_from_this();
-  expect([self, sgx, span_id, done = std::move(done)](const Message& reply) {
+  // Weak capture: this handler sits in our own `pending_` queue, so holding a
+  // shared_ptr to ourselves would be a reference cycle — and a reply lost to a
+  // faulty network (no reply, no stream end) would leak the connection.
+  std::weak_ptr<BentoConnection> weak = shared_from_this();
+  expect([weak, sgx, span_id, done = std::move(done)](const Message& reply) {
+    auto self = weak.lock();
     obs::end_span(span_id, obs::Stage::ClientSpawn,
-                  reply.type == MsgType::SpawnReply);
+                  self != nullptr && reply.type == MsgType::SpawnReply);
+    if (self == nullptr) {
+      done(false, "connection closed");
+      return;
+    }
     if (reply.type != MsgType::SpawnReply) {
       done(false, reply.text.empty() ? "spawn failed" : reply.text);
       return;
@@ -252,10 +268,18 @@ void BentoConnection::upload(const FunctionManifest& manifest,
   util::Bytes serialized = body.serialize();
   msg.blob = channel_.has_value() ? channel_->seal(serialized) : serialized;
 
-  auto self = shared_from_this();
-  expect([self, span_id, done = std::move(done)](const Message& reply) {
+  // Weak capture for the same reason as spawn(): the handler lives in our own
+  // `pending_` queue, and a self-capture would leak the connection if the
+  // reply never arrives.
+  std::weak_ptr<BentoConnection> weak = shared_from_this();
+  expect([weak, span_id, done = std::move(done)](const Message& reply) {
+    auto self = weak.lock();
     obs::end_span(span_id, obs::Stage::ClientUpload,
-                  reply.type == MsgType::UploadReply);
+                  self != nullptr && reply.type == MsgType::UploadReply);
+    if (self == nullptr) {
+      done(std::nullopt, "connection closed");
+      return;
+    }
     if (reply.type != MsgType::UploadReply) {
       done(std::nullopt, reply.text.empty() ? "upload failed" : reply.text);
       return;
@@ -324,6 +348,123 @@ void BentoConnection::close() {
     circ->destroy();
     proxy_->forget(circ);
   }
+}
+
+void BentoClient::invoke_reliable(const std::string& box_fingerprint,
+                                  util::Bytes invocation_token, util::Bytes payload,
+                                  ReliableInvokeFn done) {
+  struct State {
+    BentoClient* client = nullptr;
+    std::string box;
+    util::Bytes token;
+    util::Bytes payload;
+    ReliableInvokeFn done;
+    int attempt = 0;
+    bool settled = false;
+    // Bumped whenever the current attempt is abandoned so stale timers and
+    // stream callbacks from it become no-ops.
+    std::uint64_t epoch = 0;
+    std::vector<std::string> excluded;
+    std::shared_ptr<BentoConnection> conn;
+    // Stored on the state (callbacks capture only `st`) so nothing captures
+    // a shared_ptr to itself — LeakSanitizer would flag that cycle.
+    std::function<void(std::shared_ptr<State>)> run;
+    std::function<void(std::shared_ptr<State>)> retry;
+  };
+  auto st = std::make_shared<State>();
+  st->client = this;
+  st->box = box_fingerprint;
+  st->token = std::move(invocation_token);
+  st->payload = std::move(payload);
+  st->done = std::move(done);
+
+  // Abandon the live attempt (if any) and either give up or back off and go
+  // again. `done` fires exactly once: settled guards every path.
+  st->retry = [](std::shared_ptr<State> st) {
+    if (st->settled) return;
+    ++st->epoch;
+    if (st->conn) {
+      auto conn = std::move(st->conn);
+      st->conn = nullptr;
+      conn->set_on_close(nullptr);
+      conn->set_output_handler(nullptr);
+      conn->close();
+    }
+    const RetryPolicy& rp = st->client->config_.retry;
+    if (st->attempt >= rp.max_attempts) {
+      st->settled = true;
+      obs::trace(obs::Ev::ClientRetry, static_cast<std::uint32_t>(st->attempt), 0,
+                 /*ok=*/false);  // ok=false: giving up
+      util::log_warn(kComponent, "invoke failed after ", st->attempt, " attempts");
+      auto cb = std::move(st->done);
+      cb(false, {}, st->attempt);
+      return;
+    }
+    // The hop the last failed build died at is worth avoiding; the box
+    // itself must stay reachable on every path.
+    const std::string& bad = st->client->proxy_.last_failed_hop();
+    if (!bad.empty() && bad != st->box &&
+        std::find(st->excluded.begin(), st->excluded.end(), bad) ==
+            st->excluded.end()) {
+      st->excluded.push_back(bad);
+    }
+    double backoff_s = rp.backoff_base.to_seconds();
+    for (int i = 1; i < st->attempt && backoff_s < rp.backoff_cap.to_seconds(); ++i) {
+      backoff_s *= 2.0;
+    }
+    backoff_s = std::min(backoff_s, rp.backoff_cap.to_seconds());
+    backoff_s *= 1.0 + rp.jitter * (2.0 * st->client->proxy_.rng().uniform01() - 1.0);
+    const auto backoff = util::Duration::micros(
+        static_cast<std::int64_t>(backoff_s * 1e6));
+    obs::trace(obs::Ev::ClientRetry, static_cast<std::uint32_t>(st->attempt),
+               static_cast<std::uint64_t>(backoff.count_micros() / 1000),
+               /*ok=*/true);  // ok=true: will retry
+    util::log_info(kComponent, "invoke attempt ", st->attempt, " failed; retrying in ",
+                   backoff.count_micros() / 1000, " ms");
+    st->client->proxy_.simulator().after(backoff, [st] {
+      if (!st->settled) st->run(st);
+    });
+  };
+
+  st->run = [](std::shared_ptr<State> st) {
+    ++st->attempt;
+    const std::uint64_t epoch = ++st->epoch;
+    st->client->connect(st->box, st->excluded,
+                        [st, epoch](std::shared_ptr<BentoConnection> conn) {
+      if (st->settled || epoch != st->epoch) return;
+      if (conn == nullptr) {
+        st->retry(st);
+        return;
+      }
+      st->conn = conn;
+      conn->set_output_handler([st, epoch](util::Bytes out) {
+        if (st->settled || epoch != st->epoch) return;
+        st->settled = true;
+        auto conn = std::move(st->conn);
+        st->conn = nullptr;
+        if (conn) {
+          conn->set_on_close(nullptr);
+          conn->set_output_handler(nullptr);
+          conn->close();
+        }
+        auto cb = std::move(st->done);
+        cb(true, std::move(out), st->attempt);
+      });
+      conn->set_on_close([st, epoch] {
+        if (st->settled || epoch != st->epoch) return;
+        st->conn = nullptr;  // already dead; nothing to close
+        st->retry(st);
+      });
+      conn->invoke(st->token, st->payload);
+      const RetryPolicy& rp = st->client->config_.retry;
+      st->client->proxy_.simulator().after(rp.request_timeout, [st, epoch] {
+        if (st->settled || epoch != st->epoch) return;
+        util::log_warn(kComponent, "invoke attempt ", st->attempt, " timed out");
+        st->retry(st);
+      });
+    });
+  };
+  st->run(st);
 }
 
 }  // namespace bento::core

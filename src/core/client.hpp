@@ -24,8 +24,21 @@
 #include "core/tokens.hpp"
 #include "tee/conclave.hpp"
 #include "tor/proxy.hpp"
+#include "util/time.hpp"
 
 namespace bento::core {
+
+/// Failure-recovery knobs (DESIGN.md §9): request timeout, capped
+/// exponential backoff with deterministic jitter (drawn from the proxy's
+/// seeded Rng), and how many circuit builds a connect may burn.
+struct RetryPolicy {
+  int max_attempts = 4;  // total invoke attempts (first try included)
+  util::Duration request_timeout = util::Duration::seconds(8);
+  util::Duration backoff_base = util::Duration::seconds(1);
+  util::Duration backoff_cap = util::Duration::seconds(16);
+  double jitter = 0.25;   // backoff scaled by uniform [1-j, 1+j]
+  int build_attempts = 2; // circuit builds per connect (reroutes failed hops)
+};
 
 struct BentoClientConfig {
   tor::Port bento_port = 5577;
@@ -35,6 +48,7 @@ struct BentoClientConfig {
   tee::Measurement expected_runtime{};
   /// Refuse python-op-sgx uploads when the box's TCB is out of date.
   bool require_up_to_date_tcb = true;
+  RetryPolicy retry;
 };
 
 /// One client<->box session (one circuit, one stream, one container).
@@ -56,6 +70,9 @@ class BentoConnection : public std::enable_shared_from_this<BentoConnection> {
   void invoke(util::ByteView invocation_token, util::ByteView payload);
   void set_output_handler(OutputFn fn) { output_ = std::move(fn); }
   void shutdown(util::ByteView shutdown_token, SimpleFn done);
+  /// Fired once when the stream dies under us (relay crash, remote destroy)
+  /// — the hook retry layers use to re-connect promptly.
+  void set_on_close(std::function<void()> fn) { on_close_ = std::move(fn); }
   /// Ends the stream and tears down the circuit.
   void close();
 
@@ -90,6 +107,7 @@ class BentoConnection : public std::enable_shared_from_this<BentoConnection> {
   // with ok=false if the stream dies first (orphan handling).
   std::uint32_t invoke_span_ = 0;
   OutputFn output_;
+  std::function<void()> on_close_;
   std::uint64_t container_id_ = 0;
   crypto::DhKeyPair channel_eph_;
   std::optional<tee::SecureChannel> channel_;
@@ -116,6 +134,19 @@ class BentoClient {
   void connect(const std::string& box_fingerprint,
                std::vector<std::string> excluded_relays,
                std::function<void(std::shared_ptr<BentoConnection>)> done);
+
+  /// Idempotent at-least-once invocation (DESIGN.md §9): connects, invokes
+  /// the token, and delivers the first Output. On connect failure, stream
+  /// death, or request timeout it backs off (capped exponential, seeded
+  /// jitter) and retries on a fresh circuit that excludes relays observed
+  /// failing, up to retry.max_attempts. The invocation token routes every
+  /// attempt to the same container, so re-invocation is idempotent from the
+  /// caller's view. `done(ok, first_output, attempts)` fires exactly once.
+  using ReliableInvokeFn =
+      std::function<void(bool ok, util::Bytes output, int attempts)>;
+  void invoke_reliable(const std::string& box_fingerprint,
+                       util::Bytes invocation_token, util::Bytes payload,
+                       ReliableInvokeFn done);
 
   tor::OnionProxy& proxy() { return proxy_; }
   const BentoClientConfig& config() const { return config_; }

@@ -354,6 +354,19 @@ void BentoServer::container_died(std::uint64_t id, const std::string& reason) {
   remove_container(id);
 }
 
+void BentoServer::crash() {
+  util::log_warn(kComponent, fingerprint(), ": simulated crash; dropping ",
+                 containers_.size(), " containers");
+  counters_.deaths += containers_.size();
+  conns_.clear();
+  // Same deferral as remove_container: a chaos handler may reach this from
+  // inside a container's own call stack.
+  auto doomed = std::make_shared<std::map<std::uint64_t, std::unique_ptr<Container>>>(
+      std::move(containers_));
+  containers_.clear();
+  sim_.after(util::Duration::micros(0), [doomed] {});
+}
+
 void BentoServer::remove_container(std::uint64_t id) {
   auto it = containers_.find(id);
   if (it == containers_.end()) return;

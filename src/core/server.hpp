@@ -85,6 +85,11 @@ class BentoServer : public tor::LocalApp {
   /// Container committed suicide (sandbox violation / script error).
   void container_died(std::uint64_t id, const std::string& reason);
 
+  /// Simulates the whole box process crashing: every container, conclave
+  /// and client connection is dropped without telling anyone (a dead
+  /// process sends nothing). Chaos harnesses call this from node handlers.
+  void crash();
+
   bool on_stream_open(tor::EdgeStream& stream) override;
 
   std::size_t live_containers() const { return containers_.size(); }

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "core/stemfw.hpp"
+#include "obs/trace.hpp"
 #include "util/serialize.hpp"
 
 namespace bento::functions {
@@ -17,6 +18,8 @@ util::Bytes LoadBalancerConfig::serialize() const {
   w.u32(static_cast<std::uint32_t>(replica_boxes.size()));
   for (const auto& box : replica_boxes) w.str(box);
   w.u64(static_cast<std::uint64_t>(idle_shutdown_seconds * 1000));
+  w.u64(static_cast<std::uint64_t>(health_check_seconds * 1000));
+  w.u32(static_cast<std::uint32_t>(health_max_misses));
   return std::move(w).take();
 }
 
@@ -29,6 +32,8 @@ LoadBalancerConfig LoadBalancerConfig::deserialize(util::ByteView data) {
   const std::uint32_t n = r.u32();
   for (std::uint32_t i = 0; i < n; ++i) c.replica_boxes.push_back(r.str());
   c.idle_shutdown_seconds = static_cast<double>(r.u64()) / 1000.0;
+  c.health_check_seconds = static_cast<double>(r.u64()) / 1000.0;
+  c.health_max_misses = static_cast<int>(r.u32());
   r.expect_done();
   return c;
 }
@@ -104,6 +109,10 @@ void LoadBalancerFunction::on_install(core::HostApi& api, util::ByteView args) {
   if (config_.idle_shutdown_seconds > 0) {
     api.after(util::Duration::seconds(config_.idle_shutdown_seconds),
               [this, &api] { scale_down_idle(api); });
+  }
+  if (config_.health_check_seconds > 0) {
+    api.after(util::Duration::seconds(config_.health_check_seconds),
+              [this, &api] { health_tick(api); });
   }
 }
 
@@ -189,8 +198,13 @@ void LoadBalancerFunction::drain_queue(core::HostApi& api, Replica* fresh) {
   }
 }
 
-void LoadBalancerFunction::scale_up(core::HostApi& api) {
-  if (next_candidate_ >= config_.replica_boxes.size()) return;
+void LoadBalancerFunction::scale_up(core::HostApi& api, bool failover_respawn) {
+  if (next_candidate_ >= config_.replica_boxes.size()) {
+    if (failover_respawn) {
+      api.log("loadbalancer: no spare box left to re-spawn a failed replica");
+    }
+    return;
+  }
   const std::string box = config_.replica_boxes[next_candidate_++];
   ++pending_deploys_;
 
@@ -206,8 +220,8 @@ void LoadBalancerFunction::scale_up(core::HostApi& api) {
   spec.args = replica_config.serialize();
 
   api.log("loadbalancer: scaling up onto " + box);
-  api.deploy(spec, [this, box, &api](bool ok, util::Bytes invocation,
-                                     util::Bytes shutdown) {
+  api.deploy(spec, [this, box, &api, failover_respawn](bool ok, util::Bytes invocation,
+                                                       util::Bytes shutdown) {
     --pending_deploys_;
     if (!ok) {
       api.log("loadbalancer: replica deploy failed on " + box);
@@ -221,8 +235,58 @@ void LoadBalancerFunction::scale_up(core::HostApi& api) {
     replica.shutdown_token = std::move(shutdown);
     replicas_.push_back(std::move(replica));
     peak_replicas_ = std::max(peak_replicas_, static_cast<int>(replicas_.size()));
+    if (failover_respawn) {
+      // Recovery complete: the clone (same identity keys, same image) is
+      // serving where the dead replica was.
+      obs::trace(obs::Ev::LbFailover,
+                 static_cast<std::uint32_t>(replicas_.size() - 1), 0, /*ok=*/true);
+      api.log("loadbalancer: failover replica live on " + box);
+    }
     drain_queue(api, &replicas_.back());
   });
+}
+
+void LoadBalancerFunction::health_tick(core::HostApi& api) {
+  for (std::size_t i = 0; i < replicas_.size();) {
+    Replica& replica = replicas_[i];
+    if (!replica.remote || replica.invocation_token.empty()) {
+      ++i;
+      continue;
+    }
+    if (replica.awaiting_pong) {
+      ++replica.missed;
+      if (replica.missed >= config_.health_max_misses) {
+        ++failovers_;
+        api.log("loadbalancer: replica on " + replica.box + " missed " +
+                std::to_string(replica.missed) +
+                " health checks; failing over");
+        obs::trace(obs::Ev::LbFailover, static_cast<std::uint32_t>(i),
+                   static_cast<std::uint64_t>(replica.missed), /*ok=*/false);
+        replicas_.erase(replicas_.begin() + i);
+        // Re-spawn a clone onto the next spare box from the stored identity
+        // and image — clients keep resolving the same onion address.
+        scale_up(api, /*failover_respawn=*/true);
+        continue;
+      }
+    }
+    replica.awaiting_pong = true;
+    const std::string box = replica.box;
+    api.invoke_remote(box, replica.invocation_token, util::to_bytes("PING"),
+                      [this, box](util::Bytes output) {
+                        const std::string text = util::to_string(output);
+                        if (text.rfind("load:", 0) != 0) return;
+                        for (auto& r : replicas_) {
+                          if (r.box != box) continue;
+                          r.awaiting_pong = false;
+                          r.missed = 0;
+                          r.load = std::stoi(text.substr(5));
+                          r.assigned = std::min(r.assigned, r.load);
+                        }
+                      });
+    ++i;
+  }
+  api.after(util::Duration::seconds(config_.health_check_seconds),
+            [this, &api] { health_tick(api); });
 }
 
 void LoadBalancerFunction::scale_down_idle(core::HostApi& api) {
@@ -256,7 +320,9 @@ void LoadBalancerFunction::scale_down_idle(core::HostApi& api) {
 std::string LoadBalancerFunction::status() const {
   std::ostringstream out;
   out << "replicas:" << replicas_.size() << " peak:" << peak_replicas_
-      << " introductions:" << introductions_ << " loads:";
+      << " introductions:" << introductions_;
+  if (failovers_ > 0) out << " failovers:" << failovers_;
+  out << " loads:";
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     if (i > 0) out << ",";
     out << effective_load(replicas_[i]);
@@ -291,16 +357,23 @@ void HsReplicaFunction::on_install(core::HostApi& api, util::ByteView args) {
   host_ = &api.stem().create_hidden_service(identity, 1);
   attach_content_acceptor(*host_, config_.content_bytes);
   host_->set_on_load_change([this, &api](std::size_t load) {
+    load_ = load;
     api.send(util::to_bytes("load:" + std::to_string(load)));
   });
 }
 
-void HsReplicaFunction::on_message(core::HostApi&, util::ByteView payload) {
+void HsReplicaFunction::on_message(core::HostApi& api, util::ByteView payload) {
   const std::string text = util::to_string(payload);
   if (text.rfind("INTRO:", 0) == 0) {
     host_->handle_introduction(
         util::ByteView(reinterpret_cast<const std::uint8_t*>(text.data()) + 6,
                        text.size() - 6));
+    return;
+  }
+  if (text == "PING") {
+    // Health-check probe: answer with the current load so the front end
+    // both confirms liveness and refreshes its load table.
+    api.send(util::to_bytes("load:" + std::to_string(load_)));
   }
 }
 

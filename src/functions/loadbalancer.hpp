@@ -36,6 +36,11 @@ struct LoadBalancerConfig {
   std::vector<std::string> replica_boxes;
   /// Replicas idle for this long are scaled back down (0 disables).
   double idle_shutdown_seconds = 20.0;
+  /// Ping remote replicas this often (0 disables health checks).
+  double health_check_seconds = 0.0;
+  /// Consecutive unanswered pings before a replica is declared dead and a
+  /// replacement is re-spawned from the stored function image.
+  int health_max_misses = 2;
 
   util::Bytes serialize() const;
   static LoadBalancerConfig deserialize(util::ByteView data);
@@ -65,11 +70,14 @@ class LoadBalancerFunction final : public core::Function {
     int assigned = 0;   // optimistic in-flight assignments
     bool remote = false;
     double idle_since = -1.0;
+    int missed = 0;            // unanswered health checks in a row
+    bool awaiting_pong = false;
   };
 
   void route_introduction(core::HostApi& api, util::ByteView blob);
   void assign_to(core::HostApi& api, Replica& replica, util::ByteView blob);
-  void scale_up(core::HostApi& api);
+  void scale_up(core::HostApi& api, bool failover_respawn = false);
+  void health_tick(core::HostApi& api);
   void scale_down_idle(core::HostApi& api);
   void drain_queue(core::HostApi& api, Replica* fresh);
   Replica* least_loaded();
@@ -84,6 +92,7 @@ class LoadBalancerFunction final : public core::Function {
   std::vector<util::Bytes> pending_intros_;  // waiting for a fresh replica
   int peak_replicas_ = 1;
   std::uint64_t introductions_ = 0;
+  int failovers_ = 0;
 };
 
 class HsReplicaFunction final : public core::Function {
@@ -94,6 +103,7 @@ class HsReplicaFunction final : public core::Function {
  private:
   ReplicaConfig config_;
   tor::HiddenServiceHost* host_ = nullptr;
+  std::size_t load_ = 0;  // last observed, answered to PINGs
 };
 
 /// Registers both natives ("loadbalancer", "hs-replica").

@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "functions/library.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
 #include "util/serialize.hpp"
 
 namespace bento::functions {
@@ -178,13 +180,56 @@ std::optional<util::Bytes> shard_decode(const std::vector<Shard>& shards) {
   return out;
 }
 
+void ShardClient::put_shard(const std::string& box, Shard shard,
+                            std::function<void(bool ok, Placement)> done) {
+  auto shard_shared = std::make_shared<Shard>(std::move(shard));
+  auto done_shared =
+      std::make_shared<std::function<void(bool, Placement)>>(std::move(done));
+  bento_.connect(box, [box, shard_shared, done_shared](
+                          std::shared_ptr<core::BentoConnection> conn) {
+    if (conn == nullptr) {
+      (*done_shared)(false, {});
+      return;
+    }
+    conn->spawn(core::kImagePythonOpSgx, [box, conn, shard_shared, done_shared](
+                                             bool ok, std::string) {
+      if (!ok) {
+        (*done_shared)(false, {});
+        return;
+      }
+      conn->upload(
+          dropbox_manifest(), dropbox_source(), "", {},
+          [box, conn, shard_shared, done_shared](
+              std::optional<core::TokenPair> tokens, std::string) {
+            if (!tokens.has_value()) {
+              (*done_shared)(false, {});
+              return;
+            }
+            auto placement = std::make_shared<Placement>();
+            placement->box = box;
+            placement->invocation_token = tokens->invocation.bytes();
+            placement->shutdown_token = tokens->shutdown.bytes();
+            // PUT the shard; Dropbox answers "OK". The handler must not
+            // capture `conn` (a connection owning a closure that owns the
+            // connection never dies); BentoClient::live_ keeps it alive.
+            conn->set_output_handler([placement, done_shared](util::Bytes out) {
+              (*done_shared)(util::to_string(out) == "OK", std::move(*placement));
+            });
+            util::Bytes payload = util::to_bytes("PUT:");
+            util::append(payload, shard_shared->serialize());
+            conn->invoke(placement->invocation_token, payload);
+          });
+    });
+  });
+}
+
 void ShardClient::store(util::ByteView data, const std::vector<std::string>& boxes,
                         StoreFn done) {
   if (static_cast<int>(boxes.size()) != n_) {
     done(false, {});
     return;
   }
-  auto shards = std::make_shared<std::vector<Shard>>(shard_encode(data, k_, n_));
+  std::vector<Shard> shards = shard_encode(data, k_, n_);
   auto placements = std::make_shared<std::vector<Placement>>(boxes.size());
   auto remaining = std::make_shared<int>(n_);
   auto failed = std::make_shared<bool>(false);
@@ -193,44 +238,18 @@ void ShardClient::store(util::ByteView data, const std::vector<std::string>& box
   for (int i = 0; i < n_; ++i) {
     const std::string box = boxes[static_cast<std::size_t>(i)];
     (*placements)[static_cast<std::size_t>(i)].box = box;
-    auto finish_one = [remaining, failed, placements, done_shared](bool ok) {
-      if (!ok) *failed = true;
-      if (--*remaining == 0) (*done_shared)(!*failed, std::move(*placements));
-    };
-    bento_.connect(box, [this, i, shards, placements, finish_one](
-                            std::shared_ptr<core::BentoConnection> conn) {
-      if (conn == nullptr) {
-        finish_one(false);
-        return;
-      }
-      conn->spawn(core::kImagePythonOpSgx, [this, i, conn, shards, placements,
-                                            finish_one](bool ok, std::string) {
-        if (!ok) {
-          finish_one(false);
-          return;
-        }
-        conn->upload(
-            dropbox_manifest(), dropbox_source(), "", {},
-            [i, conn, shards, placements, finish_one](
-                std::optional<core::TokenPair> tokens, std::string) {
-              if (!tokens.has_value()) {
-                finish_one(false);
-                return;
-              }
-              auto& placement = (*placements)[static_cast<std::size_t>(i)];
-              placement.invocation_token = tokens->invocation.bytes();
-              placement.shutdown_token = tokens->shutdown.bytes();
-              // PUT the shard; Dropbox answers "OK".
-              conn->set_output_handler([finish_one](util::Bytes out) {
-                finish_one(util::to_string(out) == "OK");
+    put_shard(box, std::move(shards[static_cast<std::size_t>(i)]),
+              [i, placements, remaining, failed, done_shared](bool ok,
+                                                              Placement placement) {
+                if (!ok) {
+                  *failed = true;
+                } else {
+                  (*placements)[static_cast<std::size_t>(i)] = std::move(placement);
+                }
+                if (--*remaining == 0) {
+                  (*done_shared)(!*failed, std::move(*placements));
+                }
               });
-              util::Bytes payload = util::to_bytes("PUT:");
-              util::append(payload,
-                           (*shards)[static_cast<std::size_t>(i)].serialize());
-              conn->invoke(tokens->invocation.bytes(), payload);
-            });
-      });
-    });
   }
 }
 
@@ -276,6 +295,125 @@ void ShardClient::fetch(const std::vector<Placement>& placements, FetchFn done) 
           collect(Shard::deserialize(out));
         } catch (const util::ParseError&) {
           collect(std::nullopt);
+        }
+      });
+      conn->invoke(placement.invocation_token, util::to_bytes("GET:"));
+    });
+  }
+}
+
+void ShardClient::repair(const std::vector<Placement>& placements,
+                         const std::vector<std::string>& spare_boxes,
+                         RepairFn done) {
+  struct State {
+    ShardClient* self = nullptr;
+    std::vector<Placement> updated;
+    std::vector<std::string> spares;
+    std::size_t next_spare = 0;
+    std::vector<std::optional<Shard>> got;  // probe result per slot
+    int probes_left = 0;
+    int puts_left = 0;
+    bool all_reseeded = true;
+    RepairFn done;
+  };
+  auto st = std::make_shared<State>();
+  st->self = this;
+  st->updated = placements;
+  st->spares = spare_boxes;
+  st->got.resize(placements.size());
+  st->probes_left = static_cast<int>(placements.size());
+  st->done = std::move(done);
+
+  auto reseed = [](std::shared_ptr<State> st) {
+    // Every slot probed. Reconstruct, re-encode, and re-seed the dead slots.
+    std::vector<Shard> survivors;
+    for (const auto& s : st->got) {
+      if (s.has_value()) survivors.push_back(*s);
+    }
+    auto data = shard_decode(survivors);
+    if (!data.has_value()) {
+      util::log_warn("shard", "repair: fewer than k surviving shards");
+      auto cb = std::move(st->done);
+      cb(false, std::move(st->updated));
+      return;
+    }
+    // shard_encode is deterministic: slot i gets byte-identical data to what
+    // the original store placed there.
+    std::vector<Shard> full =
+        shard_encode(*data, st->self->k_, st->self->n_);
+    std::vector<std::size_t> dead;
+    for (std::size_t i = 0; i < st->got.size(); ++i) {
+      if (!st->got[i].has_value()) dead.push_back(i);
+    }
+    if (dead.empty()) {
+      auto cb = std::move(st->done);
+      cb(true, std::move(st->updated));
+      return;
+    }
+    st->puts_left = static_cast<int>(dead.size());
+    for (std::size_t slot : dead) {
+      if (st->next_spare >= st->spares.size()) {
+        util::log_warn("shard", "repair: out of spare boxes; shard ", slot,
+                       " stays lost");
+        obs::trace(obs::Ev::ShardRepair, static_cast<std::uint32_t>(slot), 0,
+                   /*ok=*/false);
+        st->all_reseeded = false;
+        if (--st->puts_left == 0) {
+          auto cb = std::move(st->done);
+          cb(st->all_reseeded, std::move(st->updated));
+        }
+        continue;
+      }
+      const std::size_t spare_ref = st->next_spare;
+      const std::string spare = st->spares[st->next_spare++];
+      st->self->put_shard(spare, full[slot],
+                          [st, slot, spare_ref](bool ok, Placement placement) {
+        obs::trace(obs::Ev::ShardRepair, static_cast<std::uint32_t>(slot),
+                   static_cast<std::uint64_t>(spare_ref), ok);
+        if (ok) {
+          st->updated[slot] = std::move(placement);
+        } else {
+          st->all_reseeded = false;
+        }
+        if (--st->puts_left == 0) {
+          auto cb = std::move(st->done);
+          cb(st->all_reseeded, std::move(st->updated));
+        }
+      });
+    }
+  };
+
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    const Placement& placement = placements[i];
+    auto answered = std::make_shared<bool>(false);
+    auto probe_done = [st, i, reseed, answered](std::optional<Shard> shard) {
+      if (*answered) return;  // duplicate output / late timeout
+      *answered = true;
+      st->got[i] = std::move(shard);
+      if (--st->probes_left == 0) reseed(st);
+    };
+    // A Dropbox that accepts the stream but never answers (box process
+    // crashed, relay alive) must not hang the whole repair. The deadline
+    // must outlast a worst-case connect — build_attempts timed-out circuit
+    // builds — or a live box reached over a freshly-dead relay would be
+    // misclassified as lost.
+    bento_.proxy().simulator().after(util::Duration::seconds(90),
+                                     [probe_done] { probe_done(std::nullopt); });
+    bento_.connect(placement.box, [placement, probe_done](
+                                      std::shared_ptr<core::BentoConnection> conn) {
+      if (conn == nullptr) {
+        probe_done(std::nullopt);
+        return;
+      }
+      conn->set_output_handler([probe_done](util::Bytes out) {
+        if (util::to_string(out) == "MISSING") {
+          probe_done(std::nullopt);
+          return;
+        }
+        try {
+          probe_done(Shard::deserialize(out));
+        } catch (const util::ParseError&) {
+          probe_done(std::nullopt);
         }
       });
       conn->invoke(placement.invocation_token, util::to_bytes("GET:"));

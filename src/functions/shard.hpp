@@ -68,7 +68,22 @@ class ShardClient {
   /// decodes.
   void fetch(const std::vector<Placement>& placements, FetchFn done);
 
+  /// Recovery (DESIGN.md §9): probes every placement, reconstructs the file
+  /// from any >= k surviving Dropboxes, re-encodes (shard_encode is
+  /// deterministic, so surviving shards stay valid), and re-seeds each lost
+  /// shard onto the next spare box. `done(ok, updated)` gets the placement
+  /// list with dead slots replaced; ok means every lost shard was re-seeded.
+  /// Placement order must match shard index (as store() produces).
+  using RepairFn = std::function<void(bool ok, std::vector<Placement>)>;
+  void repair(const std::vector<Placement>& placements,
+              const std::vector<std::string>& spare_boxes, RepairFn done);
+
  private:
+  /// Deploys a Dropbox on `box` and PUTs `shard` into it (the per-shard leg
+  /// of store()/repair()).
+  void put_shard(const std::string& box, Shard shard,
+                 std::function<void(bool ok, Placement)> done);
+
   core::BentoClient& bento_;
   int k_;
   int n_;

@@ -52,6 +52,7 @@ bool stage_names_complete();
 /// SpanNote note kinds (high 32 bits of SpanNote.b).
 inline constexpr std::uint32_t kNoteRef = 0;        // circuit/container/node id
 inline constexpr std::uint32_t kNoteWireBytes = 1;  // message size on the wire
+inline constexpr std::uint32_t kNoteChaos = 2;      // injected chaos::FaultKind
 
 /// The propagated context: which request (trace) and which span is the
 /// causal parent of whatever happens next. 64 bits total, trivially

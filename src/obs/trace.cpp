@@ -32,6 +32,11 @@ const char* ev_name(Ev kind) {
     case Ev::SandboxResourceTrip: return "sandbox.resource_trip";
     case Ev::TeeAttest: return "tee.attest";
     case Ev::TeeEpcPage: return "tee.epc_page";
+    case Ev::ChaosFault: return "chaos.fault";
+    case Ev::ClientRetry: return "client.retry";
+    case Ev::CircRebuild: return "circuit.rebuild";
+    case Ev::LbFailover: return "lb.failover";
+    case Ev::ShardRepair: return "shard.repair";
     case Ev::kCount: break;
   }
   return "unknown";
@@ -52,8 +57,10 @@ namespace {
 // subsystem so the sim firehose does not bury the application story.
 int lane_of(Ev kind) {
   switch (kind) {
-    case Ev::SimDispatch: return 0;  // sim
+    case Ev::SimDispatch:
+    case Ev::ChaosFault: return 0;  // sim
     case Ev::CircExtend:
+    case Ev::CircRebuild:
     case Ev::CircBuilt:
     case Ev::CircTeardown:
     case Ev::StreamOpen:

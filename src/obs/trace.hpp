@@ -51,6 +51,11 @@ enum class Ev : std::uint8_t {
   SandboxResourceTrip, // a: -          b: resource class (kResource*)
   TeeAttest,         // a: platform id  b: quote TCB version; flags: ok
   TeeEpcPage,        // a: enclave id   b: page faults added by this allocate
+  ChaosFault,        // a: node id      b: chaos::FaultKind << 32 | peer/extra
+  ClientRetry,       // a: attempt #    b: backoff ms; flags: ok = will retry
+  CircRebuild,       // a: new circ id (0 while pending) b: excluded relays
+  LbFailover,        // a: replica idx  b: missed health checks; flags: ok
+  ShardRepair,       // a: shard index  b: re-seed target ref; flags: ok
   kCount,
 };
 

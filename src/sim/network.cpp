@@ -35,7 +35,7 @@ NodeId Network::add_node(const NodeSpec& spec, MessageHandler* handler) {
   st.down.high_water = &st.stats.down_queue_high_water;
   // Uplink sink: propagate, then enqueue on the receiver's downlink.
   st.up.sink = [this](Packet&& pkt) {
-    const Duration prop = latency(pkt.from, pkt.to);
+    const Duration prop = latency(pkt.from, pkt.to) + pkt.chaos_delay;
     sim_.after(prop, [this, pkt = std::move(pkt)]() mutable {
       NodeState& dst = *nodes_[pkt.to];
       const NodeId peer = pkt.from;
@@ -48,6 +48,11 @@ NodeId Network::add_node(const NodeSpec& spec, MessageHandler* handler) {
   // context (restored by serve()), continuing the causal chain.
   st.down.sink = [this](Packet&& pkt) {
     NodeState& dst = *nodes_[pkt.to];
+    if (chaos_ != nullptr && chaos_->node_down(pkt.to)) {
+      // Receiver crashed while the packet was in flight.
+      obs::end_span(pkt.link_span, obs::Stage::NetLink, /*ok=*/false);
+      return;
+    }
     dst.stats.bytes_received += pkt.payload.size();
     dst.stats.messages_received += 1;
     if (monitor_) monitor_(pkt.from, pkt.to, pkt.wire_size);
@@ -84,15 +89,52 @@ void Network::send(NodeId from, NodeId to, util::Bytes payload) {
   src.stats.messages_sent += 1;
   m_messages_.inc();
   m_bytes_.inc(payload.size());
-  Packet pkt{from, to, std::move(payload), 0};
+  Packet pkt;
+  pkt.from = from;
+  pkt.to = to;
+  pkt.payload = std::move(payload);
   pkt.wire_size = pkt.payload.size() + kMessageOverhead;
   pkt.ctx = obs::current_span();
+  bool duplicate = false;
+  if (chaos_ != nullptr) {
+    // Packets to or from a crashed node vanish at the sender's NIC.
+    if (chaos_->node_down(from) || chaos_->node_down(to)) return;
+    const FaultDecision verdict = chaos_->on_packet(from, to, pkt.wire_size);
+    if (verdict.drop) return;
+    pkt.chaos_delay = verdict.extra_delay;
+    duplicate = verdict.duplicate;
+  }
+  // The duplicate is cloned before the link span opens so the two copies
+  // never share (and double-close) one span id; the clone rides untraced.
+  Packet dup_pkt;
+  if (duplicate) dup_pkt = pkt;
   if (pkt.ctx.active()) {
     pkt.link_span = obs::open_span(obs::Stage::NetLink, to);
     obs::span_note(pkt.link_span, obs::kNoteWireBytes,
                    static_cast<std::uint32_t>(pkt.wire_size));
   }
   enqueue(src.up, to, std::move(pkt));
+  if (duplicate) enqueue(src.up, to, std::move(dup_pkt));
+}
+
+void Network::set_bandwidth_scale(NodeId node, double scale) {
+  check_node(node);
+  if (scale <= 0) throw std::invalid_argument("set_bandwidth_scale: non-positive");
+  NodeState& st = *nodes_[node];
+  st.up.bytes_per_sec = st.spec.up_bytes_per_sec * scale;
+  st.down.bytes_per_sec = st.spec.down_bytes_per_sec * scale;
+}
+
+void Network::notify_peer_down(NodeId down) {
+  check_node(down);
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    const NodeId id = static_cast<NodeId>(n);
+    if (id == down || nodes_[n]->handler == nullptr) continue;
+    sim_.after(latency(id, down), [this, id, down] {
+      MessageHandler* handler = nodes_[id]->handler;
+      if (handler != nullptr) handler->on_peer_down(down);
+    });
+  }
 }
 
 Duration Network::idle_delay(NodeId from, NodeId to, std::size_t bytes) const {

@@ -33,6 +33,10 @@ class MessageHandler {
  public:
   virtual ~MessageHandler() = default;
   virtual void on_message(NodeId from, util::Bytes data) = 0;
+  /// A peer this node may hold connection state for went down (its TCP
+  /// sessions reset). Delivered with the propagation latency to the dead
+  /// node, like a real RST would be. Default: ignore.
+  virtual void on_peer_down(NodeId peer) { (void)peer; }
 };
 
 struct NodeSpec {
@@ -47,6 +51,26 @@ struct NodeSpec {
 /// entering and leaving" a victim's access link.
 using WireMonitor =
     std::function<void(NodeId from, NodeId to, std::size_t wire_size)>;
+
+/// What an installed FaultInjector wants done to one packet. Zero-initialized
+/// == deliver untouched.
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;        // deliver once, plus one jittered copy
+  Duration extra_delay{};        // added to propagation (loss-free reorder)
+};
+
+/// Chaos hook interface (implemented by chaos::ChaosEngine). The datapath
+/// pays one null-pointer test per send and per delivery when absent — the
+/// no-plan fast path stays allocation-free and branch-predictable.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  /// True while `node` is crashed: its packets are dropped both ways.
+  virtual bool node_down(NodeId node) const = 0;
+  /// Consulted once per send() for packets between live nodes.
+  virtual FaultDecision on_packet(NodeId from, NodeId to, std::size_t wire_size) = 0;
+};
 
 /// Byte counters kept per node; experiments read these to plot rates.
 struct NodeStats {
@@ -94,12 +118,30 @@ class Network {
   /// Installs/clears the passive wire monitor.
   void set_monitor(WireMonitor monitor) { monitor_ = std::move(monitor); }
 
+  /// Installs/clears the chaos fault injector (nullptr = none).
+  void set_fault_injector(FaultInjector* injector) { chaos_ = injector; }
+  FaultInjector* fault_injector() const { return chaos_; }
+
+  /// The simulator this network schedules on (timers for watchdogs live
+  /// next to the entities that own network endpoints).
+  Simulator& simulator() { return sim_; }
+
+  /// Scales a node's access-link rate relative to its spec (chaos
+  /// slow-node throttling; 1.0 restores). Queued packets already being
+  /// serialized keep their old completion time.
+  void set_bandwidth_scale(NodeId node, double scale);
+
+  /// Tells every other node with a handler that `down` went down. Each
+  /// notification arrives after the pairwise propagation latency, like the
+  /// connection resets a real crash would fan out.
+  void notify_peer_down(NodeId down);
+
  private:
   struct Packet {
-    NodeId from;
-    NodeId to;
+    NodeId from = kInvalidNode;
+    NodeId to = kInvalidNode;
     util::Bytes payload;
-    std::size_t wire_size;
+    std::size_t wire_size = 0;
     // Sidecar span context captured at send(). A queued packet outlives the
     // event context it was sent under (the link may be busy serializing an
     // unrelated flow), so the context rides with the packet and is restored
@@ -108,6 +150,8 @@ class Network {
     // Open NetLink span covering queue wait + both serializations +
     // propagation; ended just before handler delivery. 0 when untraced.
     std::uint32_t link_span = 0;
+    // Extra propagation delay injected by the fault hook (latency jitter).
+    Duration chaos_delay{};
   };
 
   // Fair scheduler over per-peer FIFO queues for one direction of one
@@ -142,6 +186,7 @@ class Network {
   std::map<std::pair<NodeId, NodeId>, Duration> latency_;
   Duration default_latency_ = Duration::millis(40);
   WireMonitor monitor_;
+  FaultInjector* chaos_ = nullptr;
   obs::Counter m_messages_;
   obs::Counter m_bytes_;
   obs::Gauge m_queue_depth_;  // worst single-link depth, with high-water

@@ -47,6 +47,13 @@ class EpcManager {
   /// resident boundary when allocations change).
   std::uint64_t page_faults() const { return page_faults_; }
 
+  /// Chaos hook: charge the faults of `bytes` of working set being evicted
+  /// and re-touched (EPC thrash), without changing any allocation. Models a
+  /// hostile co-tenant blowing the cache.
+  void thrash(std::size_t bytes) {
+    page_faults_ += (bytes + kEpcPageBytes - 1) / kEpcPageBytes;
+  }
+
  private:
   std::size_t usable_;
   std::size_t committed_ = 0;

@@ -66,6 +66,7 @@ void CircuitOrigin::build(BuiltFn done) {
   create.command = CellCommand::Create;
   create.set_payload(skin);
   send_cell(create);
+  arm_build_timer();
 }
 
 void CircuitOrigin::continue_build() {
@@ -100,16 +101,59 @@ void CircuitOrigin::continue_build() {
 }
 
 void CircuitOrigin::fail_build() {
-  if (built_cb_) {
-    auto cb = std::move(built_cb_);
-    built_cb_ = nullptr;
-    cb(false);
+  if (failing_) return;  // destroy() below can re-enter via callbacks
+  failing_ = true;
+  if (failed_hop_.empty() && !path_.empty()) {
+    const std::size_t idx =
+        next_hop_to_build_ < path_.size() ? next_hop_to_build_ : path_.size() - 1;
+    failed_hop_ = path_[idx].fingerprint();
   }
+  // Release circuit + stream state first so the waiter observes a fully
+  // torn-down circuit, then deliver the failure exactly once.
+  auto cb = std::move(built_cb_);
+  built_cb_ = nullptr;
   destroy();
+  if (cb) cb(false);
+  failing_ = false;
+}
+
+void CircuitOrigin::arm_build_timer() {
+  if (build_timeout_.count_micros() <= 0) return;
+  std::weak_ptr<char> alive = alive_;
+  net_.simulator().after(build_timeout_, [this, alive] {
+    if (alive.expired() || built_ || destroyed_) return;
+    util::log_warn(kComponent, "build timeout on circuit ", circ_id_,
+                   " at hop ", next_hop_to_build_);
+    fail_build();
+  });
+}
+
+void CircuitOrigin::poke_liveness() {
+  if (!built_ || destroyed_ || watchdog_armed_ ||
+      liveness_timeout_.count_micros() <= 0) {
+    return;
+  }
+  watchdog_armed_ = true;
+  std::weak_ptr<char> alive = alive_;
+  net_.simulator().after(liveness_timeout_, [this, alive] {
+    if (alive.expired()) return;
+    watchdog_armed_ = false;
+    if (destroyed_) return;
+    const bool awaiting = last_forward_us_ > last_backward_us_;
+    if (!awaiting) return;  // answered since; next send re-arms
+    const std::int64_t now = util::sim_now_micros();
+    if (now - last_forward_us_ >= liveness_timeout_.count_micros()) {
+      util::log_warn(kComponent, "liveness timeout on circuit ", circ_id_);
+      destroy();
+      return;
+    }
+    poke_liveness();
+  });
 }
 
 void CircuitOrigin::handle_cell(const Cell& cell) {
   if (destroyed_) return;
+  last_backward_us_ = util::sim_now_micros();
   switch (cell.command) {
     case CellCommand::Created: {
       util::ByteView reply(cell.payload.data(), kNtorReplyLen);
@@ -164,6 +208,12 @@ void CircuitOrigin::handle_cell(const Cell& cell) {
       destroyed_ = true;
       circuit_metrics().destroyed.inc();
       obs::trace(obs::Ev::CircTeardown, circ_id_, 1);  // b=1: remote destroy
+      if (!built_ && failed_hop_.empty() && !path_.empty()) {
+        const std::size_t idx = next_hop_to_build_ < path_.size()
+                                    ? next_hop_to_build_
+                                    : path_.size() - 1;
+        failed_hop_ = path_[idx].fingerprint();
+      }
       // Callbacks may touch the stream map; detach it first.
       auto doomed = std::move(streams_);
       streams_.clear();
@@ -186,6 +236,8 @@ void CircuitOrigin::handle_cell(const Cell& cell) {
 
 void CircuitOrigin::send_relay(RelayCell rc, int hop) {
   if (destroyed_) return;
+  last_forward_us_ = util::sim_now_micros();
+  poke_liveness();
   circuit_metrics().cells_sent.inc();
   obs::trace(obs::Ev::CellSend, circ_id_,
              static_cast<std::uint64_t>(rc.relay_cmd));

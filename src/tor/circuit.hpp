@@ -120,6 +120,25 @@ class CircuitOrigin {
   /// Tears down (DESTROY toward the guard) and fires stream/circuit ends.
   void destroy();
 
+  /// Aborts an in-flight build: releases circuit and stream state first,
+  /// then delivers the build callback (false) exactly once. The proxy calls
+  /// this when the guard dies under a half-open circuit.
+  void fail_build();
+
+  /// Fails the build if it has not completed after `d` (0 disables). Armed
+  /// when build() starts; a half-open circuit (relay crashed mid-handshake)
+  /// otherwise waits forever.
+  void set_build_timeout(util::Duration d) { build_timeout_ = d; }
+
+  /// Dead-hop watchdog: once built, if forward cells go unanswered for `d`
+  /// the circuit destroys itself (firing on_destroy so owners rebuild).
+  /// 0 (default) disables.
+  void set_liveness_timeout(util::Duration d) { liveness_timeout_ = d; }
+
+  /// Fingerprint of the hop being negotiated when the build failed or timed
+  /// out — what a rebuild should exclude. Empty when unknown.
+  const std::string& failed_hop() const { return failed_hop_; }
+
   /// Per-circuit scoped stats: cell/byte volume plus the sim-time marks the
   /// paper's evaluation is built from (TTFB/TTLB relative to creation).
   /// Times are microseconds of sim time, -1 until the event happened.
@@ -140,7 +159,8 @@ class CircuitOrigin {
   void dispatch_relay(const RelayCell& rc, int hop);
   void pump_stream(Stream& stream);
   void send_cell(const Cell& cell);
-  void fail_build();
+  void arm_build_timer();
+  void poke_liveness();
 
   sim::Network& net_;
   sim::NodeId own_node_;
@@ -165,6 +185,17 @@ class CircuitOrigin {
   RelayFn relay_handler_;
   std::function<void()> on_destroy_;
   Counters counters_;
+
+  // Failure recovery (DESIGN.md §9). Timers capture a weak ref to alive_ so
+  // a fired watchdog never touches a deleted circuit.
+  util::Duration build_timeout_ = util::Duration::seconds(30);
+  util::Duration liveness_timeout_{};
+  bool watchdog_armed_ = false;
+  bool failing_ = false;
+  std::int64_t last_forward_us_ = -1;
+  std::int64_t last_backward_us_ = -1;
+  std::string failed_hop_;
+  std::shared_ptr<char> alive_ = std::make_shared<char>('\0');
 
   friend class Stream;  // facade over pump_stream
 };

@@ -75,6 +75,22 @@ HiddenServiceHost::HiddenServiceHost(OnionProxy& proxy, DirectoryAuthority& dire
   if (intro_count_ < 1) throw std::invalid_argument("HiddenServiceHost: intro_count");
 }
 
+HiddenServiceHost::~HiddenServiceHost() {
+  alive_.reset();  // every registered circuit callback is now a no-op
+  auto intro = std::move(intro_circuits_);
+  auto rend = std::move(rend_circuits_);
+  for (CircuitOrigin* circ : intro) {
+    if (circ == nullptr) continue;
+    circ->destroy();
+    proxy_.forget(circ);
+  }
+  for (CircuitOrigin* circ : rend) {
+    if (circ == nullptr) continue;
+    circ->destroy();
+    proxy_.forget(circ);
+  }
+}
+
 void HiddenServiceHost::publish_descriptor() {
   HsDescriptor desc;
   desc.onion_id = onion_id_;
@@ -124,16 +140,26 @@ void HiddenServiceHost::establish_intro(std::size_t index,
                                         std::function<void(bool)> done) {
   PathConstraints constraints;
   constraints.last_hop = intro_fingerprints_[index];
-  proxy_.build_circuit(constraints, [this, index, done = std::move(done)](
+  std::weak_ptr<char> alive = alive_;
+  proxy_.build_circuit(constraints, [this, alive, index, done = std::move(done)](
                                         CircuitOrigin* circ) {
+    if (alive.expired()) {
+      if (circ != nullptr) circ->destroy();
+      return;
+    }
     if (circ == nullptr) {
       done(false);
       return;
     }
     intro_circuits_[index] = circ;
+    circ->set_on_destroy([this, alive, index] {
+      if (alive.expired()) return;
+      intro_circuits_[index] = nullptr;
+    });
     auto done_shared = std::make_shared<std::function<void(bool)>>(std::move(done));
     auto acked = std::make_shared<bool>(false);
-    circ->set_relay_handler([this, done_shared, acked](const RelayCell& rc, int) {
+    circ->set_relay_handler([this, alive, done_shared, acked](const RelayCell& rc, int) {
+      if (alive.expired()) return;
       if (rc.relay_cmd == RelayCommand::IntroEstablished) {
         if (!*acked) {
           *acked = true;
@@ -179,8 +205,14 @@ void HiddenServiceHost::handle_introduction(util::ByteView blob) {
 
   PathConstraints constraints;
   constraints.last_hop = rend_fp;
-  proxy_.build_circuit(constraints, [this, cookie, reply](CircuitOrigin* circ) {
+  std::weak_ptr<char> alive = alive_;
+  proxy_.build_circuit(constraints, [this, alive, cookie, reply](CircuitOrigin* circ) {
+    if (alive.expired()) {
+      if (circ != nullptr) circ->destroy();
+      return;
+    }
     if (circ == nullptr) return;
+    rend_circuits_.push_back(circ);
     circ->set_stream_acceptor(acceptor_);
     RelayCell rend1;
     rend1.relay_cmd = RelayCommand::Rendezvous1;
@@ -193,7 +225,9 @@ void HiddenServiceHost::handle_introduction(util::ByteView blob) {
     circ->enable_virtual_relay(reply.keys);
     ++active_rendezvous_;
     if (on_load_change_) on_load_change_(active_rendezvous_);
-    circ->set_on_destroy([this] {
+    circ->set_on_destroy([this, alive, circ] {
+      if (alive.expired()) return;
+      std::erase(rend_circuits_, circ);
       if (active_rendezvous_ > 0) --active_rendezvous_;
       if (on_load_change_) on_load_change_(active_rendezvous_);
     });

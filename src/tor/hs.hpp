@@ -30,6 +30,12 @@ class HiddenServiceHost {
   HiddenServiceHost(OnionProxy& proxy, DirectoryAuthority& directory,
                     int intro_count = 3);
 
+  /// Destroys the host's intro and rendezvous circuits and disarms every
+  /// callback they hold. The circuits live on the proxy, which may outlive
+  /// the host (a crashed Bento server tears down its containers — and their
+  /// hidden services — while the box's onion proxy survives).
+  ~HiddenServiceHost();
+
   /// The pseudonymous identifier clients dial ("onion address").
   std::string onion_id() const { return onion_id_; }
 
@@ -87,10 +93,14 @@ class HiddenServiceHost {
   int intro_count_;
   std::vector<std::string> intro_fingerprints_;
   std::vector<CircuitOrigin*> intro_circuits_;
+  std::vector<CircuitOrigin*> rend_circuits_;
   std::function<bool(Stream&)> acceptor_;
   std::function<bool(util::ByteView)> intro_interceptor_;
   std::function<void(std::size_t)> on_load_change_;
   std::size_t active_rendezvous_ = 0;
+  // Liveness token: circuit callbacks capture a weak_ptr and no-op once the
+  // host is gone, so a cell arriving after teardown cannot touch freed state.
+  std::shared_ptr<char> alive_ = std::make_shared<char>('\0');
 };
 
 class HsClient {

@@ -1,7 +1,10 @@
 #include "tor/proxy.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <vector>
 
+#include "obs/trace.hpp"
 #include "tor/wire.hpp"
 #include "util/log.hpp"
 
@@ -59,6 +62,47 @@ void OnionProxy::build_circuit(const PathConstraints& constraints,
   build_circuit_path(std::move(path), std::move(done));
 }
 
+void OnionProxy::build_circuit_retry(PathConstraints constraints, int attempts,
+                                     std::function<void(CircuitOrigin*)> done) {
+  if (attempts <= 0) {
+    done(nullptr);
+    return;
+  }
+  // The callback copies the constraints before build_circuit consumes them
+  // (argument evaluation order is unspecified).
+  auto retry_done = [this, constraints, attempts,
+                     done = std::move(done)](CircuitOrigin* circ) mutable {
+    if (circ != nullptr || attempts <= 1) {
+      done(circ);
+      return;
+    }
+    // Rebuild through a fresh path, excluding the relay the failed attempt
+    // died at — unless it is the pinned destination, which every path must
+    // keep (its crash is unrecoverable by rerouting).
+    const std::string& bad = last_failed_hop_;
+    if (!bad.empty() && bad != constraints.last_hop.value_or("") &&
+        std::find(constraints.excluded.begin(), constraints.excluded.end(), bad) ==
+            constraints.excluded.end()) {
+      constraints.excluded.push_back(bad);
+    }
+    obs::trace(obs::Ev::CircRebuild, 0,
+               static_cast<std::uint64_t>(constraints.excluded.size()));
+    util::log_info(kComponent, "rebuilding circuit (", attempts - 1,
+                   " attempts left, excluding ", constraints.excluded.size(),
+                   " relays)");
+    const int remaining = attempts - 1;
+    build_circuit_retry(std::move(constraints), remaining,
+                        [done = std::move(done)](CircuitOrigin* rebuilt) {
+      if (rebuilt != nullptr) {
+        obs::trace(obs::Ev::CircRebuild, rebuilt->circ_id(),
+                   static_cast<std::uint64_t>(rebuilt->hop_count()), /*ok=*/true);
+      }
+      done(rebuilt);
+    });
+  };
+  build_circuit(constraints, std::move(retry_done));
+}
+
 void OnionProxy::build_circuit_path(Path path,
                                     std::function<void(CircuitOrigin*)> done) {
   if (path.empty()) {
@@ -69,11 +113,13 @@ void OnionProxy::build_circuit_path(Path path,
   const CircId id = alloc_circ_id(guard);
   auto circ = std::make_unique<CircuitOrigin>(net_, node_, std::move(path), id, rng_);
   CircuitOrigin* raw = circ.get();
+  raw->set_build_timeout(build_timeout_);
   circuits_[{guard, id}] = std::move(circ);
   raw->build([this, raw, done = std::move(done)](bool ok) {
     if (!ok) {
-      done(nullptr);
+      last_failed_hop_ = raw->failed_hop();
       forget(raw);
+      done(nullptr);
       return;
     }
     done(raw);
@@ -101,6 +147,27 @@ void OnionProxy::on_message(sim::NodeId from, util::Bytes data) {
   auto it = circuits_.find({from, cell.circ_id});
   if (it == circuits_.end()) return;
   it->second->handle_cell(cell);
+}
+
+void OnionProxy::on_peer_down(sim::NodeId peer) {
+  // Collect first: destroy() fires callbacks that may call forget() and
+  // mutate circuits_ under us.
+  std::vector<CircuitOrigin*> doomed;
+  for (auto& [key, circ] : circuits_) {
+    if (key.first == peer) doomed.push_back(circ.get());
+  }
+  for (CircuitOrigin* circ : doomed) {
+    util::log_warn(kComponent, "guard ", peer, " down; destroying circuit ",
+                   circ->circ_id());
+    if (!circ->built()) {
+      // Half-open build: the waiter must see done(nullptr). The build
+      // wrapper records the failed hop and forgets the circuit itself.
+      circ->fail_build();
+    } else {
+      circ->destroy();
+      forget(circ);
+    }
+  }
 }
 
 }  // namespace bento::tor

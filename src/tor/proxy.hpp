@@ -41,8 +41,21 @@ class OnionProxy : public sim::MessageHandler {
   void build_circuit(const PathConstraints& constraints,
                      std::function<void(CircuitOrigin*)> done);
 
+  /// Like build_circuit, but on failure reselects a path excluding the hop
+  /// the failed attempt died at and tries again, up to `attempts` total
+  /// builds. Each retry is traced (Ev::CircRebuild).
+  void build_circuit_retry(PathConstraints constraints, int attempts,
+                           std::function<void(CircuitOrigin*)> done);
+
   /// Builds a circuit over an explicit path (testing / pinned paths).
   void build_circuit_path(Path path, std::function<void(CircuitOrigin*)> done);
+
+  /// Applied to every circuit this proxy builds (0 disables the watchdog).
+  void set_build_timeout(util::Duration d) { build_timeout_ = d; }
+
+  /// Fingerprint of the hop the most recent failed build died at; empty when
+  /// no build has failed or the hop is unknown.
+  const std::string& last_failed_hop() const { return last_failed_hop_; }
 
   /// Removes a destroyed circuit's bookkeeping.
   void forget(CircuitOrigin* circ);
@@ -50,6 +63,10 @@ class OnionProxy : public sim::MessageHandler {
   std::size_t open_circuits() const { return circuits_.size(); }
 
   void on_message(sim::NodeId from, util::Bytes data) override;
+
+  /// Guard crashed: destroy every circuit entering the overlay through it so
+  /// waiters see failure promptly instead of timing out.
+  void on_peer_down(sim::NodeId peer) override;
 
  private:
   CircId alloc_circ_id(sim::NodeId guard);
@@ -61,6 +78,8 @@ class OnionProxy : public sim::MessageHandler {
   util::Rng rng_;
   std::map<std::pair<sim::NodeId, CircId>, std::unique_ptr<CircuitOrigin>> circuits_;
   std::map<sim::NodeId, CircId> circ_counters_;
+  util::Duration build_timeout_ = util::Duration::seconds(30);
+  std::string last_failed_hop_;
 };
 
 }  // namespace bento::tor

@@ -1,6 +1,7 @@
 #include "tor/router.hpp"
 
 #include <stdexcept>
+#include <vector>
 
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
@@ -609,6 +610,65 @@ void Router::destroy_circuit(const Key& key, bool notify_prev, bool notify_next)
 
   circuits_.erase(Key{circ->prev_peer, circ->prev_id});
   if (circ->next.has_value()) circuits_.erase(*circ->next);
+}
+
+void Router::on_peer_down(sim::NodeId peer) {
+  // Classify via the circuit's own endpoints, not the map key: each circuit
+  // appears under both its prev and next keys. Collect first — teardown
+  // cascades (splices) mutate circuits_.
+  std::vector<std::pair<Key, bool>> doomed;  // key, dead peer was prev side
+  for (auto& [key, circ] : circuits_) {
+    if (key != Key{circ->prev_peer, circ->prev_id}) continue;  // dedupe
+    if (circ->prev_peer == peer) {
+      doomed.emplace_back(key, true);
+    } else if (circ->next.has_value() && circ->next->first == peer) {
+      doomed.emplace_back(key, false);
+    }
+  }
+  for (const auto& [key, prev_died] : doomed) {
+    if (find_circuit(key) == nullptr) continue;  // cascaded away already
+    util::log_info(kComponent, "peer ", peer,
+                   " down; destroying circuit (", key.first, ",", key.second, ")");
+    // Notify only the surviving side; sending toward the corpse is pointless.
+    destroy_circuit(key, /*notify_prev=*/!prev_died, /*notify_next=*/prev_died);
+  }
+  // Extends awaiting a CREATED from the dead peer will never hear back.
+  std::vector<Key> dead_extends;
+  for (const auto& [next_key, prev_key] : pending_extend_) {
+    if (next_key.first == peer) dead_extends.push_back(next_key);
+  }
+  for (const Key& next_key : dead_extends) {
+    auto it = pending_extend_.find(next_key);
+    if (it == pending_extend_.end()) continue;
+    const Key prev_key = it->second;
+    pending_extend_.erase(it);
+    if (find_circuit(prev_key) != nullptr) {
+      destroy_circuit(prev_key, /*notify_prev=*/true, /*notify_next=*/false);
+    }
+  }
+}
+
+void Router::crash() {
+  // Drop everything silently. Local apps still learn their streams died —
+  // that models the process on the same host observing the crash — but no
+  // cells leave this node.
+  auto doomed = std::move(circuits_);
+  circuits_.clear();
+  for (auto& [key, circ] : doomed) {
+    if (key != Key{circ->prev_peer, circ->prev_id}) continue;  // dedupe
+    for (auto& [sid, st] : circ->streams) {
+      if (st.is_local) {
+        if (st.app_stream) st.app_stream->router_ = nullptr;
+        if (st.app_stream && st.app_stream->on_end_) st.app_stream->on_end_();
+      } else {
+        tcp_.close(st.tcp_conn);
+      }
+    }
+    circ->streams.clear();
+  }
+  pending_extend_.clear();
+  intro_points_.clear();
+  rend_points_.clear();
 }
 
 }  // namespace bento::tor

@@ -107,6 +107,16 @@ class Router : public sim::MessageHandler {
 
   void on_message(sim::NodeId from, util::Bytes data) override;
 
+  /// A neighboring node crashed: tear down every circuit through it,
+  /// propagating DESTROY to the surviving side, and fail pending extends
+  /// toward it.
+  void on_peer_down(sim::NodeId peer) override;
+
+  /// Simulates this relay crashing: drops all circuit, stream, intro and
+  /// rendezvous state without sending anything (a dead process can't).
+  /// Local-app streams get their on_end so hosts release edge state.
+  void crash();
+
   struct Counters {
     std::uint64_t cells_in = 0;
     std::uint64_t cells_out = 0;

@@ -2,6 +2,7 @@
 // boundary, consensus verification at clients, and failure injection.
 #include <gtest/gtest.h>
 
+#include "chaos/chaos.hpp"
 #include "core/world.hpp"
 #include "tor/testbed.hpp"
 #include "tor/wire.hpp"
@@ -236,4 +237,41 @@ TEST(Robustness, MidTransferCircuitDestroyCleansUpExit) {
   client->forget(circ);
   bed.run();  // must quiesce: no runaway retransmission or leaked pumping
   EXPECT_LT(received, big.size());
+}
+
+TEST(Robustness, RelayCrashMidHandshakeDoesNotLeak) {
+  // Crash every relay while a circuit build is in flight (the CREATE has
+  // been sent, no hop has answered yet). The half-open circuit must fail
+  // exactly once via the build timeout and release all of its state —
+  // LeakSanitizer verifies nothing (circuit, stream, timer token) leaks.
+  bt::TestbedOptions options;
+  options.seed = 21;
+  bt::Testbed bed(options);
+  bed.finalize();
+  bento::chaos::ChaosEngine engine(bed.sim(), bed.net());
+  engine.install({});
+
+  auto client = bed.make_client("alice");
+  client->set_build_timeout(bu::Duration::seconds(2));
+  int done_calls = 0;
+  bt::CircuitOrigin* got = reinterpret_cast<bt::CircuitOrigin*>(1);
+  client->build_circuit({}, [&](bt::CircuitOrigin* circ) {
+    ++done_calls;
+    got = circ;
+  });
+  // 30 ms in: past the CREATE send, well before the >= 3 RTT build finishes.
+  bed.sim().after(bu::Duration::millis(30), [&bed, &engine] {
+    for (std::size_t i = 0; i < bed.router_count(); ++i) {
+      bt::Router& router = bed.router(i);
+      engine.set_node_handler(router.node(), [&router](bool up) {
+        if (!up) router.crash();
+      });
+      engine.crash_now(router.node());
+    }
+  });
+  bed.run();
+  EXPECT_EQ(done_calls, 1);
+  EXPECT_EQ(got, nullptr);
+  EXPECT_EQ(client->open_circuits(), 0u);
+  EXPECT_EQ(engine.stats().crashes, bed.router_count());
 }
