@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "obs/span.hpp"
+#include "util/annotations.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 
@@ -121,11 +122,11 @@ void ChaosEngine::partition_now(sim::NodeId a, sim::NodeId b, util::Duration hea
   cut(a, b, heal);
 }
 
-bool ChaosEngine::is_down(sim::NodeId node) const {
+BENTO_HOT bool ChaosEngine::is_down(sim::NodeId node) const {
   return node < down_.size() && down_[node] != 0;
 }
 
-bool ChaosEngine::node_down(sim::NodeId node) const { return is_down(node); }
+BENTO_HOT bool ChaosEngine::node_down(sim::NodeId node) const { return is_down(node); }
 
 void ChaosEngine::crash(sim::NodeId node, util::Duration restart_after) {
   if (is_down(node)) return;
@@ -174,7 +175,7 @@ void ChaosEngine::heal(sim::NodeId a, sim::NodeId b) {
   sync_hook();
 }
 
-sim::FaultDecision ChaosEngine::on_packet(sim::NodeId from, sim::NodeId to,
+BENTO_HOT sim::FaultDecision ChaosEngine::on_packet(sim::NodeId from, sim::NodeId to,
                                           std::size_t wire_size) {
   (void)wire_size;
   sim::FaultDecision verdict;

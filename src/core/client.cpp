@@ -46,6 +46,7 @@ void BentoClient::connect(const std::string& box_fingerprint,
   }
   const tor::Endpoint bento_endpoint{box->addr, config_.bento_port};
 
+  prune_closed();  // reap anchors for connections that have since died
   auto conn = std::shared_ptr<BentoConnection>(new BentoConnection());
   conn->proxy_ = &proxy_;
   conn->config_ = config_;
@@ -64,10 +65,18 @@ void BentoClient::connect(const std::string& box_fingerprint,
   // current across build_circuit() so the CREATE cells inherit the context.
   obs::SpanScope connect_span(obs::SpanScope::kRoot, obs::Stage::ClientConnect);
   const std::uint32_t span = connect_span.detach();
+  // The build callback fires exactly once and is destroyed afterwards, so
+  // its strong `conn` is transient. The stream callbacks it installs are
+  // another matter: they live inside the circuit for as long as the circuit
+  // does, so they capture weakly — otherwise a closed connection could never
+  // be freed until its circuit object went away (the same self-capture leak
+  // class spawn()/upload() fixed in their pending_ handlers).
+  std::weak_ptr<BentoConnection> weak = conn;
   proxy_.build_circuit_retry(
       std::move(constraints), std::max(1, config_.retry.build_attempts),
-      [conn, bento_endpoint, done_shared, answered, span](tor::CircuitOrigin* circ) {
+      [conn, weak, bento_endpoint, done_shared, answered, span](tor::CircuitOrigin* circ) {
     if (circ == nullptr) {
+      conn->closed_ = true;  // never opened; let prune_closed() reap it
       *answered = true;
       obs::end_span(span, obs::Stage::ClientConnect, /*ok=*/false);
       (*done_shared)(nullptr);
@@ -80,9 +89,11 @@ void BentoClient::connect(const std::string& box_fingerprint,
       util::log_line(util::LogLevel::Info, "bento.client", "circuit path: " + path_desc);
     }
     tor::Stream::Callbacks cbs;
-    cbs.on_data = [conn](util::ByteView d) { conn->on_stream_data(d); };
-    cbs.on_end = [conn, done_shared, answered, span] {
-      conn->on_stream_end();
+    cbs.on_data = [weak](util::ByteView d) {
+      if (auto self = weak.lock()) self->on_stream_data(d);
+    };
+    cbs.on_end = [weak, done_shared, answered, span] {
+      if (auto self = weak.lock()) self->on_stream_end();
       if (!*answered) {  // refused before CONNECTED (no Bento server there)
         *answered = true;
         obs::end_span(span, obs::Stage::ClientConnect, /*ok=*/false);
@@ -91,12 +102,21 @@ void BentoClient::connect(const std::string& box_fingerprint,
     };
     tor::Stream* stream = circ->open_stream(bento_endpoint, std::move(cbs));
     conn->stream_ = stream;
-    stream->set_on_connected([conn, done_shared, answered, span] {
+    stream->set_on_connected([weak, done_shared, answered, span] {
+      auto self = weak.lock();
       *answered = true;
-      obs::end_span(span, obs::Stage::ClientConnect);
-      (*done_shared)(conn);
+      obs::end_span(span, obs::Stage::ClientConnect, /*ok=*/self != nullptr);
+      (*done_shared)(std::move(self));
     });
   });
+}
+
+void BentoClient::prune_closed() {
+  live_.erase(std::remove_if(live_.begin(), live_.end(),
+                             [](const std::shared_ptr<BentoConnection>& c) {
+                               return c->closed_;
+                             }),
+              live_.end());
 }
 
 std::vector<std::string> BentoConnection::path_fingerprints() const {
@@ -147,6 +167,7 @@ void BentoConnection::on_stream_data(util::ByteView data) {
 
 void BentoConnection::on_stream_end() {
   stream_ = nullptr;
+  closed_ = true;  // everything rides the stream; a dead stream is a dead conn
   if (invoke_span_ != 0) {
     // Circuit torn down mid-request: the invoke span ends as a failure so
     // the trace shows an orphaned request, not a silent hole.
@@ -338,6 +359,7 @@ void BentoConnection::shutdown(util::ByteView shutdown_token, SimpleFn done) {
 }
 
 void BentoConnection::close() {
+  closed_ = true;
   if (stream_ != nullptr) {
     stream_->end();
     stream_ = nullptr;

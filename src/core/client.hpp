@@ -84,6 +84,9 @@ class BentoConnection : public std::enable_shared_from_this<BentoConnection> {
   std::size_t raw_bytes_received() const { return raw_bytes_; }
   bool attested() const { return channel_.has_value(); }
   bool open() const { return stream_ != nullptr; }
+  /// True once the connection has been close()d or its stream has died —
+  /// distinct from !open(), which is also true before the stream comes up.
+  bool closed() const { return closed_; }
   const std::string& box_fingerprint() const { return box_; }
 
  private:
@@ -99,6 +102,7 @@ class BentoConnection : public std::enable_shared_from_this<BentoConnection> {
   std::string box_;
   tor::CircuitOrigin* circuit_ = nullptr;
   tor::Stream* stream_ = nullptr;
+  bool closed_ = false;
   StreamFramer framer_;
   std::size_t raw_bytes_ = 0;
   std::deque<std::function<void(const Message&)>> pending_;
@@ -150,6 +154,15 @@ class BentoClient {
 
   tor::OnionProxy& proxy() { return proxy_; }
   const BentoClientConfig& config() const { return config_; }
+
+  /// Drops keep-alive anchors for closed connections. connect() calls this
+  /// on every new connection, so a long-lived client does not accumulate
+  /// dead sessions; callers that tear down a connection and want its memory
+  /// back immediately can call it directly.
+  void prune_closed();
+  /// Connections currently anchored (open or awaiting prune) — observability
+  /// for tests and leak triage.
+  std::size_t live_connections() const { return live_.size(); }
 
  private:
   tor::OnionProxy& proxy_;

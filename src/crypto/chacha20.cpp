@@ -2,15 +2,17 @@
 
 #include <cstring>
 
+#include "util/annotations.hpp"
+
 namespace bento::crypto {
 
 namespace {
-std::uint32_t load32(const std::uint8_t* p) {
+BENTO_HOT std::uint32_t load32(const std::uint8_t* p) {
   return static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
          static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
 }
 
-void store32(std::uint8_t* p, std::uint32_t v) {
+BENTO_HOT void store32(std::uint8_t* p, std::uint32_t v) {
   p[0] = static_cast<std::uint8_t>(v);
   p[1] = static_cast<std::uint8_t>(v >> 8);
   p[2] = static_cast<std::uint8_t>(v >> 16);
@@ -107,12 +109,12 @@ void store32(std::uint8_t* p, std::uint32_t v) {
     for (int i = 0; i < 16; ++i) store32(out + 4 * i, x[i][l]);         \
   }
 
-void refill_portable(const std::uint32_t* state, std::uint8_t* block) {
+BENTO_HOT void refill_portable(const std::uint32_t* state, std::uint8_t* block) {
   BENTO_CHACHA_REFILL_BODY(state, block)
 }
 
 #if defined(__x86_64__) || defined(__i386__)
-__attribute__((target("avx2"))) void refill_avx2(const std::uint32_t* state,
+BENTO_HOT __attribute__((target("avx2"))) void refill_avx2(const std::uint32_t* state,
                                                  std::uint8_t* block) {
   BENTO_CHACHA_REFILL_BODY(state, block)
 }
@@ -134,7 +136,7 @@ const RefillFn kRefill = pick_refill();
 
 #else  // !BENTO_CHACHA_SIMD: scalar fallback, 8 interleaved chains
 
-void quarter_round(std::uint32_t x[16][8], int a, int b, int c, int d) {
+BENTO_HOT void quarter_round(std::uint32_t x[16][8], int a, int b, int c, int d) {
   for (int l = 0; l < 8; ++l) {
     x[a][l] += x[b][l];
     x[d][l] ^= x[a][l];
@@ -151,7 +153,7 @@ void quarter_round(std::uint32_t x[16][8], int a, int b, int c, int d) {
   }
 }
 
-void refill_scalar(const std::uint32_t* state, std::uint8_t* block) {
+BENTO_HOT void refill_scalar(const std::uint32_t* state, std::uint8_t* block) {
   std::uint32_t x[16][8];
   for (int i = 0; i < 16; ++i) {
     for (int l = 0; l < 8; ++l) x[i][l] = state[i];
@@ -192,13 +194,13 @@ ChaCha20::ChaCha20(const ChaChaKey& key, const ChaChaNonce& nonce, std::uint32_t
   for (int i = 0; i < 3; ++i) state_[13 + i] = load32(nonce.data() + 4 * i);
 }
 
-void ChaCha20::refill() {
+BENTO_HOT void ChaCha20::refill() {
   kRefill(state_.data(), block_.data());
   state_[12] += static_cast<std::uint32_t>(kLanes);
   used_ = 0;
 }
 
-void ChaCha20::process(std::span<std::uint8_t> data) {
+BENTO_HOT void ChaCha20::process(std::span<std::uint8_t> data) {
   std::size_t off = 0;
   const std::size_t n = data.size();
   while (off < n) {
@@ -235,8 +237,8 @@ util::Bytes chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
   return c.transform(data);
 }
 
-void chacha20_xor_inplace(const ChaChaKey& key, const ChaChaNonce& nonce,
-                          std::uint32_t counter, std::span<std::uint8_t> data) {
+BENTO_HOT void chacha20_xor_inplace(const ChaChaKey& key, const ChaChaNonce& nonce,
+                                    std::uint32_t counter, std::span<std::uint8_t> data) {
   ChaCha20 c(key, nonce, counter);
   c.process(data);
 }

@@ -2,17 +2,19 @@
 
 #include <cstring>
 
+#include "util/annotations.hpp"
+
 namespace bento::crypto {
 
 namespace {
-std::uint32_t le32(const std::uint8_t* p) {
+BENTO_HOT std::uint32_t le32(const std::uint8_t* p) {
   return static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
          static_cast<std::uint32_t>(p[2]) << 16 |
          static_cast<std::uint32_t>(p[3]) << 24;
 }
 }  // namespace
 
-Poly1305Tag poly1305(const Poly1305Key& key, util::ByteView message) {
+BENTO_HOT Poly1305Tag poly1305(const Poly1305Key& key, util::ByteView message) {
   // 26-bit limb representation (poly1305-donna style).
   const std::uint32_t r0 = le32(key.data()) & 0x3ffffff;
   const std::uint32_t r1 = (le32(key.data() + 3) >> 2) & 0x3ffff03;

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "util/annotations.hpp"
+
 namespace bento::crypto {
 
 namespace {
@@ -25,7 +27,7 @@ Sha256::Sha256()
     : state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
              0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19} {}
 
-void Sha256::compress(std::array<std::uint32_t, 8>& state, const std::uint8_t* block) {
+BENTO_HOT void Sha256::compress(std::array<std::uint32_t, 8>& state, const std::uint8_t* block) {
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = static_cast<std::uint32_t>(block[4 * i] << 24) |
@@ -66,7 +68,7 @@ void Sha256::compress(std::array<std::uint32_t, 8>& state, const std::uint8_t* b
   state[7] += h;
 }
 
-void Sha256::update(util::ByteView data) {
+BENTO_HOT void Sha256::update(util::ByteView data) {
   total_ += data.size();
   std::size_t off = 0;
   if (buffered_ > 0) {
@@ -89,7 +91,7 @@ void Sha256::update(util::ByteView data) {
   }
 }
 
-Digest Sha256::peek_digest() const {
+BENTO_HOT Digest Sha256::peek_digest() const {
   // Pad into a local tail buffer and run the final compression(s) on a local
   // copy of the chaining state: the running state is untouched, so callers
   // can keep absorbing afterwards (and never need to clone the object).

@@ -24,6 +24,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/annotations.hpp"
+
 namespace bento::obs {
 
 namespace detail {
@@ -67,7 +69,7 @@ struct HistogramCell {
 class Counter {
  public:
   Counter() = default;
-  void inc(std::uint64_t n = 1) {
+  BENTO_HOT void inc(std::uint64_t n = 1) {
     if (!detail::g_metrics_enabled || cell_ == nullptr) return;
     cell_->value += n;
   }
@@ -83,12 +85,12 @@ class Counter {
 class Gauge {
  public:
   Gauge() = default;
-  void set(std::int64_t v) {
+  BENTO_HOT void set(std::int64_t v) {
     if (!detail::g_metrics_enabled || cell_ == nullptr) return;
     cell_->value = v;
     if (v > cell_->high_water) cell_->high_water = v;
   }
-  void add(std::int64_t delta) {
+  BENTO_HOT void add(std::int64_t delta) {
     if (!detail::g_metrics_enabled || cell_ == nullptr) return;
     set_unchecked(cell_->value + delta);
   }
@@ -115,7 +117,7 @@ class Gauge {
 class Histogram {
  public:
   Histogram() = default;
-  void record(std::int64_t v) {
+  BENTO_HOT void record(std::int64_t v) {
     if (!detail::g_metrics_enabled || cell_ == nullptr) return;
     std::size_t i = 0;
     const std::size_t n = cell_->bounds.size();

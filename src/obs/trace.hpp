@@ -20,6 +20,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "util/annotations.hpp"
 #include "util/simclock.hpp"
 
 namespace bento::obs {
@@ -107,7 +108,7 @@ class Recorder {
     return (std::uint32_t{1} << static_cast<unsigned>(Ev::kCount)) - 1;
   }
 
-  void record(Ev kind, std::uint32_t a = 0, std::uint64_t b = 0, bool ok = true) {
+  BENTO_HOT void record(Ev kind, std::uint32_t a = 0, std::uint64_t b = 0, bool ok = true) {
     if (!enabled_) return;
     if ((mask_ & mask_of(kind)) == 0) return;
     TraceEvent& e = ring_[head_];
@@ -169,7 +170,7 @@ inline Recorder g_recorder;
 inline Recorder& recorder() { return detail::g_recorder; }
 
 /// Convenience hot-path entry: obs::trace(Ev::CellSend, circ, cmd).
-inline void trace(Ev kind, std::uint32_t a = 0, std::uint64_t b = 0, bool ok = true) {
+BENTO_HOT inline void trace(Ev kind, std::uint32_t a = 0, std::uint64_t b = 0, bool ok = true) {
   detail::g_recorder.record(kind, a, b, ok);
 }
 

@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include "util/annotations.hpp"
 #include "util/log.hpp"
 #include "util/simclock.hpp"
 
@@ -22,13 +23,14 @@ Simulator::Simulator(std::uint64_t seed)
 
 Simulator::~Simulator() { util::uninstall_sim_clock(this); }
 
-void Simulator::schedule(Time t, EventFn fn) {
+BENTO_HOT void Simulator::schedule(Time t, EventFn fn) {
   if (t < now_) t = now_;
+  // bentolint: allow(BL102 heap vector growth, amortized; events themselves are pooled)
   heap_.push_back(Event{t, now_, next_seq_++, obs::current_span(), std::move(fn)});
   sift_up(heap_.size() - 1);
 }
 
-void Simulator::sift_up(std::size_t i) {
+BENTO_HOT void Simulator::sift_up(std::size_t i) {
   while (i > 0) {
     const std::size_t parent = (i - 1) / 2;
     if (!heap_[i].before(heap_[parent])) break;
@@ -37,7 +39,7 @@ void Simulator::sift_up(std::size_t i) {
   }
 }
 
-void Simulator::sift_down(std::size_t i) {
+BENTO_HOT void Simulator::sift_down(std::size_t i) {
   const std::size_t n = heap_.size();
   for (;;) {
     std::size_t best = i;
@@ -51,7 +53,7 @@ void Simulator::sift_down(std::size_t i) {
   }
 }
 
-Simulator::Event Simulator::pop_top() {
+BENTO_HOT Simulator::Event Simulator::pop_top() {
   Event top = std::move(heap_.front());
   heap_.front() = std::move(heap_.back());
   heap_.pop_back();
@@ -59,7 +61,7 @@ Simulator::Event Simulator::pop_top() {
   return top;
 }
 
-bool Simulator::step() {
+BENTO_HOT bool Simulator::step() {
   if (heap_.empty()) return false;
   // Move the event out before running so handlers can schedule freely.
   Event ev = pop_top();

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/annotations.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "util/rng.hpp"
@@ -53,17 +54,19 @@ class SlabPool {
     }
   }
 
-  void* allocate(std::size_t n) {
+  BENTO_HOT void* allocate(std::size_t n) {
+    // bentolint: allow(BL102 oversized captures take the plain heap by design)
     if (n > kSlabSize) return ::operator new(n);  // oversized: plain heap
     if (free_ != nullptr) {
       Slab* s = free_;
       free_ = s->next;
       return s;
     }
+    // bentolint: allow(BL102 cold pool refill, amortized to zero at steady state)
     return ::operator new(sizeof(Slab));
   }
 
-  void deallocate(void* p, std::size_t n) {
+  BENTO_HOT void deallocate(void* p, std::size_t n) {
     if (n > kSlabSize) {
       ::operator delete(p);
       return;
@@ -130,7 +133,7 @@ class EventFn {
 
   ~EventFn() { reset(); }
 
-  void operator()() { vt_->invoke(target()); }
+  BENTO_HOT void operator()() { vt_->invoke(target()); }
 
   explicit operator bool() const noexcept { return vt_ != nullptr; }
 

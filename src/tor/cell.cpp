@@ -3,6 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/annotations.hpp"
 #include "util/serialize.hpp"
 
 namespace bento::tor {
@@ -49,7 +50,7 @@ util::Bytes Cell::pack() const {
   return std::move(w).take();
 }
 
-Cell Cell::unpack(util::ByteView wire) {
+BENTO_HOT Cell Cell::unpack(util::ByteView wire) {
   if (wire.size() != kCellLen) throw util::ParseError("Cell::unpack: bad size");
   util::Reader r(wire);
   Cell c;
@@ -68,7 +69,7 @@ void Cell::set_payload(util::ByteView data) {
   std::memcpy(payload.data(), data.data(), data.size());
 }
 
-std::array<std::uint8_t, kCellPayloadLen> RelayCell::pack() const {
+BENTO_HOT std::array<std::uint8_t, kCellPayloadLen> RelayCell::pack() const {
   if (data.size() > kRelayDataMax) {
     throw std::invalid_argument("RelayCell::pack: data too large");
   }

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "crypto/hmac.hpp"
+#include "util/annotations.hpp"
 #include "obs/metrics.hpp"
 #include "util/log.hpp"
 
@@ -45,15 +46,15 @@ LayerCrypto::LayerCrypto(const LayerKeys& keys)
   bwd_digest_.update(keys.db);
 }
 
-void LayerCrypto::crypt_forward(std::array<std::uint8_t, kCellPayloadLen>& payload) {
+BENTO_HOT void LayerCrypto::crypt_forward(std::array<std::uint8_t, kCellPayloadLen>& payload) {
   fwd_cipher_.process(payload);
 }
 
-void LayerCrypto::crypt_backward(std::array<std::uint8_t, kCellPayloadLen>& payload) {
+BENTO_HOT void LayerCrypto::crypt_backward(std::array<std::uint8_t, kCellPayloadLen>& payload) {
   bwd_cipher_.process(payload);
 }
 
-void LayerCrypto::seal(crypto::Sha256& running,
+BENTO_HOT void LayerCrypto::seal(crypto::Sha256& running,
                        std::array<std::uint8_t, kCellPayloadLen>& payload) {
   // Digest field must be zero while hashing.
   std::memset(payload.data() + kDigestOff, 0, 4);
@@ -63,7 +64,7 @@ void LayerCrypto::seal(crypto::Sha256& running,
   std::memcpy(payload.data() + kDigestOff, d.data(), 4);
 }
 
-bool LayerCrypto::check(crypto::Sha256& running,
+BENTO_HOT bool LayerCrypto::check(crypto::Sha256& running,
                         std::array<std::uint8_t, kCellPayloadLen>& payload) {
   RecognitionMetrics& metrics = recognition_metrics();
   // Cheap pre-check: recognized field must be zero.
@@ -98,19 +99,19 @@ bool LayerCrypto::check(crypto::Sha256& running,
   return true;
 }
 
-void LayerCrypto::seal_forward(std::array<std::uint8_t, kCellPayloadLen>& payload) {
+BENTO_HOT void LayerCrypto::seal_forward(std::array<std::uint8_t, kCellPayloadLen>& payload) {
   seal(fwd_digest_, payload);
 }
 
-void LayerCrypto::seal_backward(std::array<std::uint8_t, kCellPayloadLen>& payload) {
+BENTO_HOT void LayerCrypto::seal_backward(std::array<std::uint8_t, kCellPayloadLen>& payload) {
   seal(bwd_digest_, payload);
 }
 
-bool LayerCrypto::check_forward(std::array<std::uint8_t, kCellPayloadLen>& payload) {
+BENTO_HOT bool LayerCrypto::check_forward(std::array<std::uint8_t, kCellPayloadLen>& payload) {
   return check(fwd_digest_, payload);
 }
 
-bool LayerCrypto::check_backward(std::array<std::uint8_t, kCellPayloadLen>& payload) {
+BENTO_HOT bool LayerCrypto::check_backward(std::array<std::uint8_t, kCellPayloadLen>& payload) {
   return check(bwd_digest_, payload);
 }
 

@@ -1,5 +1,6 @@
 #include "tor/wire.hpp"
 
+#include "util/annotations.hpp"
 #include "util/serialize.hpp"
 
 namespace bento::tor {
@@ -19,11 +20,11 @@ util::Bytes frame_cell(const Cell& cell) {
   return out;
 }
 
-bool is_framed_cell(util::ByteView wire) {
+BENTO_HOT bool is_framed_cell(util::ByteView wire) {
   return wire.size() == kCellLen + 1 && wire[0] == kCellFrameMarker;
 }
 
-Cell unframe_cell(util::ByteView wire) {
+BENTO_HOT Cell unframe_cell(util::ByteView wire) {
   if (!is_framed_cell(wire)) throw util::ParseError("unframe_cell: not a cell frame");
   return Cell::unpack(wire.subspan(1));
 }

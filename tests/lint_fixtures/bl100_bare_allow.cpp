@@ -1,0 +1,19 @@
+// Golden fixture for BL100: a suppression must name a rule AND a reason.
+// Lines that should produce a diagnostic carry an expect-marker comment;
+// bentolint_test asserts the diagnostic set matches the markers exactly.
+namespace fx {
+
+// Positive: rule named but no reason given.
+// bentolint: allow(BL102) -- expect(BL100)
+int bare() { return 1; }
+
+// Positive: a reason but no BLxxx rule.
+// bentolint: allow(cold path, reviewed) -- expect(BL100)
+int ruleless() { return 2; }
+
+// Clean: rule plus reason parses; suppressing a rule that never fires is
+// inert, not an error.
+// bentolint: allow(BL102 pool refill, amortized across 64 events)
+int fine() { return 3; }
+
+}  // namespace fx

@@ -1,0 +1,18 @@
+// Golden fixture for BL101 scoping outside src/: analyzed under a virtual
+// tools/ path, where wall-clock reads are legitimate (bench timing loops)
+// and only BENTO_DETERMINISTIC functions opt into the contract.
+#include <ctime>
+
+#include "util/annotations.hpp"
+
+namespace fx {
+
+// Clean: unannotated tools/ code may read the wall clock.
+long bench_now() { return time(nullptr); }
+
+// Positive: the annotation puts this function under the replay contract.
+BENTO_DETERMINISTIC long replay_now() {
+  return time(nullptr);  // expect(BL101)
+}
+
+}  // namespace fx

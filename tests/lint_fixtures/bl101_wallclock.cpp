@@ -1,0 +1,33 @@
+// Golden fixture for BL101 (wall clock / entropy in deterministic code).
+// Analyzed under a virtual src/ path, where the whole file is covered by
+// the DESIGN.md §9 determinism contract — no annotation needed. Never
+// compiled — analysis only.
+#include <chrono>
+#include <ctime>
+#include <random>
+
+namespace fx {
+
+struct Msg {
+  long time_us() const { return 0; }
+};
+
+// Positive: wall-clock types and free entropy/time calls.
+long bad_now() {
+  auto t = std::chrono::steady_clock::now();  // expect(BL101)
+  std::random_device rd;                      // expect(BL101)
+  return time(nullptr) +                      // expect(BL101)
+         static_cast<long>(t.time_since_epoch().count() + rd());
+}
+
+// Suppressed: same read, explained.
+long allowed_now() {
+  // bentolint: allow(BL101 cold-path startup banner, never replayed)
+  return time(nullptr);
+}
+
+// Clean: member calls and non-std qualified helpers share names with the
+// banned free functions but are not them.
+long clean(const Msg& m) { return m.time_us() + util::clock(0); }
+
+}  // namespace fx

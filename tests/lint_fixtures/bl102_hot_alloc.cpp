@@ -1,0 +1,31 @@
+// Golden fixture for BL102 (heap allocation inside a BENTO_HOT function —
+// the 0-allocs/cell datapath guarantee, enforced at the source).
+#include <memory>
+#include <vector>
+
+#include "util/annotations.hpp"
+
+namespace fx {
+
+// Positive: every allocation class the rule knows about.
+BENTO_HOT void hot_path(std::vector<int>& q) {
+  int* p = new int[4];                 // expect(BL102)
+  auto s = std::make_shared<int>(7);   // expect(BL102)
+  q.push_back(*p + *s);                // expect(BL102)
+  std::vector<int> scratch(8);         // expect(BL102)
+  scratch.front() = 1;
+  delete[] p;
+}
+
+// Suppressed: the cold refill branch, explained at the site.
+BENTO_HOT void hot_refill(std::vector<int>& q) {
+  // bentolint: allow(BL102 cold refill branch, amortized at steady state)
+  q.reserve(64);
+}
+
+// Clean: an unannotated function may allocate, and placement new is the
+// pool fast path, not a heap allocation.
+void cold_path(std::vector<int>& q) { q.push_back(1); }
+BENTO_HOT void hot_placement(void* slot) { new (slot) int(0); }
+
+}  // namespace fx

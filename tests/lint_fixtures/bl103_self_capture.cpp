@@ -1,0 +1,38 @@
+// Golden fixture for BL103 (shared_from_this captured by a lambda — the
+// BentoConnection reference-cycle leak class).
+#include <functional>
+#include <memory>
+
+namespace fx {
+
+struct Conn : std::enable_shared_from_this<Conn> {
+  std::function<void()> cb;
+
+  // Positive: shared_from_this() directly in the capture list.
+  void arm_direct() {
+    cb = [self = shared_from_this()] { (void)self; };  // expect(BL103)
+  }
+
+  // Positive: a strong self variable derived from shared_from_this().
+  void arm_var() {
+    auto self = shared_from_this();
+    cb = [self] { (void)self; };  // expect(BL103)
+  }
+
+  // Suppressed: a one-shot handler that provably clears itself.
+  void arm_allowed() {
+    auto keep = shared_from_this();
+    // bentolint: allow(BL103 one-shot timer, handler cleared on fire)
+    cb = [keep] { (void)keep; };
+  }
+
+  // Clean: the weak-capture pattern the diagnostic points to.
+  void arm_weak() {
+    std::weak_ptr<Conn> weak = shared_from_this();
+    cb = [weak] {
+      if (auto self = weak.lock()) (void)self;
+    };
+  }
+};
+
+}  // namespace fx

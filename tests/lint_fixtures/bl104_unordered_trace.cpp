@@ -1,0 +1,39 @@
+// Golden fixture for BL104 (unordered-container iteration feeding trace /
+// log / event emission — iteration-order nondeterminism in the recorders).
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace fx {
+
+void trace(int);
+void note(const std::string&);
+
+std::unordered_map<int, std::string> g_table;
+std::map<int, std::string> g_sorted;
+
+// Positive: hash-order iteration lands in the trace.
+void dump_unordered() {
+  for (const auto& [k, v] : g_table) {  // expect(BL104)
+    trace(k);
+  }
+}
+
+// Suppressed: the reader sorts before diffing, explained at the site.
+void dump_allowed() {
+  // bentolint: allow(BL104 reader re-sorts keys before byte-diffing)
+  for (const auto& [k, v] : g_table) {
+    note(v);
+  }
+}
+
+// Clean: ordered iteration may emit, and unordered iteration that only
+// aggregates (order-independent) is fine.
+int dump_clean() {
+  int acc = 0;
+  for (const auto& [k, v] : g_sorted) trace(k);
+  for (const auto& [k, v] : g_table) acc += k;
+  return acc;
+}
+
+}  // namespace fx

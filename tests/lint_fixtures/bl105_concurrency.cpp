@@ -1,0 +1,28 @@
+// Golden fixture for BL105 (concurrency inventory): raw thread/mutex/atomic
+// in the single-threaded sim/core tree. bentolint_test analyzes this file
+// twice — under a virtual src/sim/ path (fires) and a virtual src/tor/ path
+// (out of scope, silent) — to pin the scoping rule itself.
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace fx {
+
+// Positive: members and locals alike.
+struct Shared {
+  std::mutex mu;             // expect(BL105)
+  std::atomic<int> refs{0};  // expect(BL105)
+};
+
+void spin() {
+  std::thread t([] {});  // expect(BL105)
+  t.join();
+}
+
+// Suppressed: harness-only synchronization, explained at the site.
+struct Gate {
+  // bentolint: allow(BL105 crash-only test harness, never on the sim loop)
+  std::mutex harness_mu;
+};
+
+}  // namespace fx

@@ -1,0 +1,24 @@
+// Golden fixture for BL106 (banned unbounded C string functions).
+#include <cstdio>
+#include <cstring>
+
+namespace fx {
+
+// Positive: unbounded writes.
+void copy_bad(char* dst, const char* src) {
+  strcpy(dst, src);         // expect(BL106)
+  sprintf(dst, "%s", src);  // expect(BL106)
+}
+
+// Suppressed: caller-sized buffer with a documented contract.
+void copy_allowed(char* dst, const char* src) {
+  // bentolint: allow(BL106 dst sized by caller contract, fuzz-covered)
+  strcat(dst, src);
+}
+
+// Clean: the bounded variants.
+void copy_clean(char* dst, const char* src) {
+  snprintf(dst, 16, "%s", src);
+}
+
+}  // namespace fx

@@ -1,0 +1,4 @@
+// bentolint: allow-file(BL107 textual fragment, included mid-file by codegen)
+namespace fx {
+inline int eight() { return 8; }
+}  // namespace fx

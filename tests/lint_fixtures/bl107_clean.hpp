@@ -1,0 +1,4 @@
+#pragma once
+namespace fx {
+inline int nine() { return 9; }
+}  // namespace fx

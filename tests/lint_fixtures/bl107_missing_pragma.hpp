@@ -1,0 +1,4 @@
+// expect(BL107) — this header deliberately omits #pragma once.
+namespace fx {
+inline int seven() { return 7; }
+}  // namespace fx

@@ -1,0 +1,11 @@
+// Golden fixture for BL108 (include hygiene): no "../" escapes from the
+// source root, no libstdc++ internals. Never compiled — analysis only.
+#include "../util/log.hpp"  // expect(BL108)
+#include <bits/stdc++.h>    // expect(BL108)
+// bentolint: allow(BL108 vendored tree keeps its upstream relative layout)
+#include "../vendor/blob.hpp"
+#include "util/log.hpp"
+
+namespace fx {
+int ten() { return 10; }
+}  // namespace fx

@@ -275,3 +275,46 @@ TEST(Robustness, RelayCrashMidHandshakeDoesNotLeak) {
   EXPECT_EQ(client->open_circuits(), 0u);
   EXPECT_EQ(engine.stats().crashes, bed.router_count());
 }
+
+TEST(Robustness, ClosedConnectionIsFreed) {
+  // Regression for the BentoConnection self-capture leak class (bentolint
+  // BL103): stream callbacks used to hold strong refs to the connection and
+  // the client's keep-alive anchor was never pruned, so a closed connection
+  // outlived its circuit indefinitely.
+  bc::BentoWorld world;
+  world.start();
+  auto client = world.make_client("alice");
+  auto boxes = bc::BentoClient::find_boxes(world.bed().consensus());
+  ASSERT_FALSE(boxes.empty());
+
+  std::weak_ptr<bc::BentoConnection> weak;
+  {
+    std::shared_ptr<bc::BentoConnection> conn;
+    client.bento->connect(boxes[0], [&](std::shared_ptr<bc::BentoConnection> c) {
+      conn = std::move(c);
+    });
+    world.run();
+    ASSERT_NE(conn, nullptr);
+    EXPECT_EQ(client.bento->live_connections(), 1u);
+    weak = conn;
+    conn->close();
+    EXPECT_TRUE(conn->closed());
+    world.run();
+  }  // the caller's strong ref is gone; only the client anchor remains
+
+  client.bento->prune_closed();
+  EXPECT_EQ(client.bento->live_connections(), 0u);
+  // Nothing else — no stream callback, no pending_ handler — keeps it alive.
+  EXPECT_TRUE(weak.expired());
+
+  // A later connect() prunes implicitly: open a second session and check the
+  // anchor count reflects only the live one.
+  std::shared_ptr<bc::BentoConnection> conn2;
+  client.bento->connect(boxes[0], [&](std::shared_ptr<bc::BentoConnection> c) {
+    conn2 = std::move(c);
+  });
+  world.run();
+  ASSERT_NE(conn2, nullptr);
+  EXPECT_EQ(client.bento->live_connections(), 1u);
+  EXPECT_TRUE(conn2->open());
+}

@@ -1,0 +1,226 @@
+#include "bentolint/lexer.hpp"
+
+#include <cctype>
+#include <string>
+
+namespace bento::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_cont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  bool done() const { return pos_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  void advance() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  std::size_t pos() const { return pos_; }
+  int line() const { return line_; }
+  int col() const { return col_; }
+  std::string_view slice(std::size_t from) const {
+    return src_.substr(from, pos_ - from);
+  }
+
+ private:
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+// Consumes a quoted literal starting at the opening quote. Handles escapes;
+// stops at the closing quote or end of line (a lost quote must not eat the
+// rest of the file).
+void take_quoted(Cursor& c, char quote) {
+  c.advance();  // opening quote
+  while (!c.done()) {
+    const char ch = c.peek();
+    if (ch == '\\' && c.peek(1) != '\0') {
+      c.advance();
+      c.advance();
+      continue;
+    }
+    if (ch == quote) {
+      c.advance();
+      return;
+    }
+    if (ch == '\n') return;  // unterminated: stop at the line break
+    c.advance();
+  }
+}
+
+// Raw string literal, cursor on the 'R'. R"delim( ... )delim"
+void take_raw_string(Cursor& c) {
+  c.advance();  // R
+  c.advance();  // "
+  std::string delim;
+  while (!c.done() && c.peek() != '(') {
+    delim.push_back(c.peek());
+    c.advance();
+  }
+  if (c.done()) return;
+  c.advance();  // (
+  const std::string closer = ")" + delim + "\"";
+  std::size_t matched = 0;
+  while (!c.done()) {
+    if (c.peek() == closer[matched]) {
+      ++matched;
+      c.advance();
+      if (matched == closer.size()) return;
+    } else {
+      // Restart the match; the current char may itself begin the closer.
+      matched = c.peek() == closer[0] ? 1 : 0;
+      c.advance();
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  Cursor c(src);
+  bool at_line_start = true;  // only whitespace seen on this line so far
+
+  auto push = [&](Tok kind, std::size_t from, int line, int col) {
+    out.push_back(Token{kind, c.slice(from), line, col});
+  };
+
+  while (!c.done()) {
+    const char ch = c.peek();
+    const std::size_t from = c.pos();
+    const int line = c.line();
+    const int col = c.col();
+
+    if (ch == '\n') {
+      c.advance();
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      c.advance();
+      continue;
+    }
+
+    // Preprocessor directive: '#' first on the line, through continuations.
+    if (ch == '#' && at_line_start) {
+      while (!c.done()) {
+        if (c.peek() == '\\' && c.peek(1) == '\n') {
+          c.advance();
+          c.advance();
+          continue;
+        }
+        if (c.peek() == '\n') break;
+        // A // comment ends the directive logically; keep it out of the
+        // Pp token so suppression comments on #include lines still parse.
+        if (c.peek() == '/' && (c.peek(1) == '/' || c.peek(1) == '*')) break;
+        c.advance();
+      }
+      push(Tok::Pp, from, line, col);
+      at_line_start = false;
+      continue;
+    }
+    at_line_start = false;
+
+    if (ch == '/' && c.peek(1) == '/') {
+      while (!c.done() && c.peek() != '\n') c.advance();
+      push(Tok::Comment, from, line, col);
+      continue;
+    }
+    if (ch == '/' && c.peek(1) == '*') {
+      c.advance();
+      c.advance();
+      while (!c.done() && !(c.peek() == '*' && c.peek(1) == '/')) c.advance();
+      if (!c.done()) {
+        c.advance();
+        c.advance();
+      }
+      push(Tok::Comment, from, line, col);
+      continue;
+    }
+    if (ch == '"') {
+      take_quoted(c, '"');
+      push(Tok::String, from, line, col);
+      continue;
+    }
+    if (ch == '\'') {
+      take_quoted(c, '\'');
+      push(Tok::CharLit, from, line, col);
+      continue;
+    }
+    if (ch == 'R' && c.peek(1) == '"') {
+      take_raw_string(c);
+      push(Tok::String, from, line, col);
+      continue;
+    }
+    if (ident_start(ch)) {
+      while (!c.done() && ident_cont(c.peek())) c.advance();
+      // String prefixes (u8"x", L"x"): the quote follows directly.
+      if (c.peek() == '"') {
+        take_quoted(c, '"');
+        push(Tok::String, from, line, col);
+      } else {
+        push(Tok::Ident, from, line, col);
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(ch))) {
+      // Good enough for rule matching: digits, dots, exponent signs, and
+      // type suffixes glued together (0x1p-3f, 1'000'000ULL, 1.5e-3).
+      while (!c.done()) {
+        const char d = c.peek();
+        if (ident_cont(d) || d == '.' || d == '\'') {
+          c.advance();
+          continue;
+        }
+        if ((d == '+' || d == '-') && !c.done()) {
+          const char prev = c.slice(from).back();
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            c.advance();
+            continue;
+          }
+        }
+        break;
+      }
+      push(Tok::Number, from, line, col);
+      continue;
+    }
+
+    // Punctuation. Keep "::" and "->" whole — the rules key on them.
+    if (ch == ':' && c.peek(1) == ':') {
+      c.advance();
+      c.advance();
+      push(Tok::Punct, from, line, col);
+      continue;
+    }
+    if (ch == '-' && c.peek(1) == '>') {
+      c.advance();
+      c.advance();
+      push(Tok::Punct, from, line, col);
+      continue;
+    }
+    c.advance();
+    push(Tok::Punct, from, line, col);
+  }
+  return out;
+}
+
+}  // namespace bento::lint

@@ -1,0 +1,41 @@
+// bentolint C++ lexer.
+//
+// A real tokenizer, not a regex pass: comments, string/char literals
+// (including raw strings) and preprocessor directives become single opaque
+// tokens, so rule matching over identifiers can never fire on the word
+// "new" inside a doc comment or a log string. Tokens are views into the
+// source buffer handed to run(); the buffer must outlive them.
+//
+// Dependency-free C++17 on purpose — this tool must build before anything
+// else in the tree does, with nothing but a compiler.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace bento::lint {
+
+enum class Tok : std::uint8_t {
+  Ident,    // identifiers and keywords (the rule engine tells them apart)
+  Number,   // integer/float literal, any base
+  String,   // "..." or R"delim(...)delim", quotes included
+  CharLit,  // '...'
+  Punct,    // one operator/punctuator; "::", "->", "=>" kept whole
+  Comment,  // // to end of line, or /* ... */, markers included
+  Pp,       // one whole preprocessor directive (with continuations)
+};
+
+struct Token {
+  Tok kind;
+  std::string_view text;
+  int line = 1;  // 1-based line of the first character
+  int col = 1;   // 1-based column of the first character
+};
+
+/// Tokenizes `src`. Never throws: malformed input (unterminated string or
+/// block comment) is absorbed into a final token rather than rejected,
+/// because a linter must keep going on code the compiler would refuse.
+std::vector<Token> lex(std::string_view src);
+
+}  // namespace bento::lint

@@ -1,0 +1,179 @@
+// bentolint CLI — run the BL1xx invariant catalog over the tree.
+//
+//   bentolint [options] <path>...            paths: files or directories
+//     --mode=warn|enforce   warn: report, exit 0. enforce: exit 1 on any
+//                           diagnostic not covered by the baseline.
+//     --baseline FILE       accepted-fingerprint file (see DESIGN.md §10)
+//     --fix-baseline        rewrite the baseline FILE from this run and exit
+//     --json                byte-stable machine output instead of text
+//     --root DIR            repo root; paths are reported relative to it
+//
+// CI runs `bentolint --mode=enforce --baseline tools/bentolint/baseline.txt
+// src tools bench` from the repo root (the `lint` CMake target wraps the
+// same invocation), so a new diagnostic anywhere fails the build unless it
+// is fixed, suppressed with a reason, or deliberately baselined.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bentolint/analyzer.hpp"
+
+namespace fs = std::filesystem;
+using bento::lint::Diagnostic;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
+}
+
+bool excluded(const std::string& rel) {
+  // Build trees and the lint-rule fixtures (which violate on purpose).
+  return rel.find("build/") != std::string::npos ||
+         rel.find("lint_fixtures/") != std::string::npos ||
+         rel.find("CMakeFiles/") != std::string::npos;
+}
+
+std::string rel_to_root(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, root, ec);
+  std::string s = (ec || rel.empty()) ? p.generic_string() : rel.generic_string();
+  return s;
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--mode=warn|enforce] [--baseline FILE] [--fix-baseline]"
+               " [--json] [--root DIR] <path>...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mode = "warn";
+  std::string baseline_path;
+  std::string root = ".";
+  bool fix_baseline = false;
+  bool json = false;
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--mode=", 0) == 0) {
+      mode = arg.substr(7);
+      if (mode != "warn" && mode != "enforce") return usage(argv[0]);
+    } else if (arg == "--baseline") {
+      if (++i >= argc) return usage(argv[0]);
+      baseline_path = argv[i];
+    } else if (arg == "--fix-baseline") {
+      fix_baseline = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--root") {
+      if (++i >= argc) return usage(argv[0]);
+      root = argv[i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return usage(argv[0]);
+  if (fix_baseline && baseline_path.empty()) {
+    std::cerr << "bentolint: --fix-baseline needs --baseline FILE\n";
+    return 2;
+  }
+
+  const fs::path root_path = fs::path(root);
+  std::vector<std::string> files;
+  for (const std::string& in : inputs) {
+    const fs::path p = fs::path(in).is_absolute() ? fs::path(in)
+                                                  : root_path / in;
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (fs::recursive_directory_iterator it(p, ec), end; it != end;
+           it.increment(ec)) {
+        if (ec) break;
+        if (it->is_regular_file(ec) && lintable(it->path())) {
+          files.push_back(it->path().string());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p.string());
+    } else {
+      std::cerr << "bentolint: no such path: " << in << "\n";
+      return 2;
+    }
+  }
+
+  // Sort by repo-relative path so output order never depends on directory
+  // enumeration order (the --json determinism contract).
+  std::vector<bento::lint::SourceFile> sources;
+  for (const std::string& f : files) {
+    std::string rel = rel_to_root(f, root_path);
+    if (excluded(rel)) continue;
+    std::ifstream ifs(f, std::ios::binary);
+    if (!ifs) {
+      std::cerr << "bentolint: cannot read " << f << "\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << ifs.rdbuf();
+    sources.push_back({std::move(rel), ss.str()});
+  }
+  std::sort(sources.begin(), sources.end(),
+            [](const auto& a, const auto& b) { return a.rel_path < b.rel_path; });
+  sources.erase(std::unique(sources.begin(), sources.end(),
+                            [](const auto& a, const auto& b) {
+                              return a.rel_path == b.rel_path;
+                            }),
+                sources.end());
+
+  const std::vector<Diagnostic> diags = bento::lint::analyze_files(sources);
+
+  if (fix_baseline) {
+    std::ofstream ofs(baseline_path, std::ios::binary | std::ios::trunc);
+    if (!ofs) {
+      std::cerr << "bentolint: cannot write baseline " << baseline_path << "\n";
+      return 2;
+    }
+    bento::lint::write_baseline(ofs, diags);
+    std::cerr << "bentolint: baseline rewritten with " << diags.size()
+              << " diagnostic(s): " << baseline_path << "\n";
+    return 0;
+  }
+
+  std::set<std::uint64_t> baseline;
+  if (!baseline_path.empty()) {
+    std::ifstream ifs(baseline_path, std::ios::binary);
+    if (!ifs) {
+      std::cerr << "bentolint: cannot read baseline " << baseline_path << "\n";
+      return 2;
+    }
+    baseline = bento::lint::load_baseline(ifs);
+  }
+  const std::vector<Diagnostic> fresh =
+      bento::lint::subtract_baseline(diags, baseline);
+
+  if (json) {
+    std::cout << bento::lint::to_json(fresh);
+  } else {
+    bento::lint::print_text(std::cout, fresh);
+    std::cerr << "bentolint: " << sources.size() << " file(s), "
+              << diags.size() << " diagnostic(s), " << fresh.size()
+              << " not in baseline\n";
+  }
+  if (mode == "enforce" && !fresh.empty()) {
+    std::cerr << "bentolint: FAIL (enforce): fix the diagnostic, suppress it "
+                 "with `// bentolint: allow(BLxxx reason)`, or baseline it "
+                 "with --fix-baseline\n";
+    return 1;
+  }
+  return 0;
+}
