@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <new>
+#include <string_view>
 #include <vector>
 
 #include "chaos/chaos.hpp"
@@ -552,4 +553,25 @@ static void BM_NetworkSendChaosIdleOverhead(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkSendChaosIdleOverhead);
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): a --shards flag (default 1)
+// selects the simulator worker count via the BENTO_SIM_SHARDS env override,
+// so the 0-allocs/cell and span-overhead gates run against both the serial
+// and the sharded dispatch paths (DESIGN.md §12).
+int main(int argc, char** argv) {
+  int out = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--shards" && i + 1 < argc) {
+      ::setenv("BENTO_SIM_SHARDS", argv[i + 1], 1);
+      ++i;
+      continue;
+    }
+    argv[out + 1] = argv[i];  // compact: google-benchmark must not see --shards
+    ++out;
+  }
+  argc = out + 1;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -42,11 +42,17 @@ if [[ ! -x "${bin}" ]]; then
   echo "error: ${bin} not built (cmake --build ${build_dir} --target datapath)" >&2
   exit 1
 fi
+scaling_bin="${build_dir}/bench/scalability"
+if [[ ! -x "${scaling_bin}" ]]; then
+  echo "error: ${scaling_bin} not built (cmake --build ${build_dir} --target scalability)" >&2
+  exit 1
+fi
 
 raw_json="$(mktemp)"
+scaling_json="$(mktemp)"
 baseline_copy="$(mktemp)"
 obs_baseline_copy="$(mktemp)"
-trap 'rm -f "${raw_json}" "${baseline_copy}" "${obs_baseline_copy}"' EXIT
+trap 'rm -f "${raw_json}" "${scaling_json}" "${baseline_copy}" "${obs_baseline_copy}"' EXIT
 
 # Snapshot the committed baselines before anything overwrites them (the
 # default out paths are the baseline files themselves).
@@ -56,16 +62,22 @@ if [[ -f "${obs_baseline_json}" ]]; then cp "${obs_baseline_json}" "${obs_baseli
 "${bin}" --benchmark_format=json --benchmark_min_time="${min_time}" \
   >"${raw_json}"
 
+# Shard-scaling sweep (DESIGN.md §12): region-sharded simulator throughput
+# at shards 1/2/4/8 on the large multi-region topology.
+"${scaling_bin}" >"${scaling_json}"
+
 python3 - "${raw_json}" "${out_json}" "${obs_out_json}" \
   "${baseline_copy}" "${obs_baseline_copy}" "${trajectory_jsonl}" \
-  "${git_rev}" "${BENCH_BASELINE_SKIP:-0}" <<'PY'
+  "${git_rev}" "${BENCH_BASELINE_SKIP:-0}" "${scaling_json}" <<'PY'
 import json
 import sys
 
 (raw_path, out_path, obs_out_path, baseline_path, obs_baseline_path,
- trajectory_path, git_rev, baseline_skip) = sys.argv[1:9]
+ trajectory_path, git_rev, baseline_skip, scaling_path) = sys.argv[1:10]
 with open(raw_path) as f:
     raw = json.load(f)
+with open(scaling_path) as f:
+    scaling = json.load(f)
 
 by_name = {b["name"]: b for b in raw["benchmarks"]}
 
@@ -218,6 +230,26 @@ if chaos_gate["extra_allocs_per_cell"] > 0:
 if chaos_gate["overhead_pct"] > 2.0:
     failures.append("idle chaos hooks cost the network send path above 2%")
 
+# ---- Shard-scaling gate (DESIGN.md §12) ---------------------------------
+# shards=4 must deliver >= 2.0x the cells/sec of shards=1 on the large
+# multi-region topology. Parallel speedup needs parallel hardware: on a
+# host with fewer than 4 CPUs the ratio is physically unreachable, so the
+# gate records a skip (with the reason) instead of a meaningless failure.
+shard_cps = {str(p["shards"]): round(p["cells_per_sec"])
+             for p in scaling["sweep"]}
+shard_speedup = round(scaling["speedup_4v1"], 3)
+scaling_cpus = scaling["host_cpus"]
+if scaling_cpus >= 4:
+    shard_gate = "pass"
+    if shard_speedup < 2.0:
+        shard_gate = "fail"
+        failures.append(
+            f"shards=4 speedup {shard_speedup} below 2.0x over shards=1")
+else:
+    shard_gate = f"skip (host_cpus={scaling_cpus} < 4)"
+print(f"shard scaling: cells/sec {shard_cps}, "
+      f"speedup_4v1={shard_speedup}, gate={shard_gate}")
+
 # ---- Regression gate against the committed baselines --------------------
 # Only host-independent metrics are gated; raw cells/s and MB/s depend on
 # the runner and would make CI flaky.
@@ -293,6 +325,9 @@ trajectory_entry = {
         obs["relay_datapath_3hop"]["span_traced_allocs_per_cell"],
     "chaos_idle_overhead_pct": chaos_gate["overhead_pct"],
     "chaos_idle_extra_allocs_per_cell": chaos_gate["extra_allocs_per_cell"],
+    "shard_cells_per_sec": shard_cps,
+    "shard_speedup_4v1": shard_speedup,
+    "shard_gate": shard_gate,
     "gate": "skip" if baseline_skip == "1" else ("fail" if failures else "pass"),
 }
 with open(trajectory_path, "a") as f:

@@ -16,9 +16,15 @@
 // lifecycle events and a full circuit build with TTFB/TTLB marks.
 //
 // Build: cmake --build build --target flight_recorder
-// Run:   ./build/examples/flight_recorder [output-dir]
+// Run:   ./build/examples/flight_recorder [output-dir] [--shards N]
+//
+// --shards N (default 1) runs the scenario on the region-sharded simulator
+// (DESIGN.md §12): trace.jsonl and stats.json must come out byte-identical
+// at every shard count — diff the artifacts across runs to prove it.
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <string>
 
 #include "core/world.hpp"
 #include "obs/metrics.hpp"
@@ -40,7 +46,18 @@ def on_message(msg):
 }
 
 int main(int argc, char** argv) {
-  const std::string out_dir = argc > 1 ? argv[1] : ".";
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--shards" && i + 1 < argc) {
+      // The world builds its own Simulator; the env override (parallel to
+      // BENTO_CHAOS_SEED) is how callers select the shard count without a
+      // constructor to reach.
+      ::setenv("BENTO_SIM_SHARDS", argv[++i], 1);
+    } else {
+      out_dir = arg;
+    }
+  }
 
   // Recorder on before the world exists so circuit builds are captured too.
   // The SimDispatch firehose stays enabled here on purpose — the Chrome

@@ -1,5 +1,11 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <stdexcept>
+
 #include "util/annotations.hpp"
 #include "util/log.hpp"
 #include "util/simclock.hpp"
@@ -7,75 +13,160 @@
 namespace bento::sim {
 
 namespace {
+
 std::int64_t sim_clock_thunk(const void* ctx) {
   return static_cast<const Simulator*>(ctx)->now().micros();
 }
+
+// std::push_heap/pop_heap are max-heaps; invert `before` to pop the minimum.
+struct EventAfter {
+  template <typename E>
+  bool operator()(const E& a, const E& b) const {
+    return b.before(a);
+  }
+};
+
+// Deterministic seed split for region Rng streams (splitmix64 finalizer):
+// region r's stream is a pure function of (master seed, r), so it is
+// invariant under the shard count. Region 0 keeps Rng(seed) itself.
+std::uint64_t split_seed(std::uint64_t seed, std::uint32_t region) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (region + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Restores the dispatch TLS (exec context, span, trace region) even when a
+// handler throws: a contract violation surfacing as an exception must not
+// leak a dangling region pointer into the next simulation on this thread.
+struct DispatchGuard {
+  detail::ExecCtx saved;
+  explicit DispatchGuard(const detail::ExecCtx& cur) : saved(cur) {}
+  ~DispatchGuard() {
+    detail::g_exec = saved;
+    obs::set_current_span(obs::SpanContext{});
+    obs::set_trace_region(0);
+  }
+};
+
+unsigned shards_from_env() {
+  // BL101 exemption rationale: the override selects the worker count, which
+  // by construction cannot change any simulation result — determinism is
+  // the point of the sharded design (DESIGN.md §12).
+  const char* env = std::getenv("BENTO_SIM_SHARDS");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || v < 1) return 1;
+  return static_cast<unsigned>(v);
+}
+
 }  // namespace
 
-Simulator::Simulator(std::uint64_t seed)
+Simulator::Simulator(std::uint64_t seed, unsigned shards)
     : now_(Time::from_micros(0)),
-      rng_(seed),
+      seed_(seed),
       m_events_(obs::registry().counter("sim.events")),
       m_dispatch_lag_us_(obs::registry().histogram("sim.dispatch_lag_us")),
       m_pending_(obs::registry().gauge("sim.queue_depth")) {
+  if (shards == 0) shards = shards_from_env();
+  shards_ = std::clamp(shards, 1u, kMaxShards);
+  auto r0 = std::make_unique<Region>();
+  r0->id = 0;
+  r0->rng = util::Rng(seed);
+  regions_.push_back(std::move(r0));
   util::install_sim_clock(&sim_clock_thunk, this);
 }
 
-Simulator::~Simulator() { util::uninstall_sim_clock(this); }
+Simulator::~Simulator() {
+  stop_pool();
+  util::uninstall_sim_clock(this);
+}
 
-BENTO_HOT void Simulator::schedule(Time t, EventFn fn) {
-  if (t < now_) t = now_;
+std::uint32_t Simulator::add_region() {
+  if (regions_.size() >= kMaxRegions) {
+    throw std::length_error("Simulator::add_region: region limit reached");
+  }
+  const auto id = static_cast<std::uint32_t>(regions_.size());
+  auto r = std::make_unique<Region>();
+  r->id = id;
+  r->now = now_;
+  r->rng = util::Rng(split_seed(seed_, id));
+  regions_.push_back(std::move(r));
+  return id;
+}
+
+BENTO_HOT void Simulator::schedule_in(Region& r, Time t, EventFn fn) {
+  const Time tn = now();
+  if (t < tn) t = tn;
   // bentolint: allow(BL102 heap vector growth, amortized; events themselves are pooled)
-  heap_.push_back(Event{t, now_, next_seq_++, obs::current_span(), std::move(fn)});
-  sift_up(heap_.size() - 1);
+  r.heap.push_back(Event{t, tn, r.next_seq++, r.id, obs::current_span(), std::move(fn)});
+  std::push_heap(r.heap.begin(), r.heap.end(), EventAfter{});
 }
 
-BENTO_HOT void Simulator::sift_up(std::size_t i) {
-  while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
-    if (!heap_[i].before(heap_[parent])) break;
-    std::swap(heap_[i], heap_[parent]);
-    i = parent;
+void Simulator::post_boxed(Region& origin, std::uint32_t target, Time t, EventFn fn) {
+  if (target >= regions_.size()) {
+    throw std::out_of_range("Simulator::post: unknown region");
   }
-}
-
-BENTO_HOT void Simulator::sift_down(std::size_t i) {
-  const std::size_t n = heap_.size();
-  for (;;) {
-    std::size_t best = i;
-    const std::size_t l = 2 * i + 1;
-    const std::size_t r = 2 * i + 2;
-    if (l < n && heap_[l].before(heap_[best])) best = l;
-    if (r < n && heap_[r].before(heap_[best])) best = r;
-    if (best == i) return;
-    std::swap(heap_[i], heap_[best]);
-    i = best;
+  const Time tn = now();
+  if (t < tn) t = tn;
+  Event ev{t, tn, origin.next_seq++, origin.id, obs::current_span(), std::move(fn)};
+  const detail::ExecCtx& x = detail::g_exec;
+  if (x.sim == this && x.in_window) {
+    // Conservative-lookahead contract: inside a window, a cross-region event
+    // must land at or beyond the horizon (the Network's minimum cross-region
+    // propagation delay guarantees this; anything closer would have to run
+    // inside a window another worker is already executing).
+    if (t < horizon_) {
+      throw std::logic_error(
+          "Simulator::post: cross-region event inside the lookahead window");
+    }
+    // bentolint: allow(BL102 mailbox growth is amortized; capacity is kept across windows)
+    mail_[origin.id * mail_regions_ + target].push_back(std::move(ev));
+    return;
   }
+  std::vector<Event>& heap = regions_[target]->heap;
+  // bentolint: allow(BL102 heap vector growth, amortized; events themselves are pooled)
+  heap.push_back(std::move(ev));
+  std::push_heap(heap.begin(), heap.end(), EventAfter{});
 }
 
-BENTO_HOT Simulator::Event Simulator::pop_top() {
-  Event top = std::move(heap_.front());
-  heap_.front() = std::move(heap_.back());
-  heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
-  return top;
+void Simulator::schedule_exclusive(Time t, EventFn fn) {
+  const detail::ExecCtx& x = detail::g_exec;
+  if (x.sim == this && x.in_window && regions_.size() > 1) {
+    // Single-region windows run on the coordinating thread alone, where the
+    // exclusive heap is safe to touch; under parallel regions it is not.
+    throw std::logic_error(
+        "Simulator::at_exclusive: may not be called from inside a parallel window");
+  }
+  const Time tn = now();
+  if (t < tn) t = tn;
+  excl_heap_.push_back(
+      Event{t, tn, excl_next_seq_++, kNoRegion, obs::current_span(), std::move(fn)});
+  std::push_heap(excl_heap_.begin(), excl_heap_.end(), EventAfter{});
 }
 
-BENTO_HOT bool Simulator::step() {
-  if (heap_.empty()) return false;
-  // Move the event out before running so handlers can schedule freely.
-  Event ev = pop_top();
-  now_ = ev.when;
-  ++executed_;
+BENTO_HOT void Simulator::exec_region_event(Region& r) {
+  std::pop_heap(r.heap.begin(), r.heap.end(), EventAfter{});
+  Event ev = std::move(r.heap.back());
+  r.heap.pop_back();
+  r.now = ev.when;
+  detail::ExecCtx& x = detail::g_exec;
+  DispatchGuard guard(x);
+  x.sim = this;
+  x.region = &r;
+  obs::set_trace_region(r.id);
+  obs::set_trace_order(ev.when.micros(), ev.origin, ev.seq);
+  ++r.executed;
   m_events_.inc();
   m_dispatch_lag_us_.record((ev.when - ev.queued_at).count_micros());
-  m_pending_.set(static_cast<std::int64_t>(heap_.size()));
-  obs::trace(obs::Ev::SimDispatch, 0, heap_.size());
+  m_pending_.set(static_cast<std::int64_t>(r.heap.size()));
+  obs::trace(obs::Ev::SimDispatch, 0, r.heap.size());
   // The predicate gate keeps the formatting cost out of the dispatch loop:
   // a Trace-level sink sees every event, everyone else pays one branch.
   if (util::log_enabled(util::LogLevel::Trace)) {
-    util::log(util::LogLevel::Trace, "sim", "dispatch #", executed_, " at t=",
-              now_.micros(), "us, ", heap_.size(), " pending");
+    util::log(util::LogLevel::Trace, "sim", "dispatch #", r.executed, " at t=",
+              r.now.micros(), "us, ", r.heap.size(), " pending");
   }
   // Dispatch under the span context captured at schedule() so downstream
   // instrumentation (and any events this handler schedules) inherit the
@@ -83,20 +174,301 @@ BENTO_HOT bool Simulator::step() {
   // events.
   obs::set_current_span(ev.ctx);
   ev.fn();
-  obs::set_current_span(obs::SpanContext{});
+}
+
+void Simulator::exec_exclusive_event() {
+  std::pop_heap(excl_heap_.begin(), excl_heap_.end(), EventAfter{});
+  Event ev = std::move(excl_heap_.back());
+  excl_heap_.pop_back();
+  if (now_ < ev.when) now_ = ev.when;
+  ++excl_executed_;
+  m_events_.inc();
+  m_dispatch_lag_us_.record((ev.when - ev.queued_at).count_micros());
+  m_pending_.set(static_cast<std::int64_t>(excl_heap_.size()));
+  obs::set_trace_region(0);
+  obs::set_trace_order(ev.when.micros(), kNoRegion, ev.seq);
+  obs::trace(obs::Ev::SimDispatch, 0, excl_heap_.size());
+  if (util::log_enabled(util::LogLevel::Trace)) {
+    util::log(util::LogLevel::Trace, "sim", "exclusive #", excl_executed_, " at t=",
+              now_.micros(), "us, ", excl_heap_.size(), " pending");
+  }
+  DispatchGuard guard(detail::g_exec);
+  obs::set_current_span(ev.ctx);
+  ev.fn();
+}
+
+BENTO_HOT bool Simulator::step() {
+  Region* best = nullptr;
+  for (auto& rp : regions_) {
+    if (rp->heap.empty()) continue;
+    if (best == nullptr || rp->heap.front().before(best->heap.front())) best = rp.get();
+  }
+  if (!excl_heap_.empty() &&
+      (best == nullptr || excl_heap_.front().before(best->heap.front()))) {
+    exec_exclusive_event();
+    return true;
+  }
+  if (best == nullptr) return false;
+  exec_region_event(*best);
+  if (now_ < best->now) now_ = best->now;
   return true;
 }
 
 void Simulator::run(std::uint64_t limit) {
-  for (std::uint64_t i = 0; i < limit && step(); ++i) {
+  const bool windowed = limit == UINT64_MAX &&
+                        (regions_.size() > 1 || shards_ > 1) &&
+                        (regions_.size() == 1 || lookahead_ > Duration{});
+  if (windowed) {
+    run_windowed(Time{}, /*bounded=*/false);
+    return;
   }
+  run_serial(limit, Time{}, /*bounded=*/false);
 }
 
 void Simulator::run_until(Time deadline) {
-  while (!heap_.empty() && !(deadline < heap_.front().when)) {
-    step();
+  const bool windowed = (regions_.size() > 1 || shards_ > 1) &&
+                        (regions_.size() == 1 || lookahead_ > Duration{});
+  if (windowed) {
+    run_windowed(deadline, /*bounded=*/true);
+    return;
   }
+  run_serial(UINT64_MAX, deadline, /*bounded=*/true);
   if (now_ < deadline) now_ = deadline;
+  sync_region_clocks(now_);
+}
+
+void Simulator::run_serial(std::uint64_t limit, Time deadline, bool bounded) {
+  for (std::uint64_t i = 0; i < limit; ++i) {
+    if (bounded) {
+      const Event* mn = nullptr;
+      for (const auto& rp : regions_) {
+        if (!rp->heap.empty() && (mn == nullptr || rp->heap.front().before(*mn))) {
+          mn = &rp->heap.front();
+        }
+      }
+      if (!excl_heap_.empty() && (mn == nullptr || excl_heap_.front().before(*mn))) {
+        mn = &excl_heap_.front();
+      }
+      if (mn == nullptr || deadline < mn->when) break;
+    }
+    if (!step()) break;
+  }
+}
+
+void Simulator::run_windowed(Time deadline, bool bounded) {
+  begin_parallel();
+  const bool multi = regions_.size() > 1;
+  const Time inf = Time::from_micros(std::numeric_limits<std::int64_t>::max());
+  const Duration tick = Duration::micros(1);
+  for (;;) {
+    drain_mailboxes();
+    const Event* rmin = nullptr;
+    for (const auto& rp : regions_) {
+      if (!rp->heap.empty() && (rmin == nullptr || rp->heap.front().before(*rmin))) {
+        rmin = &rp->heap.front();
+      }
+    }
+    const bool have_excl = !excl_heap_.empty();
+    if (rmin == nullptr && !have_excl) break;
+    Time tmin = rmin != nullptr ? rmin->when : excl_heap_.front().when;
+    if (have_excl && excl_heap_.front().when < tmin) tmin = excl_heap_.front().when;
+    if (bounded && deadline < tmin) break;
+    if (rmin == nullptr || (have_excl && excl_heap_.front().before(*rmin))) {
+      exec_exclusive_event();
+      continue;
+    }
+    // Window horizon: T_min + lookahead (unbounded when there is only one
+    // region), capped so exclusive events and the deadline fall between
+    // windows. Strict-< execution makes the +1µs caps inclusive bounds.
+    Time h = multi ? rmin->when + lookahead_ : inf;
+    if (have_excl) {
+      const Time cap = excl_heap_.front().when + tick;
+      if (cap < h) h = cap;
+    }
+    if (bounded) {
+      const Time cap = deadline + tick;
+      if (cap < h) h = cap;
+    }
+    run_window(h);
+    // Exclusive events due inside the closed window run now — but a region
+    // event an exclusive handler schedules at the same timestamp sorts
+    // before the *next* exclusive, exactly as the serial stepper would run
+    // them, so re-check the region heads between exclusives.
+    while (!excl_heap_.empty() && excl_heap_.front().when < h &&
+           !(bounded && deadline < excl_heap_.front().when)) {
+      const Event* rm = nullptr;
+      for (const auto& rp : regions_) {
+        if (!rp->heap.empty() && (rm == nullptr || rp->heap.front().before(*rm))) {
+          rm = &rp->heap.front();
+        }
+      }
+      if (rm != nullptr && rm->before(excl_heap_.front())) break;
+      exec_exclusive_event();
+    }
+  }
+  Time fin = now_;
+  for (const auto& rp : regions_) {
+    if (fin < rp->now) fin = rp->now;
+  }
+  if (bounded && fin < deadline) fin = deadline;
+  now_ = fin;
+  sync_region_clocks(fin);
+}
+
+void Simulator::begin_parallel() {
+  // Serial context: re-sync span-id generation here so the lazy check in
+  // span_alloc_id never writes from a worker thread mid-window.
+  obs::sync_span_generation();
+  const std::size_t n = regions_.size();
+  if (mail_regions_ != n) {
+    mail_regions_ = n;
+    mail_.clear();
+    mail_.resize(n * n);
+  }
+  owned_.assign(shards_, std::vector<Region*>{});
+  for (auto& rp : regions_) owned_[rp->id % shards_].push_back(rp.get());
+  if (shards_ > 1) ensure_pool();
+}
+
+void Simulator::run_window(Time horizon) {
+  // Multi-region windows buffer trace records per region and merge them at
+  // the barrier in dispatch order, so the ring content is independent of
+  // the shard count. Single-region simulations write the ring directly.
+  const bool buffer = regions_.size() > 1;
+  if (buffer) obs::recorder().begin_window(regions_.size());
+  if (workers_.empty()) {
+    horizon_ = horizon;
+    run_worker_window(0, horizon);
+  } else {
+    {
+      // bentolint: allow(BL105 round publish under the pool mutex, DESIGN.md §12)
+      std::lock_guard<std::mutex> lk(pool_mx_);
+      horizon_ = horizon;
+      ++round_;
+      pending_workers_ = static_cast<unsigned>(workers_.size());
+    }
+    pool_cv_.notify_all();
+    run_worker_window(0, horizon);
+    // bentolint: allow(BL105 lookahead barrier wait, DESIGN.md §12)
+    std::unique_lock<std::mutex> lk(pool_mx_);
+    pool_done_cv_.wait(lk, [this] { return pending_workers_ == 0; });
+  }
+  if (buffer) obs::recorder().end_window();
+  if (win_error_) {
+    std::exception_ptr e = win_error_;
+    win_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void Simulator::run_worker_window(unsigned worker, Time horizon) {
+  detail::ExecCtx& x = detail::g_exec;
+  x.sim = this;
+  x.region = nullptr;
+  x.in_window = true;
+  std::vector<Region*>& owned = owned_[worker];
+  // With a single region the (sole) window runs unbounded on this thread;
+  // it must yield to exclusive events as they come due mid-window.
+  const bool solo = regions_.size() == 1;
+  try {
+    for (;;) {
+      Region* best = nullptr;
+      for (Region* r : owned) {
+        if (r->heap.empty() || !(r->heap.front().when < horizon)) continue;
+        if (best == nullptr || r->heap.front().before(best->heap.front())) best = r;
+      }
+      if (best == nullptr) break;
+      if (solo && !excl_heap_.empty() && excl_heap_.front().before(best->heap.front())) {
+        break;
+      }
+      exec_region_event(*best);
+    }
+  } catch (...) {
+    // An exception on a worker must not escape the pool: park it and rethrow
+    // on the coordinating thread once every worker reaches the barrier.
+    // bentolint: allow(BL105 worker-exception capture under the pool mutex, DESIGN.md §12)
+    std::lock_guard<std::mutex> lk(pool_mx_);
+    if (!win_error_) win_error_ = std::current_exception();
+  }
+  x = detail::ExecCtx{};
+}
+
+void Simulator::drain_mailboxes() {
+  for (std::size_t i = 0; i < mail_.size(); ++i) {
+    std::vector<Event>& box = mail_[i];
+    if (box.empty()) continue;
+    std::vector<Event>& heap = regions_[i % mail_regions_]->heap;
+    for (Event& ev : box) {
+      heap.push_back(std::move(ev));
+      std::push_heap(heap.begin(), heap.end(), EventAfter{});
+    }
+    box.clear();  // keeps capacity for the next window
+  }
+}
+
+void Simulator::ensure_pool() {
+  if (!workers_.empty()) return;
+  workers_.reserve(shards_ - 1);
+  for (unsigned w = 1; w < shards_; ++w) {
+    // bentolint: allow(BL105 lazily spawned window workers, joined in stop_pool, DESIGN.md §12)
+    workers_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+void Simulator::stop_pool() {
+  if (workers_.empty()) return;
+  {
+    // bentolint: allow(BL105 pool shutdown handshake, DESIGN.md §12)
+    std::lock_guard<std::mutex> lk(pool_mx_);
+    pool_quit_ = true;
+  }
+  pool_cv_.notify_all();
+  // bentolint: allow(BL105 joining the window workers, DESIGN.md §12)
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  pool_quit_ = false;
+}
+
+void Simulator::worker_main(unsigned worker) {
+  obs::set_metric_worker(worker);
+  std::uint64_t seen = 0;
+  for (;;) {
+    Time h{};
+    {
+      // bentolint: allow(BL105 worker round wait, DESIGN.md §12)
+      std::unique_lock<std::mutex> lk(pool_mx_);
+      pool_cv_.wait(lk, [&] { return pool_quit_ || round_ != seen; });
+      if (pool_quit_) return;
+      seen = round_;
+      h = horizon_;
+    }
+    run_worker_window(worker, h);
+    {
+      // bentolint: allow(BL105 barrier arrival under the pool mutex, DESIGN.md §12)
+      std::lock_guard<std::mutex> lk(pool_mx_);
+      --pending_workers_;
+      if (pending_workers_ == 0) pool_done_cv_.notify_all();
+    }
+  }
+}
+
+void Simulator::sync_region_clocks(Time t) {
+  for (auto& rp : regions_) {
+    if (rp->now < t) rp->now = t;
+  }
+}
+
+std::uint64_t Simulator::events_executed() const {
+  std::uint64_t total = excl_executed_;
+  for (const auto& rp : regions_) total += rp->executed;
+  return total;
+}
+
+std::size_t Simulator::pending() const {
+  std::size_t total = excl_heap_.size();
+  for (const auto& rp : regions_) total += rp->heap.size();
+  for (const auto& box : mail_) total += box.size();
+  return total;
 }
 
 }  // namespace bento::sim

@@ -1,7 +1,8 @@
-// Golden fixture for BL105 (concurrency inventory): raw thread/mutex/atomic
-// in the single-threaded sim/core tree. bentolint_test analyzes this file
-// twice — under a virtual src/sim/ path (fires) and a virtual src/tor/ path
-// (out of scope, silent) — to pin the scoping rule itself.
+// Golden fixture for BL105 (concurrency allowlist): raw thread/mutex/atomic
+// in the sim/core tree flags unless the declaration carries a
+// `// bentolint: allow(BL105 <why>)` sanction (DESIGN.md §12). bentolint_test
+// analyzes this file twice — under a virtual src/sim/ path (fires) and a
+// virtual src/tor/ path (out of scope, silent) — to pin the scoping rule.
 #include <atomic>
 #include <mutex>
 #include <thread>

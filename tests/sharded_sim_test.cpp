@@ -1,0 +1,261 @@
+// Sharded-simulator determinism suite (DESIGN.md §12): the trace a
+// simulation writes must be a pure function of (seed, topology, region
+// split) — byte-identical at every shard count, with and without a chaos
+// plan, including faults that span region boundaries. Also covers the
+// contracts the parallel executor enforces at runtime: the conservative
+// lookahead bound on cross-region posts and the exclusive-event barrier.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos.hpp"
+#include "obs/trace.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace bch = bento::chaos;
+namespace bo = bento::obs;
+namespace bs = bento::sim;
+namespace bu = bento::util;
+
+using bu::Duration;
+using bu::Time;
+
+namespace {
+
+/// Decrements the hop budget in byte 0 and echoes the message back until it
+/// reaches zero — deterministic traffic that drains on its own.
+class EchoHandler : public bs::MessageHandler {
+ public:
+  bs::Network* net = nullptr;
+  bs::NodeId self = bs::kInvalidNode;
+
+  void on_message(bs::NodeId from, bu::Bytes data) override {
+    if (data.empty() || data[0] == 0) return;
+    data[0] -= 1;
+    net->send(self, from, std::move(data));
+  }
+};
+
+constexpr int kRegions = 4;
+constexpr int kPerRegion = 3;
+
+/// Builds a 4-region / 12-node topology (2 ms intra-region links, 40 ms
+/// default cross-region latency), kicks off intra- and cross-region echo
+/// traffic — all at the same timestamp, to stress tie-breaking — runs to
+/// quiescence and returns the flight-recorder capture.
+std::string run_partitioned(std::uint64_t seed, unsigned shards, bool with_chaos) {
+  bs::Simulator sim(seed, shards);
+  for (int r = 1; r < kRegions; ++r) sim.add_region();
+  bs::Network net(sim);
+  std::vector<std::unique_ptr<EchoHandler>> handlers;
+  std::vector<bs::NodeId> ids;
+  for (int r = 0; r < kRegions; ++r) {
+    for (int i = 0; i < kPerRegion; ++i) {
+      auto h = std::make_unique<EchoHandler>();
+      const bs::NodeId id = net.add_node(bs::NodeSpec{.name = "node"}, h.get());
+      net.set_region(id, static_cast<std::uint32_t>(r));
+      h->net = &net;
+      h->self = id;
+      ids.push_back(id);
+      handlers.push_back(std::move(h));
+    }
+  }
+  for (int r = 0; r < kRegions; ++r) {
+    for (int i = 0; i < kPerRegion; ++i) {
+      for (int j = i + 1; j < kPerRegion; ++j) {
+        net.set_latency(ids[r * kPerRegion + i], ids[r * kPerRegion + j],
+                        Duration::millis(2));
+      }
+    }
+  }
+  // One explicit cross-region link, slower than the default: the lookahead
+  // must still be the 40 ms default covering the unlisted cross pairs.
+  net.set_latency(ids[0], ids[kPerRegion], Duration::millis(50));
+  EXPECT_EQ(sim.lookahead(), Duration::millis(40));
+
+  bch::ChaosEngine chaos(sim, net);
+  if (with_chaos) {
+    bch::ChaosPlan plan;
+    plan.seed = 7;
+    plan.links.push_back(bch::LinkFault{.a = bch::kAnyNode,
+                                        .b = bch::kAnyNode,
+                                        .drop_p = 0.05,
+                                        .dup_p = 0.05,
+                                        .jitter_p = 0.10});
+    // Partition and crash both span shard boundaries: the cut endpoints live
+    // in regions 0 and 1, the crashed node in region 2.
+    plan.partitions.push_back(bch::Partition{.a = ids[0],
+                                             .b = ids[kPerRegion],
+                                             .start = Time::from_micros(200'000),
+                                             .heal = Duration::millis(300)});
+    plan.crashes.push_back(bch::NodeCrash{.node = ids[2 * kPerRegion],
+                                          .at = Time::from_micros(250'000),
+                                          .restart_after = Duration::millis(200)});
+    chaos.install(std::move(plan));
+  }
+
+  bo::recorder().enable(1 << 15);
+  const Time start = Time::from_micros(10'000);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto region = static_cast<std::uint32_t>(i / kPerRegion);
+    const bs::NodeId src = ids[i];
+    const bs::NodeId intra = ids[(i % kPerRegion + 1) % kPerRegion + (i / kPerRegion) * kPerRegion];
+    const bs::NodeId cross = ids[(i + kPerRegion) % ids.size()];
+    // Posted into the sender's region: send() must run on the worker that
+    // owns the sending node's link queues.
+    sim.post(region, start, [&net, src, intra, cross] {
+      net.send(src, intra, bu::Bytes{5});
+      net.send(src, cross, bu::Bytes{3});
+    });
+  }
+  sim.run();
+  std::ostringstream os;
+  bo::recorder().export_jsonl(os);
+  bo::recorder().disable();
+  return os.str();
+}
+
+}  // namespace
+
+TEST(ShardedSim, TraceByteIdenticalAcrossShardCounts) {
+  const std::string one = run_partitioned(11, 1, /*with_chaos=*/false);
+  const std::string two = run_partitioned(11, 2, /*with_chaos=*/false);
+  const std::string four = run_partitioned(11, 4, /*with_chaos=*/false);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, four);
+}
+
+TEST(ShardedSim, ChaosTraceByteIdenticalAcrossShardCounts) {
+  const std::string one = run_partitioned(23, 1, /*with_chaos=*/true);
+  const std::string two = run_partitioned(23, 2, /*with_chaos=*/true);
+  const std::string four = run_partitioned(23, 4, /*with_chaos=*/true);
+  EXPECT_FALSE(one.empty());
+  EXPECT_NE(one.find("chaos.fault"), std::string::npos);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, four);
+}
+
+TEST(ShardedSim, DifferentSeedsDiverge) {
+  EXPECT_NE(run_partitioned(11, 2, true), run_partitioned(12, 2, true));
+}
+
+namespace {
+
+/// Single-region scenario mixing timers, nested scheduling and exclusive
+/// events: the serial stepper (shards=1) and the solo windowed executor
+/// (shards>1) must produce identical rings.
+std::string run_single_region(unsigned shards) {
+  bs::Simulator sim(99, shards);
+  bo::recorder().enable(1 << 12);
+  for (int i = 0; i < 16; ++i) {
+    sim.at(Time::from_micros(100 + i), [&sim, i] {
+      bo::trace(bo::Ev::FnInvoke, static_cast<std::uint32_t>(i), 1);
+      sim.after(Duration::micros(50), [i] {
+        bo::trace(bo::Ev::FnInvoke, static_cast<std::uint32_t>(i), 2);
+      });
+      if (i == 3) {
+        // Exclusive scheduled from inside a (solo) window: must still fire
+        // after every same-timestamp region event, exactly as in serial.
+        sim.at_exclusive(sim.now() + Duration::micros(10), [&sim] {
+          bo::trace(bo::Ev::FnShutdown, 7, 0);
+          sim.after(Duration::micros(5), [] { bo::trace(bo::Ev::FnShutdown, 8, 0); });
+        });
+      }
+    });
+  }
+  sim.run();
+  std::ostringstream os;
+  bo::recorder().export_jsonl(os);
+  bo::recorder().disable();
+  return os.str();
+}
+
+}  // namespace
+
+TEST(ShardedSim, SingleRegionWindowedMatchesSerial) {
+  const std::string serial = run_single_region(1);
+  const std::string sharded = run_single_region(4);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, sharded);
+}
+
+TEST(ShardedSim, CrossRegionPostInsideWindowRespectsLookahead) {
+  bs::Simulator sim(1, 1);
+  const std::uint32_t r1 = sim.add_region();
+  sim.set_lookahead(Duration::millis(10));
+  sim.at(Time::from_micros(100), [&sim, r1] {
+    // Violates the conservative bound: the target window may already be past
+    // this timestamp on another worker.
+    sim.post(r1, sim.now() + Duration::micros(1), [] {});
+  });
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+TEST(ShardedSim, ExclusiveFromParallelWindowThrows) {
+  bs::Simulator sim(1, 1);
+  const std::uint32_t r1 = sim.add_region();
+  sim.set_lookahead(Duration::millis(10));
+  sim.post(r1, Time::from_micros(100), [&sim] {
+    sim.at_exclusive(sim.now() + Duration::millis(50), [] {});
+  });
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+TEST(ShardedSim, CrossRegionPostAtBarrierIsAllowed) {
+  bs::Simulator sim(1, 1);
+  const std::uint32_t r1 = sim.add_region();
+  sim.set_lookahead(Duration::millis(10));
+  int fired = 0;
+  sim.post(r1, Time::from_micros(50), [&sim, &fired] {
+    sim.post(0, sim.now() + Duration::millis(10), [&fired] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(ShardedSim, RegionRngStreamsAreShardInvariantAndDistinct) {
+  auto draw = [](unsigned shards) {
+    bs::Simulator sim(1234, shards);
+    sim.add_region();
+    std::vector<std::uint64_t> out;
+    // Setup context draws from region 0 (the master stream).
+    out.push_back(sim.rng().next_u64());
+    return out;
+  };
+  EXPECT_EQ(draw(1), draw(4));
+  // Region 0 keeps the exact pre-sharding stream.
+  bs::Simulator sharded(1234, 2);
+  sharded.add_region();
+  bu::Rng master(1234);
+  EXPECT_EQ(sharded.rng().next_u64(), master.next_u64());
+}
+
+TEST(ShardedSim, EnvOverrideSelectsShardCount) {
+  ::setenv("BENTO_SIM_SHARDS", "4", 1);
+  EXPECT_EQ(bs::Simulator(1).shards(), 4u);
+  ::setenv("BENTO_SIM_SHARDS", "99", 1);
+  EXPECT_EQ(bs::Simulator(1).shards(), bs::Simulator::kMaxShards);
+  ::setenv("BENTO_SIM_SHARDS", "garbage", 1);
+  EXPECT_EQ(bs::Simulator(1).shards(), 1u);
+  ::unsetenv("BENTO_SIM_SHARDS");
+  EXPECT_EQ(bs::Simulator(1).shards(), 1u);
+  // An explicit constructor argument beats the environment.
+  ::setenv("BENTO_SIM_SHARDS", "8", 1);
+  EXPECT_EQ(bs::Simulator(1, 2).shards(), 2u);
+  ::unsetenv("BENTO_SIM_SHARDS");
+}
+
+TEST(ShardedSim, EnvOverrideKeepsTraceIdentical) {
+  ::setenv("BENTO_SIM_SHARDS", "2", 1);
+  const std::string via_env = run_partitioned(11, 0, /*with_chaos=*/false);
+  ::unsetenv("BENTO_SIM_SHARDS");
+  EXPECT_EQ(via_env, run_partitioned(11, 1, /*with_chaos=*/false));
+}

@@ -582,18 +582,27 @@ class FileAnalysis {
       check_range_for(i);
     }
 
-    // BL105 — concurrency inventory for src/sim + src/core.
+    // BL105 — concurrency allowlist for src/sim + src/core. The only
+    // sanctioned primitives are the sharded-simulator window pool's
+    // (worker std::threads, the lookahead-barrier mutex/condvars, shard
+    // mailboxes — DESIGN.md §12), each carrying a
+    // `// bentolint: allow(BL105 <why>)` annotation at the declaration.
+    // Anything unannotated still flags: new concurrency must join the
+    // allowlist with a written rationale, not slip in piecemeal.
     if (scope_.concurrency_inventory) {
       if (in_list(s, kConcurrencyTypes) && i >= 2 && is_punct(i - 1, "::") &&
           text(i - 2) == "std") {
         report("BL105", t,
                "std::" + std::string(s) +
-                   " in the single-threaded sim/core tree; concurrency "
-                   "lands with the sharded simulator (ROADMAP #1), not "
-                   "piecemeal");
+                   " outside the sharded-simulator allowlist; sanction it "
+                   "with `// bentolint: allow(BL105 <why>)` and a DESIGN.md "
+                   "§12 rationale, or keep this code single-threaded");
       } else if (starts_with(s, "pthread_")) {
-        report("BL105", t, "'" + std::string(s) +
-                               "' in the single-threaded sim/core tree");
+        report("BL105", t,
+               "'" + std::string(s) +
+                   "' outside the sharded-simulator allowlist (raw pthreads "
+                   "are never sanctioned; use the std primitives with an "
+                   "allow annotation)");
       }
     }
 
