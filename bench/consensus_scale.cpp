@@ -1,0 +1,459 @@
+// Consensus-scale standing scenario (ISSUE 8, DESIGN.md §13): 1,024 relays
+// across 8 regions serving >= 100k simulated client sessions through the
+// sharded windowed loop, with the shard profiler live and a declarative SLO
+// verdict at the end.
+//
+// Topology: 8 regions x 128 relays plus 32 client-edge nodes per region;
+// each edge node fronts ~50 client sessions (distinct stream ids, staggered
+// start times), so the 100k-client population rides 1,280 network nodes
+// while every session still runs its own cell chain with its own timing.
+// Intra-region links are explicit (relay mesh 2 ms, edge->relay 10 ms);
+// cross-region links take the 40 ms default, which is therefore the
+// conservative lookahead.
+//
+// Each session walks a Tor-shaped path: edge ->guard ->middle ->exit, then
+// two reply cells back down (exit ->middle ->guard ->edge). Guard/middle/
+// exit always sit in pairwise different regions, so every chain crosses
+// region boundaries and exercises mailboxes and barriers. Every relay
+// delivery runs a ChaCha-style mixing loop standing in for relay crypto.
+// The client edge stamps stream.ttfb on the first reply cell and
+// stream.ttlb on the second — those series feed the SLO engine.
+//
+// Outputs: a one-object summary JSON on stdout (run_benchmarks.sh appends
+// it to BENCH_trajectory.jsonl), plus opt-in artifacts:
+//   --out FILE               BENCH_scenarios.json SLO verdict (byte-stable)
+//   --profile-out FILE       ShardProfile JSON, deterministic half
+//   --profile-wall-out FILE  ShardProfile JSON + wall attribution (not stable)
+//   --trace-out FILE         trace.jsonl (stream + shard.window/barrier events)
+//   --slo SPEC               replace the default objectives (repeatable)
+//   --top                    render a bentotop frame to stderr after the run
+// Exit code is the SLO verdict: 0 pass, 1 fail.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/profile.hpp"
+#include "obs/slo.hpp"
+#include "obs/trace.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/simclock.hpp"
+
+namespace bo = bento::obs;
+namespace bs = bento::sim;
+namespace bu = bento::util;
+
+using bu::Duration;
+using bu::Time;
+
+namespace {
+
+constexpr int kRegions = 8;
+constexpr int kRelaysPerRegion = 128;  // 1,024 relays total
+constexpr int kEdgesPerRegion = 32;    // client-edge (NIC aggregation) nodes
+
+// Cell layout (64 bytes). Relays are stateless: the full path rides in the
+// cell, so a relay only reads its stage and forwards.
+//   [0]      stage: 0 edge->guard, 1 guard->middle, 2 middle->exit,
+//            3 exit->middle, 4 middle->guard, 5 guard->edge
+//   [1]      reply cell index (0 = first byte, 1 = last byte)
+//   [2..5]   client session index, u32 LE
+//   [6..9]   guard node id     [10..13] middle node id
+//   [14..17] exit node id      [18..21] edge node id
+//   [22]     mix byte (carries the crypto stand-in result hop to hop)
+constexpr std::size_t kCellBytes = 64;
+
+std::uint32_t get_u32(const bu::Bytes& d, std::size_t at) {
+  return static_cast<std::uint32_t>(d[at]) |
+         (static_cast<std::uint32_t>(d[at + 1]) << 8) |
+         (static_cast<std::uint32_t>(d[at + 2]) << 16) |
+         (static_cast<std::uint32_t>(d[at + 3]) << 24);
+}
+
+void put_u32(bu::Bytes& d, std::size_t at, std::uint32_t v) {
+  d[at] = static_cast<std::uint8_t>(v & 0xff);
+  d[at + 1] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+  d[at + 2] = static_cast<std::uint8_t>((v >> 16) & 0xff);
+  d[at + 3] = static_cast<std::uint8_t>((v >> 24) & 0xff);
+}
+
+// Relay deliveries across all shards; relaxed is fine — read only after
+// run() returns, and the tally never feeds back into the simulation.
+// bentolint: allow(BL105 bench-only delivery tally, read after the run joins)
+std::atomic<std::uint64_t> g_cells{0};
+
+/// Per-cell relay crypto stand-in: ChaCha20-style quarter rounds over a
+/// 64-byte state (see bench/scalability.cpp for the sizing rationale).
+std::uint32_t mix_cell(std::uint32_t x) {
+  std::uint32_t s[16];
+  for (int i = 0; i < 16; ++i) s[i] = x + static_cast<std::uint32_t>(i) * 0x9e3779b9u;
+  for (int round = 0; round < 30; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      std::uint32_t& a = s[i];
+      std::uint32_t& b = s[4 + i];
+      std::uint32_t& c = s[8 + i];
+      std::uint32_t& d = s[12 + i];
+      a += b; d ^= a; d = (d << 16) | (d >> 16);
+      c += d; b ^= c; b = (b << 12) | (b >> 20);
+      a += b; d ^= a; d = (d << 8) | (d >> 24);
+      c += d; b ^= c; b = (b << 7) | (b >> 25);
+    }
+  }
+  std::uint32_t out = 0;
+  for (std::uint32_t v : s) out ^= v;
+  return out;
+}
+
+/// Stateless relay: mixes, bumps the stage, forwards along the embedded
+/// path. The exit fans the request into the two reply cells.
+class RelayHandler : public bs::MessageHandler {
+ public:
+  bs::Network* net = nullptr;
+  bs::NodeId self = bs::kInvalidNode;
+
+  void on_message(bs::NodeId /*from*/, bu::Bytes data) override {
+    g_cells.fetch_add(1, std::memory_order_relaxed);
+    if (data.size() < kCellBytes) return;
+    const std::uint8_t stage = data[0];
+    data[22] = static_cast<std::uint8_t>(mix_cell(data[22] + stage));
+    // Destination is read into a local before std::move(data) — the by-value
+    // send parameter may be constructed before the other argument is
+    // evaluated, which would leave `data` empty under get_u32.
+    switch (stage) {
+      case 0: {  // guard, forward leg
+        data[0] = 1;
+        const bs::NodeId middle = get_u32(data, 10);
+        net->send(self, middle, std::move(data));
+        break;
+      }
+      case 1: {  // middle, forward leg
+        data[0] = 2;
+        const bs::NodeId exit_ = get_u32(data, 14);
+        net->send(self, exit_, std::move(data));
+        break;
+      }
+      case 2: {  // exit: answer with two reply cells
+        data[0] = 3;
+        data[1] = 0;
+        bu::Bytes second = data;
+        second[1] = 1;
+        const bs::NodeId middle = get_u32(data, 10);
+        net->send(self, middle, std::move(data));
+        net->send(self, middle, std::move(second));
+        break;
+      }
+      case 3: {  // middle, reply leg
+        data[0] = 4;
+        const bs::NodeId guard = get_u32(data, 6);
+        net->send(self, guard, std::move(data));
+        break;
+      }
+      case 4: {  // guard, reply leg
+        data[0] = 5;
+        const bs::NodeId edge = get_u32(data, 18);
+        net->send(self, edge, std::move(data));
+        break;
+      }
+      default:
+        break;  // stage 5 belongs to the edge handler
+    }
+  }
+};
+
+/// Client edge: terminates reply cells for every session it fronts and
+/// stamps the latency trace events the SLO engine consumes.
+class EdgeHandler : public bs::MessageHandler {
+ public:
+  const std::vector<std::int64_t>* start_us = nullptr;
+  std::uint64_t completed = 0;
+
+  void on_message(bs::NodeId /*from*/, bu::Bytes data) override {
+    if (data.size() < kCellBytes || data[0] != 5) return;
+    const std::uint32_t idx = get_u32(data, 2);
+    if (idx >= start_us->size()) return;
+    const std::int64_t delta = bu::sim_now_micros() - (*start_us)[idx];
+    if (data[1] == 0) {
+      bo::trace(bo::Ev::StreamTtfb, idx, static_cast<std::uint64_t>(delta));
+    } else {
+      bo::trace(bo::Ev::StreamTtlb, idx, static_cast<std::uint64_t>(delta));
+      ++completed;
+    }
+  }
+};
+
+struct Options {
+  unsigned shards = 0;  // 0: BENTO_SIM_SHARDS or serial
+  std::uint64_t clients = 100'000;
+  std::uint64_t seed = 42;
+  std::string out;               // BENCH_scenarios.json
+  std::string profile_out;       // deterministic ShardProfile JSON
+  std::string profile_wall_out;  // + wall attribution
+  std::string trace_out;         // trace.jsonl
+  std::vector<std::string> slo_specs;
+  bool top = false;
+};
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    std::fprintf(stderr, "consensus_scale: cannot write %s\n", path.c_str());
+    return false;
+  }
+  os << body;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "consensus_scale: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--shards") {
+      opt.shards = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--clients") {
+      opt.clients = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--seed") {
+      opt.seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--out") {
+      opt.out = value();
+    } else if (arg == "--profile-out") {
+      opt.profile_out = value();
+    } else if (arg == "--profile-wall-out") {
+      opt.profile_wall_out = value();
+    } else if (arg == "--trace-out") {
+      opt.trace_out = value();
+    } else if (arg == "--slo") {
+      opt.slo_specs.push_back(value());
+    } else if (arg == "--top") {
+      opt.top = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: consensus_scale [--shards N] [--clients N] [--seed N]\n"
+                   "                       [--out FILE] [--profile-out FILE]\n"
+                   "                       [--profile-wall-out FILE] [--trace-out FILE]\n"
+                   "                       [--slo SPEC]... [--top]\n");
+      return 2;
+    }
+  }
+  if (opt.clients == 0) {
+    std::fprintf(stderr, "consensus_scale: --clients must be >= 1\n");
+    return 2;
+  }
+
+  bs::Simulator sim(opt.seed, opt.shards);
+  for (int r = 1; r < kRegions; ++r) sim.add_region();
+  bs::Network net(sim);
+
+  // The trace ring needs ttfb+ttlb per client plus the per-barrier shard
+  // events; cap the mask to exactly those kinds so the firehose kinds cost
+  // one branch each and the ring never wraps.
+  bo::recorder().enable(std::max<std::size_t>(std::size_t{1} << 18,
+                                              static_cast<std::size_t>(3 * opt.clients)));
+  bo::recorder().set_mask(bo::Recorder::mask_of(bo::Ev::StreamTtfb) |
+                          bo::Recorder::mask_of(bo::Ev::StreamTtlb) |
+                          bo::Recorder::mask_of(bo::Ev::ShardWindow) |
+                          bo::Recorder::mask_of(bo::Ev::ShardBarrier));
+  bo::shard_profiler().reset();
+
+  // Build. All regions are assigned while the latency map is empty, so the
+  // per-call lookahead rescans stay O(nodes).
+  std::vector<std::unique_ptr<RelayHandler>> relays;
+  std::vector<std::unique_ptr<EdgeHandler>> edges;
+  std::vector<bs::NodeId> relay_ids;  // [region * kRelaysPerRegion + i]
+  std::vector<bs::NodeId> edge_ids;   // [region * kEdgesPerRegion + i]
+  for (int r = 0; r < kRegions; ++r) {
+    for (int i = 0; i < kRelaysPerRegion; ++i) {
+      auto h = std::make_unique<RelayHandler>();
+      const bs::NodeId id = net.add_node(bs::NodeSpec{.name = "relay"}, h.get());
+      net.set_region(id, static_cast<std::uint32_t>(r));
+      h->net = &net;
+      h->self = id;
+      relay_ids.push_back(id);
+      relays.push_back(std::move(h));
+    }
+  }
+  std::vector<std::int64_t> start_us(opt.clients, 0);
+  for (int r = 0; r < kRegions; ++r) {
+    for (int i = 0; i < kEdgesPerRegion; ++i) {
+      auto h = std::make_unique<EdgeHandler>();
+      h->start_us = &start_us;
+      const bs::NodeId id = net.add_node(bs::NodeSpec{.name = "edge"}, h.get());
+      net.set_region(id, static_cast<std::uint32_t>(r));
+      edge_ids.push_back(id);
+      edges.push_back(std::move(h));
+    }
+  }
+  for (int r = 0; r < kRegions; ++r) {
+    for (int i = 0; i < kRelaysPerRegion; ++i) {
+      for (int j = i + 1; j < kRelaysPerRegion; ++j) {
+        net.set_latency(relay_ids[r * kRelaysPerRegion + i],
+                        relay_ids[r * kRelaysPerRegion + j], Duration::millis(2));
+      }
+    }
+    for (int e = 0; e < kEdgesPerRegion; ++e) {
+      for (int i = 0; i < kRelaysPerRegion; ++i) {
+        net.set_latency(edge_ids[r * kEdgesPerRegion + e],
+                        relay_ids[r * kRelaysPerRegion + i], Duration::millis(10));
+      }
+    }
+  }
+
+  // Session schedule: client c starts at 1 s + c * 100 µs (a flash crowd
+  // ramping over ~10 s at the default population), from an edge node in
+  // region c % kRegions, through guard/middle/exit in pairwise different
+  // regions so every chain is cross-region.
+  const Time ramp0 = Time::from_micros(1'000'000);
+  for (std::uint64_t c = 0; c < opt.clients; ++c) {
+    const auto r = static_cast<std::uint32_t>(c % kRegions);
+    const std::uint64_t per = c / kRegions;
+    const bs::NodeId edge = edge_ids[r * kEdgesPerRegion + per % kEdgesPerRegion];
+    const bs::NodeId guard = relay_ids[r * kRelaysPerRegion + (c * 7 + 3) % kRelaysPerRegion];
+    const auto rm = static_cast<std::uint32_t>((r + 1 + c % 7) % kRegions);
+    const bs::NodeId middle = relay_ids[rm * kRelaysPerRegion + (c * 13 + 5) % kRelaysPerRegion];
+    const auto re = static_cast<std::uint32_t>((rm + 1 + c % 5) % kRegions);
+    const bs::NodeId exit_ = relay_ids[re * kRelaysPerRegion + (c * 17 + 7) % kRelaysPerRegion];
+    const Time start = ramp0 + Duration::micros(static_cast<std::int64_t>(c) * 100);
+    start_us[c] = start.micros();
+    sim.post(r, start, [&net, edge, guard, middle, exit_, c] {
+      bu::Bytes cell(kCellBytes, 0);
+      cell[0] = 0;
+      put_u32(cell, 2, static_cast<std::uint32_t>(c));
+      put_u32(cell, 6, guard);
+      put_u32(cell, 10, middle);
+      put_u32(cell, 14, exit_);
+      put_u32(cell, 18, edge);
+      cell[22] = static_cast<std::uint8_t>(c);
+      net.send(edge, guard, std::move(cell));
+    });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall_s = std::chrono::duration<double>(t1 - t0).count();
+
+  const std::uint64_t cells = g_cells.load(std::memory_order_relaxed);
+  std::uint64_t completed = 0;
+  for (const auto& e : edges) completed += e->completed;
+  const double sim_s = static_cast<double>(sim.now().micros()) / 1e6;
+  const bo::ShardProfileSnapshot prof = bo::shard_profiler().snapshot();
+
+  // SLO evaluation. Latency series come from the trace ring; scalars are
+  // sim-domain quantities only, so the verdict is byte-stable.
+  bo::SloInput input;
+  input.collect_latencies(bo::recorder());
+  input.set_scalar("cells_per_sim_sec",
+                   sim_s > 0 ? static_cast<double>(cells) / sim_s : 0.0);
+  input.set_scalar("region_imbalance",
+                   static_cast<double>(prof.imbalance_x1000()) / 1000.0);
+  input.set_scalar("windows", static_cast<double>(prof.windows));
+  input.set_scalar("completed_sessions", static_cast<double>(completed));
+
+  std::vector<std::string> spec_texts = opt.slo_specs;
+  if (spec_texts.empty()) {
+    // Default objectives for the standing scenario. The path floor is
+    // 180 ms of propagation (10+40+40 out, 40+40+10 back); serialize and
+    // queueing add microseconds, so the ceilings are ~15-30% headroom.
+    spec_texts = {
+        "ttfb_us:count>=" + std::to_string(opt.clients),
+        "ttfb_us:p50<=210000",
+        "ttfb_us:p99<=230000",
+        "ttfb_us:p99.9<=260000",
+        "ttlb_us:p99<=260000",
+        "completed_sessions>=" + std::to_string(opt.clients),
+        "cells_per_sim_sec>=5000",
+        "region_imbalance<=1.5",
+        "windows>=100",
+    };
+  }
+  std::vector<bo::SloSpec> specs;
+  for (const std::string& text : spec_texts) {
+    bo::SloSpec spec;
+    std::string err;
+    if (!bo::parse_slo_spec(text, spec, &err)) {
+      std::fprintf(stderr, "consensus_scale: bad --slo '%s': %s\n", text.c_str(),
+                   err.c_str());
+      return 2;
+    }
+    specs.push_back(spec);
+  }
+  const bo::SloReport report = bo::evaluate_slos("consensus_scale", specs, input);
+
+  // Artifacts.
+  bool io_ok = true;
+  if (!opt.out.empty()) io_ok &= write_file(opt.out, report.to_json());
+  if (!opt.profile_out.empty()) {
+    io_ok &= write_file(opt.profile_out, prof.to_json(/*include_wall=*/false));
+  }
+  if (!opt.profile_wall_out.empty()) {
+    io_ok &= write_file(opt.profile_wall_out, prof.to_json(/*include_wall=*/true));
+  }
+  if (!opt.trace_out.empty()) {
+    std::ofstream os(opt.trace_out, std::ios::binary);
+    if (os) {
+      bo::recorder().export_jsonl(os);
+    } else {
+      std::fprintf(stderr, "consensus_scale: cannot write %s\n", opt.trace_out.c_str());
+      io_ok = false;
+    }
+  }
+  if (opt.top) {
+    std::ostringstream frame;
+    bo::render_top_frame(prof, frame);
+    std::fputs(frame.str().c_str(), stderr);
+  }
+  std::fputs(report.to_string().c_str(), stderr);
+
+  // Wall attribution coverage: the four coordinator buckets plus exclusive
+  // execution, as a fraction of the windowed run loop's wall time.
+  const std::uint64_t attributed = prof.dispatch_wall_ns + prof.barrier_wall_ns +
+                                   prof.drain_wall_ns + prof.merge_wall_ns +
+                                   prof.exclusive_wall_ns;
+  const double attributed_pct =
+      prof.run_wall_ns > 0
+          ? 100.0 * static_cast<double>(attributed) / static_cast<double>(prof.run_wall_ns)
+          : 0.0;
+
+  std::printf("{");
+  std::printf("\"bench\": \"consensus_scale\", ");
+  std::printf("\"host_cpus\": %u, ", std::thread::hardware_concurrency());
+  std::printf("\"shards\": %u, ", sim.shards());
+  std::printf("\"regions\": %d, ", kRegions);
+  std::printf("\"relays\": %d, ", kRegions * kRelaysPerRegion);
+  std::printf("\"clients\": %llu, ", static_cast<unsigned long long>(opt.clients));
+  std::printf("\"completed_sessions\": %llu, ", static_cast<unsigned long long>(completed));
+  std::printf("\"cells\": %llu, ", static_cast<unsigned long long>(cells));
+  std::printf("\"sim_seconds\": %.3f, ", sim_s);
+  std::printf("\"wall_seconds\": %.3f, ", wall_s);
+  std::printf("\"cells_per_wall_sec\": %.0f, ",
+              wall_s > 0 ? static_cast<double>(cells) / wall_s : 0.0);
+  std::printf("\"cells_per_sim_sec\": %.0f, ",
+              sim_s > 0 ? static_cast<double>(cells) / sim_s : 0.0);
+  std::printf("\"windows\": %llu, ", static_cast<unsigned long long>(prof.windows));
+  std::printf("\"region_imbalance_x1000\": %llu, ",
+              static_cast<unsigned long long>(prof.imbalance_x1000()));
+  std::printf("\"wall_attributed_pct\": %.1f, ", attributed_pct);
+  std::printf("\"verdict\": \"%s\"", report.pass() ? "pass" : "fail");
+  std::printf("}\n");
+
+  if (!io_ok) return 2;
+  return report.pass() ? 0 : 1;
+}

@@ -24,6 +24,15 @@
 # also appends one line to BENCH_trajectory.jsonl so the perf history of the
 # repo is recorded PR over PR. Set BENCH_BASELINE_SKIP=1 to bypass the gate
 # (e.g. when intentionally refreshing the committed baselines).
+#
+# Shard observatory gates (DESIGN.md §13): the profiler hot hooks must add
+# <= 2% to the relay datapath and zero allocations per cell — at --shards 1
+# and --shards 4 — and the windowed dispatch loop must stay allocation-free
+# with the profiler live. The consensus-scale standing scenario (1,024
+# relays, 100k client sessions) then runs with its declarative SLOs (p99
+# TTFB ceiling among them); its byte-stable verdict lands in
+# BENCH_scenarios.json and the run fails if the verdict is "fail" or the
+# wall-time attribution drops below 95%.
 
 set -euo pipefail
 
@@ -47,12 +56,20 @@ if [[ ! -x "${scaling_bin}" ]]; then
   echo "error: ${scaling_bin} not built (cmake --build ${build_dir} --target scalability)" >&2
   exit 1
 fi
+consensus_bin="${build_dir}/bench/consensus_scale"
+if [[ ! -x "${consensus_bin}" ]]; then
+  echo "error: ${consensus_bin} not built (cmake --build ${build_dir} --target consensus_scale)" >&2
+  exit 1
+fi
+scenarios_json="${BENCH_SCENARIOS:-${repo_root}/BENCH_scenarios.json}"
 
 raw_json="$(mktemp)"
+raw4_json="$(mktemp)"
 scaling_json="$(mktemp)"
+consensus_summary="$(mktemp)"
 baseline_copy="$(mktemp)"
 obs_baseline_copy="$(mktemp)"
-trap 'rm -f "${raw_json}" "${scaling_json}" "${baseline_copy}" "${obs_baseline_copy}"' EXIT
+trap 'rm -f "${raw_json}" "${raw4_json}" "${scaling_json}" "${consensus_summary}" "${baseline_copy}" "${obs_baseline_copy}"' EXIT
 
 # Snapshot the committed baselines before anything overwrites them (the
 # default out paths are the baseline files themselves).
@@ -62,24 +79,47 @@ if [[ -f "${obs_baseline_json}" ]]; then cp "${obs_baseline_json}" "${obs_baseli
 "${bin}" --benchmark_format=json --benchmark_min_time="${min_time}" \
   >"${raw_json}"
 
+# Shard-profiler gates again with the pooled dispatch path live: the same
+# three benchmarks at --shards 4 (DESIGN.md §13).
+"${bin}" --shards 4 \
+  --benchmark_filter='Profiled|ProfilerOverhead|WindowedDispatchChurn' \
+  --benchmark_format=json --benchmark_min_time="${min_time}" >"${raw4_json}"
+
 # Shard-scaling sweep (DESIGN.md §12): region-sharded simulator throughput
 # at shards 1/2/4/8 on the large multi-region topology.
 "${scaling_bin}" >"${scaling_json}"
 
+# Consensus-scale standing scenario (DESIGN.md §13): SLO verdict is the exit
+# code; the verdict JSON is byte-stable and committed as BENCH_scenarios.json.
+set +e
+"${consensus_bin}" --shards 4 --out "${scenarios_json}" >"${consensus_summary}"
+consensus_exit=$?
+set -e
+
 python3 - "${raw_json}" "${out_json}" "${obs_out_json}" \
   "${baseline_copy}" "${obs_baseline_copy}" "${trajectory_jsonl}" \
-  "${git_rev}" "${BENCH_BASELINE_SKIP:-0}" "${scaling_json}" <<'PY'
+  "${git_rev}" "${BENCH_BASELINE_SKIP:-0}" "${scaling_json}" \
+  "${raw4_json}" "${consensus_summary}" "${consensus_exit}" \
+  "${scenarios_json}" <<'PY'
 import json
 import sys
 
 (raw_path, out_path, obs_out_path, baseline_path, obs_baseline_path,
- trajectory_path, git_rev, baseline_skip, scaling_path) = sys.argv[1:10]
+ trajectory_path, git_rev, baseline_skip, scaling_path,
+ raw4_path, consensus_summary_path, consensus_exit, scenarios_path) = sys.argv[1:14]
 with open(raw_path) as f:
     raw = json.load(f)
 with open(scaling_path) as f:
     scaling = json.load(f)
+with open(raw4_path) as f:
+    raw4 = json.load(f)
+with open(consensus_summary_path) as f:
+    consensus = json.load(f)
+with open(scenarios_path) as f:
+    scenarios = json.load(f)
 
 by_name = {b["name"]: b for b in raw["benchmarks"]}
+by4_name = {b["name"]: b for b in raw4["benchmarks"]}
 
 def mb_s(name):
     return round(by_name[name]["bytes_per_second"] / 1e6, 1)
@@ -189,6 +229,23 @@ obs = {
         "trace_record_ns": ns_per_op("BM_TraceRecord"),
         "trace_record_allocs_per_event": by_name["BM_TraceRecord"]["allocs_per_event"],
     },
+    # Shard-observatory cost story (DESIGN.md §13): the profiler hot hooks
+    # charged to every cell (worst case), the paired-median overhead ratio,
+    # and the windowed dispatch loop's alloc count — serial and pooled.
+    "shard_profiler": {
+        "profiled_allocs_per_cell":
+            by_name["BM_RelayDatapath3HopProfiled"]["allocs_per_cell"],
+        "profiler_overhead_pct":
+            round(by_name["BM_RelayDatapath3HopProfilerOverhead"]["overhead_pct"], 2),
+        "windowed_churn_allocs_per_event":
+            by_name["BM_WindowedDispatchChurn"]["allocs_per_event"],
+        "profiled_allocs_per_cell_shards4":
+            by4_name["BM_RelayDatapath3HopProfiled"]["allocs_per_cell"],
+        "profiler_overhead_pct_shards4":
+            round(by4_name["BM_RelayDatapath3HopProfilerOverhead"]["overhead_pct"], 2),
+        "windowed_churn_allocs_per_event_shards4":
+            by4_name["BM_WindowedDispatchChurn"]["allocs_per_event"],
+    },
 }
 
 with open(obs_out_path, "w") as f:
@@ -229,6 +286,38 @@ if chaos_gate["extra_allocs_per_cell"] > 0:
     failures.append("idle chaos hooks allocate on the network send path")
 if chaos_gate["overhead_pct"] > 2.0:
     failures.append("idle chaos hooks cost the network send path above 2%")
+# Shard profiler gates (DESIGN.md §13): hooks free of heap and <= 2% on the
+# cell datapath, serial and pooled alike.
+prof_gate = obs["shard_profiler"]
+for suffix, label in (("", "shards=1"), ("_shards4", "shards=4")):
+    if prof_gate[f"profiled_allocs_per_cell{suffix}"] != 0:
+        failures.append(f"profiled datapath allocates per cell at {label}")
+    if prof_gate[f"windowed_churn_allocs_per_event{suffix}"] != 0:
+        failures.append(f"windowed dispatch churn allocates per event at {label}")
+    if prof_gate[f"profiler_overhead_pct{suffix}"] > 2.0:
+        failures.append(f"profiler overhead on the cell datapath above 2% at {label}")
+
+# Consensus-scale scenario gate (DESIGN.md §13): the SLO engine's verdict
+# (p99 TTFB ceiling among the objectives) is the exit code, and the wall
+# attribution buckets must cover >= 95% of the windowed run.
+scenario_verdict = scenarios.get("verdict", "fail")
+if consensus_exit != "0" or scenario_verdict != "pass":
+    detail = "; ".join(
+        f"{o['name']} actual {o['actual']}" for o in scenarios.get("objectives", [])
+        if not o.get("pass"))
+    failures.append(f"consensus scenario SLO verdict: {scenario_verdict}"
+                    + (f" ({detail})" if detail else ""))
+if consensus["wall_attributed_pct"] < 95.0:
+    failures.append(
+        f"consensus scenario wall attribution {consensus['wall_attributed_pct']}% "
+        "below 95%")
+scenario_ttfb_p99 = next(
+    (o["actual"] for o in scenarios.get("objectives", [])
+     if o["name"] == "ttfb_us:p99"), None)
+print(f"consensus scenario: verdict={scenario_verdict}, "
+      f"ttfb_p99_us={scenario_ttfb_p99}, "
+      f"attributed={consensus['wall_attributed_pct']}%, "
+      f"imbalance_x1000={consensus['region_imbalance_x1000']}")
 
 # ---- Shard-scaling gate (DESIGN.md §12) ---------------------------------
 # shards=4 must deliver >= 2.0x the cells/sec of shards=1 on the large
@@ -239,16 +328,25 @@ shard_cps = {str(p["shards"]): round(p["cells_per_sec"])
              for p in scaling["sweep"]}
 shard_speedup = round(scaling["speedup_4v1"], 3)
 scaling_cpus = scaling["host_cpus"]
+# Status and reason are separate fields so the trajectory stays machine-
+# readable: every entry — skips included — records why it got its status
+# and how many CPUs the host had.
 if scaling_cpus >= 4:
-    shard_gate = "pass"
     if shard_speedup < 2.0:
         shard_gate = "fail"
+        shard_gate_reason = f"speedup_4v1={shard_speedup} below 2.0x"
         failures.append(
             f"shards=4 speedup {shard_speedup} below 2.0x over shards=1")
+    else:
+        shard_gate = "pass"
+        shard_gate_reason = f"speedup_4v1={shard_speedup} >= 2.0x"
 else:
-    shard_gate = f"skip (host_cpus={scaling_cpus} < 4)"
+    shard_gate = "skip"
+    shard_gate_reason = (
+        f"host_cpus={scaling_cpus} < 4: parallel speedup is physically "
+        "unreachable on this runner")
 print(f"shard scaling: cells/sec {shard_cps}, "
-      f"speedup_4v1={shard_speedup}, gate={shard_gate}")
+      f"speedup_4v1={shard_speedup}, gate={shard_gate} ({shard_gate_reason})")
 
 # ---- Regression gate against the committed baselines --------------------
 # Only host-independent metrics are gated; raw cells/s and MB/s depend on
@@ -325,9 +423,20 @@ trajectory_entry = {
         obs["relay_datapath_3hop"]["span_traced_allocs_per_cell"],
     "chaos_idle_overhead_pct": chaos_gate["overhead_pct"],
     "chaos_idle_extra_allocs_per_cell": chaos_gate["extra_allocs_per_cell"],
+    "host_cpus": scaling_cpus,
     "shard_cells_per_sec": shard_cps,
     "shard_speedup_4v1": shard_speedup,
     "shard_gate": shard_gate,
+    "shard_gate_reason": shard_gate_reason,
+    "profiler_overhead_pct": prof_gate["profiler_overhead_pct"],
+    "profiler_overhead_pct_shards4": prof_gate["profiler_overhead_pct_shards4"],
+    "profiled_allocs_per_cell": prof_gate["profiled_allocs_per_cell"],
+    "windowed_churn_allocs_per_event":
+        prof_gate["windowed_churn_allocs_per_event"],
+    "scenario_verdict": scenario_verdict,
+    "scenario_ttfb_p99_us": scenario_ttfb_p99,
+    "scenario_wall_attributed_pct": consensus["wall_attributed_pct"],
+    "scenario_imbalance_x1000": consensus["region_imbalance_x1000"],
     "gate": "skip" if baseline_skip == "1" else ("fail" if failures else "pass"),
 }
 with open(trajectory_path, "a") as f:
@@ -338,4 +447,4 @@ if failures:
     sys.exit(1)
 PY
 
-echo "wrote ${out_json}, ${obs_out_json}; appended ${trajectory_jsonl}"
+echo "wrote ${out_json}, ${obs_out_json}, ${scenarios_json}; appended ${trajectory_jsonl}"

@@ -37,6 +37,8 @@ const char* ev_name(Ev kind) {
     case Ev::CircRebuild: return "circuit.rebuild";
     case Ev::LbFailover: return "lb.failover";
     case Ev::ShardRepair: return "shard.repair";
+    case Ev::ShardWindow: return "shard.window";
+    case Ev::ShardBarrier: return "shard.barrier";
     case Ev::kCount: break;
   }
   return "unknown";
@@ -58,6 +60,8 @@ namespace {
 int lane_of(Ev kind) {
   switch (kind) {
     case Ev::SimDispatch:
+    case Ev::ShardWindow:
+    case Ev::ShardBarrier:
     case Ev::ChaosFault: return 0;  // sim
     case Ev::CircExtend:
     case Ev::CircRebuild:

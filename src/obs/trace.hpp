@@ -68,6 +68,8 @@ enum class Ev : std::uint8_t {
   CircRebuild,       // a: new circ id (0 while pending) b: excluded relays
   LbFailover,        // a: replica idx  b: missed health checks; flags: ok
   ShardRepair,       // a: shard index  b: re-seed target ref; flags: ok
+  ShardWindow,       // a: region id    b: events the region ran in the closed window
+  ShardBarrier,      // a: active regions b: window span (horizon - T_min), sim µs
   kCount,
 };
 
@@ -141,13 +143,16 @@ class Recorder {
 
   /// Per-kind filter; bit i gates Ev(i). Default: everything on. Use
   /// mask_of() to build masks, e.g. to silence the SimDispatch firehose.
-  void set_mask(std::uint32_t mask) { mask_ = mask; }
-  std::uint32_t mask() const { return mask_; }
-  static constexpr std::uint32_t mask_of(Ev kind) {
-    return std::uint32_t{1} << static_cast<unsigned>(kind);
+  /// 64-bit since the kind count outgrew 32 (static_assert below).
+  void set_mask(std::uint64_t mask) { mask_ = mask; }
+  std::uint64_t mask() const { return mask_; }
+  static constexpr std::uint64_t mask_of(Ev kind) {
+    return std::uint64_t{1} << static_cast<unsigned>(kind);
   }
-  static constexpr std::uint32_t mask_all() {
-    return (std::uint32_t{1} << static_cast<unsigned>(Ev::kCount)) - 1;
+  static constexpr std::uint64_t mask_all() {
+    static_assert(static_cast<unsigned>(Ev::kCount) < 64,
+                  "trace mask is a 64-bit kind bitmap");
+    return (std::uint64_t{1} << static_cast<unsigned>(Ev::kCount)) - 1;
   }
 
   BENTO_HOT void record(Ev kind, std::uint32_t a = 0, std::uint64_t b = 0, bool ok = true) {
@@ -231,7 +236,7 @@ class Recorder {
   std::uint64_t recorded_ = 0;
   std::uint64_t overwritten_ = 0;
   std::uint64_t generation_ = 0;
-  std::uint32_t mask_ = mask_all();
+  std::uint64_t mask_ = mask_all();
   bool enabled_ = false;
   bool buffered_ = false;
   // One side buffer per region; index [region]. Each is written only by the

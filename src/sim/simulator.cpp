@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/profile.hpp"
 #include "util/annotations.hpp"
 #include "util/log.hpp"
 #include "util/simclock.hpp"
@@ -71,6 +72,10 @@ Simulator::Simulator(std::uint64_t seed, unsigned shards)
       m_pending_(obs::registry().gauge("sim.queue_depth")) {
   if (shards == 0) shards = shards_from_env();
   shards_ = std::clamp(shards, 1u, kMaxShards);
+  // Touch the profiler so its shard.* registry handles exist in every
+  // binary that simulates — keeps snapshot metric sets consistent across
+  // shard counts and run modes.
+  obs::shard_profiler();
   auto r0 = std::make_unique<Region>();
   r0->id = 0;
   r0->rng = util::Rng(seed);
@@ -258,10 +263,27 @@ void Simulator::run_serial(std::uint64_t limit, Time deadline, bool bounded) {
 void Simulator::run_windowed(Time deadline, bool bounded) {
   begin_parallel();
   const bool multi = regions_.size() > 1;
+  // Profiling splits in two (DESIGN.md §13): deterministic sim-domain
+  // tallies are recorded only for multi-region topologies — which run the
+  // windowed executor at *every* shard count, so the profile is invariant
+  // under the worker count — while wall-clock buckets (observational only,
+  // never in deterministic artifacts) are collected whenever live. Hooks
+  // fire per window, never per event, keeping the always-on cost flat.
+  obs::ShardProfiler& prof = obs::shard_profiler();
+  const bool prof_live = prof.enabled();
+  if (prof_live && multi) prof.record_lookahead(lookahead_.count_micros());
+  const std::uint64_t run_t0 = prof_live ? obs::prof_now_ns() : 0;
   const Time inf = Time::from_micros(std::numeric_limits<std::int64_t>::max());
   const Duration tick = Duration::micros(1);
   for (;;) {
-    drain_mailboxes();
+    {
+      const std::uint64_t t0 = prof_live ? obs::prof_now_ns() : 0;
+      const DrainStats ds = drain_mailboxes();
+      if (prof_live) {
+        prof.add_drain_wall(obs::prof_now_ns() - t0);
+        if (multi && ds.drained > 0) prof.on_mailbox_drain(ds.drained, ds.max_depth);
+      }
+    }
     const Event* rmin = nullptr;
     for (const auto& rp : regions_) {
       if (!rp->heap.empty() && (rmin == nullptr || rp->heap.front().before(*rmin))) {
@@ -273,8 +295,18 @@ void Simulator::run_windowed(Time deadline, bool bounded) {
     Time tmin = rmin != nullptr ? rmin->when : excl_heap_.front().when;
     if (have_excl && excl_heap_.front().when < tmin) tmin = excl_heap_.front().when;
     if (bounded && deadline < tmin) break;
+    // Advance the barrier-context clock to the window floor so anything
+    // recorded between windows (the shard.window/shard.barrier events
+    // below) stamps T_min instead of a stale start-of-run time. Handlers
+    // never see this clock — they read their region's.
+    if (now_ < tmin) now_ = tmin;
     if (rmin == nullptr || (have_excl && excl_heap_.front().before(*rmin))) {
+      const std::uint64_t t0 = prof_live ? obs::prof_now_ns() : 0;
       exec_exclusive_event();
+      if (prof_live) {
+        prof.add_exclusive_wall(obs::prof_now_ns() - t0);
+        if (multi) prof.on_exclusive();
+      }
       continue;
     }
     // Window horizon: T_min + lookahead (unbounded when there is only one
@@ -289,7 +321,35 @@ void Simulator::run_windowed(Time deadline, bool bounded) {
       const Time cap = deadline + tick;
       if (cap < h) h = cap;
     }
+    const bool profile_window = prof_live && multi;
+    if (profile_window) {
+      for (std::size_t i = 0; i < regions_.size(); ++i) {
+        win_base_[i] = regions_[i]->executed;
+      }
+    }
+    const std::uint64_t wt0 = prof_live ? obs::prof_now_ns() : 0;
     run_window(h);
+    if (prof_live) prof.add_window_wall(obs::prof_now_ns() - wt0);
+    if (profile_window) {
+      std::uint32_t active = 0;
+      for (std::size_t i = 0; i < regions_.size(); ++i) {
+        win_base_[i] = regions_[i]->executed - win_base_[i];
+        if (win_base_[i] > 0) ++active;
+      }
+      const std::int64_t span_us = (h - tmin).count_micros();
+      prof.on_window_close(win_base_.data(),
+                           static_cast<std::uint32_t>(regions_.size()), span_us);
+      if (obs::recorder().enabled()) {
+        obs::trace(obs::Ev::ShardBarrier, active,
+                   static_cast<std::uint64_t>(span_us));
+        for (std::size_t i = 0; i < regions_.size(); ++i) {
+          if (win_base_[i] > 0) {
+            obs::trace(obs::Ev::ShardWindow, static_cast<std::uint32_t>(i),
+                       win_base_[i]);
+          }
+        }
+      }
+    }
     // Exclusive events due inside the closed window run now — but a region
     // event an exclusive handler schedules at the same timestamp sorts
     // before the *next* exclusive, exactly as the serial stepper would run
@@ -303,9 +363,15 @@ void Simulator::run_windowed(Time deadline, bool bounded) {
         }
       }
       if (rm != nullptr && rm->before(excl_heap_.front())) break;
+      const std::uint64_t t0 = prof_live ? obs::prof_now_ns() : 0;
       exec_exclusive_event();
+      if (prof_live) {
+        prof.add_exclusive_wall(obs::prof_now_ns() - t0);
+        if (multi) prof.on_exclusive();
+      }
     }
   }
+  if (prof_live) prof.add_run_wall(obs::prof_now_ns() - run_t0);
   Time fin = now_;
   for (const auto& rp : regions_) {
     if (fin < rp->now) fin = rp->now;
@@ -325,8 +391,20 @@ void Simulator::begin_parallel() {
     mail_.clear();
     mail_.resize(n * n);
   }
-  owned_.assign(shards_, std::vector<Region*>{});
-  for (auto& rp : regions_) owned_[rp->id % shards_].push_back(rp.get());
+  // Rebuild the worker→regions map only when the topology changed; on the
+  // steady state (scenarios calling run() in a loop) this reuses capacity
+  // and performs zero allocations.
+  if (owned_.size() != shards_) {
+    owned_.clear();
+    owned_.resize(shards_);
+    owned_built_ = 0;
+  }
+  if (owned_built_ != n) {
+    for (auto& v : owned_) v.clear();
+    for (auto& rp : regions_) owned_[rp->id % shards_].push_back(rp.get());
+    owned_built_ = n;
+  }
+  if (win_base_.size() != n) win_base_.resize(n);
   if (shards_ > 1) ensure_pool();
 }
 
@@ -335,6 +413,8 @@ void Simulator::run_window(Time horizon) {
   // the barrier in dispatch order, so the ring content is independent of
   // the shard count. Single-region simulations write the ring directly.
   const bool buffer = regions_.size() > 1;
+  obs::ShardProfiler& prof = obs::shard_profiler();
+  const bool prof_live = prof.enabled();
   if (buffer) obs::recorder().begin_window(regions_.size());
   if (workers_.empty()) {
     horizon_ = horizon;
@@ -349,11 +429,21 @@ void Simulator::run_window(Time horizon) {
     }
     pool_cv_.notify_all();
     run_worker_window(0, horizon);
-    // bentolint: allow(BL105 lookahead barrier wait, DESIGN.md §12)
-    std::unique_lock<std::mutex> lk(pool_mx_);
-    pool_done_cv_.wait(lk, [this] { return pending_workers_ == 0; });
+    // Barrier-stall attribution: how long the coordinator waited for the
+    // slowest worker after finishing its own regions.
+    const std::uint64_t bt0 = prof_live ? obs::prof_now_ns() : 0;
+    {
+      // bentolint: allow(BL105 lookahead barrier wait, DESIGN.md §12)
+      std::unique_lock<std::mutex> lk(pool_mx_);
+      pool_done_cv_.wait(lk, [this] { return pending_workers_ == 0; });
+    }
+    if (prof_live) prof.add_barrier_wait(obs::prof_now_ns() - bt0);
   }
-  if (buffer) obs::recorder().end_window();
+  if (buffer) {
+    const std::uint64_t mt0 = prof_live ? obs::prof_now_ns() : 0;
+    obs::recorder().end_window();
+    if (prof_live) prof.add_merge_wall(obs::prof_now_ns() - mt0);
+  }
   if (win_error_) {
     std::exception_ptr e = win_error_;
     win_error_ = nullptr;
@@ -367,6 +457,13 @@ void Simulator::run_worker_window(unsigned worker, Time horizon) {
   x.region = nullptr;
   x.in_window = true;
   std::vector<Region*>& owned = owned_[worker];
+  // Per-worker occupancy: one clock pair around the whole window loop (the
+  // per-event cost of profiling is zero). Worker 0's busy time doubles as
+  // the coordinator's dispatch attribution bucket.
+  obs::ShardProfiler& prof = obs::shard_profiler();
+  const bool prof_live = prof.enabled();
+  const std::uint64_t t0 = prof_live ? obs::prof_now_ns() : 0;
+  std::uint64_t dispatched = 0;
   // With a single region the (sole) window runs unbounded on this thread;
   // it must yield to exclusive events as they come due mid-window.
   const bool solo = regions_.size() == 1;
@@ -382,6 +479,7 @@ void Simulator::run_worker_window(unsigned worker, Time horizon) {
         break;
       }
       exec_region_event(*best);
+      ++dispatched;
     }
   } catch (...) {
     // An exception on a worker must not escape the pool: park it and rethrow
@@ -390,13 +488,17 @@ void Simulator::run_worker_window(unsigned worker, Time horizon) {
     std::lock_guard<std::mutex> lk(pool_mx_);
     if (!win_error_) win_error_ = std::current_exception();
   }
+  if (prof_live) prof.add_worker_busy(worker, obs::prof_now_ns() - t0, dispatched);
   x = detail::ExecCtx{};
 }
 
-void Simulator::drain_mailboxes() {
+Simulator::DrainStats Simulator::drain_mailboxes() {
+  DrainStats ds;
   for (std::size_t i = 0; i < mail_.size(); ++i) {
     std::vector<Event>& box = mail_[i];
     if (box.empty()) continue;
+    if (box.size() > ds.max_depth) ds.max_depth = box.size();
+    ds.drained += box.size();
     std::vector<Event>& heap = regions_[i % mail_regions_]->heap;
     for (Event& ev : box) {
       heap.push_back(std::move(ev));
@@ -404,6 +506,7 @@ void Simulator::drain_mailboxes() {
     }
     box.clear();  // keeps capacity for the next window
   }
+  return ds;
 }
 
 void Simulator::ensure_pool() {

@@ -440,7 +440,11 @@ class Simulator {
   void begin_parallel();
   void run_window(Time horizon);
   void run_worker_window(unsigned worker, Time horizon);
-  void drain_mailboxes();
+  struct DrainStats {
+    std::uint64_t drained = 0;
+    std::uint64_t max_depth = 0;
+  };
+  DrainStats drain_mailboxes();
   void ensure_pool();
   void stop_pool();
   void worker_main(unsigned worker);
@@ -460,8 +464,14 @@ class Simulator {
   // worker during a window, drained by the coordinator at the barrier.
   std::vector<std::vector<Event>> mail_;
   std::size_t mail_regions_ = 0;  // regions() the mailbox grid is sized for
-  // Regions each worker drives, rebuilt when regions are added.
+  // Regions each worker drives. Rebuilt only when the region count changes
+  // (owned_built_ tracks it), so steady-state windowed runs reuse capacity
+  // and stay allocation-free.
   std::vector<std::vector<Region*>> owned_;
+  std::size_t owned_built_ = 0;
+  // Per-region executed-count baseline captured at window open; the deltas
+  // at the barrier feed the shard profiler (DESIGN.md §13).
+  std::vector<std::uint64_t> win_base_;
 
   // Worker pool: generation-counted rounds under one mutex. The coordinator
   // publishes a horizon and bumps round_; workers run their regions up to

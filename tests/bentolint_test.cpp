@@ -109,6 +109,13 @@ TEST(BentoLint, BL102HotPathAllocations) {
   check_fixture("bl102_hot_alloc.cpp", "src/crypto/fixture.cpp");
 }
 
+TEST(BentoLint, BL102ProfilerWindowClosePath) {
+  // The shard profiler's window-close hook is BENTO_HOT (DESIGN.md §13);
+  // this fixture proves the rule fires if dynamic storage ever creeps into
+  // that path — which is why the committed baseline stays empty.
+  check_fixture("bl102_profiler_window.cpp", "src/obs/fixture.cpp");
+}
+
 TEST(BentoLint, BL103SharedSelfCapture) {
   check_fixture("bl103_self_capture.cpp", "src/core/fixture.cpp");
 }

@@ -1,0 +1,43 @@
+// Golden fixture for BL102 on the shard-profiler window-close path
+// (DESIGN.md §13). The always-cheap contract is that on_window_close and
+// its sibling hooks run at every barrier with zero heap traffic — fixed
+// arrays, saturating adds. This fixture injects the regressions the rule
+// must catch if someone "improves" the profiler with dynamic storage.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/annotations.hpp"
+
+namespace fx {
+
+struct Profiler {
+  std::uint64_t windows = 0;
+  std::uint64_t region_events[256] = {};
+  std::vector<std::uint64_t> spans;
+  std::map<std::uint32_t, std::uint64_t> by_region;
+
+  // Positive: per-window dynamic storage is exactly the regression BL102
+  // exists to stop on this path.
+  BENTO_HOT void on_window_close(const std::uint64_t* events,
+                                 std::uint32_t count, std::int64_t span_us) {
+    ++windows;
+    spans.push_back(static_cast<std::uint64_t>(span_us));   // expect(BL102)
+    std::vector<std::uint64_t> merged(count);               // expect(BL102)
+    for (std::uint32_t i = 0; i < count; ++i) {
+      merged[i] = events[i];
+      by_region.insert({i, events[i]});                     // expect(BL102)
+    }
+  }
+
+  // Clean: the real hook's shape — fixed-size tallies only.
+  BENTO_HOT void on_window_close_fixed(const std::uint64_t* events,
+                                       std::uint32_t count) {
+    ++windows;
+    for (std::uint32_t i = 0; i < count && i < 256; ++i) {
+      region_events[i] += events[i];
+    }
+  }
+};
+
+}  // namespace fx

@@ -4,6 +4,15 @@
 //   bentotrace summary <trace.jsonl>   per-stage latency table + TTFB/TTLB
 //   bentotrace tree    <trace.jsonl>   reconstructed span trees, one per request
 //   bentotrace chrome  <trace.jsonl>   Chrome trace_event JSON (about:tracing)
+//   bentotrace shards  <trace.jsonl> [--profile <profile_wall.json>]
+//                                      per-region balance + barrier stats from
+//                                      shard.window/shard.barrier events; with
+//                                      --profile, wall-time attribution
+//                                      {dispatch, barrier wait, drain, merge}
+//   bentotrace slo     <trace.jsonl> SPEC [SPEC...]
+//                                      evaluate SLO specs (see obs/slo.hpp,
+//                                      e.g. ttfb_us:p99<=250000) against the
+//                                      trace; exit 0 pass / 1 fail
 //
 // `-` reads the dump from stdin. Every subcommand starts with a self-check
 // that obs::ev_name / obs::stage_name cover their whole enums — a new kind
@@ -14,15 +23,20 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "bentotrace/reader.hpp"
+#include "bentotrace/shards.hpp"
+#include "obs/slo.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace {
 
 int usage() {
-  std::cerr << "usage: bentotrace <summary|tree|chrome> <trace.jsonl|->\n";
+  std::cerr << "usage: bentotrace <summary|tree|chrome> <trace.jsonl|->\n"
+               "       bentotrace shards <trace.jsonl|-> [--profile <profile_wall.json>]\n"
+               "       bentotrace slo <trace.jsonl|-> SPEC [SPEC...]\n";
   return 2;
 }
 
@@ -40,25 +54,84 @@ bool self_check() {
   return true;
 }
 
+bool read_events(const std::string& path, std::vector<bento::tools::RawEvent>& out) {
+  if (path == "-") {
+    out = bento::tools::read_jsonl(std::cin);
+    return true;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "bentotrace: cannot open " << path << "\n";
+    return false;
+  }
+  out = bento::tools::read_jsonl(in);
+  return true;
+}
+
+bool read_whole(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "bentotrace: cannot open " << path << "\n";
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = std::move(ss).str();
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (!self_check()) return 3;
-  if (argc != 3) return usage();
+  if (argc < 3) return usage();
   const std::string cmd = argv[1];
   const std::string path = argv[2];
 
   std::vector<bento::tools::RawEvent> events;
-  if (path == "-") {
-    events = bento::tools::read_jsonl(std::cin);
-  } else {
-    std::ifstream in(path);
-    if (!in) {
-      std::cerr << "bentotrace: cannot open " << path << "\n";
-      return 1;
+  if (!read_events(path, events)) return 1;
+
+  if (cmd == "shards") {
+    bento::obs::ShardProfileSnapshot wall;
+    bool have_wall = false;
+    for (int i = 3; i < argc; ++i) {
+      if (std::string(argv[i]) == "--profile" && i + 1 < argc) {
+        std::string text;
+        if (!read_whole(argv[++i], text)) return 1;
+        if (!bento::tools::parse_shard_profile(text, wall)) {
+          std::cerr << "bentotrace: not a ShardProfile JSON: " << argv[i] << "\n";
+          return 1;
+        }
+        have_wall = true;
+      } else {
+        return usage();
+      }
     }
-    events = bento::tools::read_jsonl(in);
+    bento::tools::format_shard_report(events, have_wall ? &wall : nullptr,
+                                      std::cout);
+    return 0;
   }
+
+  if (cmd == "slo") {
+    if (argc < 4) return usage();
+    std::vector<bento::obs::SloSpec> specs;
+    for (int i = 3; i < argc; ++i) {
+      bento::obs::SloSpec spec;
+      std::string err;
+      if (!bento::obs::parse_slo_spec(argv[i], spec, &err)) {
+        std::cerr << "bentotrace: bad SLO spec '" << argv[i] << "': " << err
+                  << "\n";
+        return 2;
+      }
+      specs.push_back(spec);
+    }
+    const bento::obs::SloReport report =
+        bento::tools::evaluate_trace_slos(events, specs);
+    std::cout << report.to_string();
+    return report.pass() ? 0 : 1;
+  }
+
+  if (argc != 3) return usage();
   const bento::tools::TraceForest forest = bento::tools::build_forest(events);
 
   if (cmd == "summary") {

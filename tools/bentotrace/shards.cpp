@@ -1,0 +1,245 @@
+#include "bentotrace/shards.hpp"
+
+#include <charconv>
+#include <cstdint>
+#include <ostream>
+
+namespace bento::tools {
+
+namespace {
+
+// Key-directed scanner for the ShardProfile emitter's fixed shape (no
+// whitespace, known key order). Like the jsonl reader, refusing anything
+// else means a foreign file is reported instead of half-read.
+template <typename Int>
+bool find_int(std::string_view text, std::string_view key, Int& out) {
+  const std::size_t at = text.find(key);
+  if (at == std::string_view::npos) return false;
+  std::string_view rest = text.substr(at + key.size());
+  const auto* begin = rest.data();
+  const auto* end = rest.data() + rest.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr != begin;
+}
+
+/// Splits `text` into the `{...}` object bodies of the array at `key`.
+std::vector<std::string_view> array_objects(std::string_view text,
+                                            std::string_view key) {
+  std::vector<std::string_view> out;
+  std::size_t at = text.find(key);
+  if (at == std::string_view::npos) return out;
+  at += key.size();
+  while (at < text.size() && text[at] != ']') {
+    if (text[at] != '{') {
+      ++at;
+      continue;
+    }
+    const std::size_t close = text.find('}', at);
+    if (close == std::string_view::npos) break;
+    out.push_back(text.substr(at + 1, close - at - 1));
+    at = close + 1;
+  }
+  return out;
+}
+
+void fixed1(std::ostream& os, double v) {
+  const std::int64_t scaled = static_cast<std::int64_t>(v * 10 + (v < 0 ? -0.5 : 0.5));
+  os << scaled / 10 << '.' << (scaled < 0 ? -(scaled % 10) : scaled % 10);
+}
+
+double pct(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+}
+
+struct RegionAgg {
+  std::uint32_t id = 0;
+  std::uint64_t events = 0;
+  std::uint64_t windows = 0;
+};
+
+}  // namespace
+
+bool parse_shard_profile(std::string_view json, obs::ShardProfileSnapshot& out) {
+  const std::size_t at = json.find("{\"shard_profile\":{");
+  if (at == std::string_view::npos) return false;
+  std::string_view body = json.substr(at);
+  // The wall object (when present) repeats no deterministic keys, and the
+  // regions/workers arrays carry their own, so whole-body key search is
+  // unambiguous against the emitter's schema.
+  if (!find_int(body, "\"windows\":", out.windows) ||
+      !find_int(body, "\"window_events\":", out.window_events) ||
+      !find_int(body, "\"max_window_events\":", out.max_window_events) ||
+      !find_int(body, "\"span_us\":{\"sum\":", out.span_sum_us) ||
+      !find_int(body, "\"min\":", out.span_min_us) ||
+      !find_int(body, "\"max\":", out.span_max_us) ||
+      !find_int(body, "\"mailbox\":{\"events\":", out.mailbox_events) ||
+      !find_int(body, "\"depth_high_water\":", out.mailbox_depth_hw) ||
+      !find_int(body, "\"exclusive_events\":", out.exclusive_events) ||
+      !find_int(body, "\"lookahead_us\":", out.lookahead_us)) {
+    return false;
+  }
+  out.regions.clear();
+  for (std::string_view obj : array_objects(body, "\"regions\":[")) {
+    obs::ShardProfileSnapshot::RegionRow row;
+    if (!find_int(obj, "\"id\":", row.id) ||
+        !find_int(obj, "\"events\":", row.events) ||
+        !find_int(obj, "\"windows\":", row.windows)) {
+      return false;
+    }
+    out.regions.push_back(row);
+  }
+  out.workers.clear();
+  const std::size_t wall_at = body.find(",\"wall\":{");
+  if (wall_at != std::string_view::npos) {
+    std::string_view wall = body.substr(wall_at);
+    if (!find_int(wall, "\"run_ns\":", out.run_wall_ns) ||
+        !find_int(wall, "\"dispatch_ns\":", out.dispatch_wall_ns) ||
+        !find_int(wall, "\"barrier_ns\":", out.barrier_wall_ns) ||
+        !find_int(wall, "\"drain_ns\":", out.drain_wall_ns) ||
+        !find_int(wall, "\"merge_ns\":", out.merge_wall_ns) ||
+        !find_int(wall, "\"exclusive_ns\":", out.exclusive_wall_ns)) {
+      return false;
+    }
+    for (std::string_view obj : array_objects(wall, "\"workers\":[")) {
+      obs::ShardProfileSnapshot::WorkerRow row;
+      if (!find_int(obj, "\"id\":", row.id) ||
+          !find_int(obj, "\"busy_ns\":", row.busy_ns) ||
+          !find_int(obj, "\"windows\":", row.windows) ||
+          !find_int(obj, "\"events\":", row.events)) {
+        return false;
+      }
+      out.workers.push_back(row);
+    }
+  }
+  return true;
+}
+
+void format_shard_report(const std::vector<RawEvent>& events,
+                         const obs::ShardProfileSnapshot* wall, std::ostream& os) {
+  std::vector<RegionAgg> regions;  // sparse by id, compacted below
+  std::uint64_t barriers = 0;
+  std::uint64_t span_sum = 0;
+  std::int64_t span_min = 0;
+  std::int64_t span_max = 0;
+  std::uint64_t active_sum = 0;
+  std::uint32_t active_min = 0;
+  std::uint32_t active_max = 0;
+  for (const RawEvent& e : events) {
+    if (e.ev == "shard.window") {
+      if (e.a >= regions.size()) regions.resize(e.a + 1);
+      regions[e.a].id = e.a;
+      regions[e.a].events += e.b;
+      regions[e.a].windows += 1;
+    } else if (e.ev == "shard.barrier") {
+      const auto span = static_cast<std::int64_t>(e.b);
+      if (barriers == 0 || span < span_min) span_min = span;
+      if (barriers == 0 || span > span_max) span_max = span;
+      if (barriers == 0 || e.a < active_min) active_min = e.a;
+      if (barriers == 0 || e.a > active_max) active_max = e.a;
+      ++barriers;
+      span_sum += e.b;
+      active_sum += e.a;
+    }
+  }
+  std::vector<RegionAgg> live;
+  std::uint64_t total = 0;
+  std::uint64_t max_ev = 0;
+  for (const RegionAgg& r : regions) {
+    if (r.events == 0) continue;
+    live.push_back(r);
+    total += r.events;
+    if (r.events > max_ev) max_ev = r.events;
+  }
+
+  os << "bentotrace shards: " << barriers << " barriers, " << live.size()
+     << " active regions, " << total << " events through windows\n";
+  if (barriers == 0) {
+    os << "no shard.window/shard.barrier events — serial or single-region "
+          "run, or the trace mask filtered them\n";
+    return;
+  }
+  os << "window span us: min=" << span_min << " mean=" << span_sum / barriers
+     << " max=" << span_max << "\n";
+  os << "active regions per window: min=" << active_min
+     << " mean=" << active_sum / barriers << " max=" << active_max << "\n";
+  const std::uint64_t imbalance =
+      live.empty() || total == 0 ? 1000 : max_ev * 1000 * live.size() / total;
+  os << "imbalance (max/mean x1000): " << imbalance << "\n";
+  os << "region balance:\n";
+  for (const RegionAgg& r : live) {
+    os << "  r" << r.id << " " << r.events << " ev ";
+    fixed1(os, pct(r.events, total));
+    os << "% " << r.windows << " win\n";
+  }
+
+  if (wall == nullptr) {
+    os << "wall attribution: no profile given (pass --profile "
+          "<profile_wall.json>)\n";
+    return;
+  }
+  const std::uint64_t attributed = wall->dispatch_wall_ns + wall->barrier_wall_ns +
+                                   wall->drain_wall_ns + wall->merge_wall_ns +
+                                   wall->exclusive_wall_ns;
+  const std::uint64_t other =
+      wall->run_wall_ns > attributed ? wall->run_wall_ns - attributed : 0;
+  os << "wall attribution (run ";
+  fixed1(os, static_cast<double>(wall->run_wall_ns) / 1e6);
+  os << " ms, ";
+  fixed1(os, pct(attributed, wall->run_wall_ns));
+  os << "% attributed):\n";
+  os << "  dispatch ";
+  fixed1(os, pct(wall->dispatch_wall_ns + wall->exclusive_wall_ns, wall->run_wall_ns));
+  os << "% | barrier wait ";
+  fixed1(os, pct(wall->barrier_wall_ns, wall->run_wall_ns));
+  os << "% | mailbox drain ";
+  fixed1(os, pct(wall->drain_wall_ns, wall->run_wall_ns));
+  os << "% | merge ";
+  fixed1(os, pct(wall->merge_wall_ns, wall->run_wall_ns));
+  os << "% | other ";
+  fixed1(os, pct(other, wall->run_wall_ns));
+  os << "%\n";
+  for (const auto& w : wall->workers) {
+    os << "  worker " << w.id << ": busy ";
+    fixed1(os, pct(w.busy_ns, wall->run_wall_ns));
+    os << "% (" << w.events << " ev, " << w.windows << " win, stall ";
+    fixed1(os, pct(wall->run_wall_ns > w.busy_ns ? wall->run_wall_ns - w.busy_ns : 0,
+                   wall->run_wall_ns));
+    os << "%)\n";
+  }
+}
+
+obs::SloReport evaluate_trace_slos(const std::vector<RawEvent>& events,
+                                   const std::vector<obs::SloSpec>& specs) {
+  obs::SloInput input;
+  std::vector<RegionAgg> regions;
+  std::uint64_t barriers = 0;
+  for (const RawEvent& e : events) {
+    if (e.ev == "stream.ttfb") {
+      input.add_sample("ttfb_us", static_cast<std::int64_t>(e.b));
+    } else if (e.ev == "stream.ttlb") {
+      input.add_sample("ttlb_us", static_cast<std::int64_t>(e.b));
+    } else if (e.ev == "shard.window") {
+      if (e.a >= regions.size()) regions.resize(e.a + 1);
+      regions[e.a].events += e.b;
+    } else if (e.ev == "shard.barrier") {
+      ++barriers;
+    }
+  }
+  std::uint64_t total = 0;
+  std::uint64_t max_ev = 0;
+  std::uint64_t live = 0;
+  for (const RegionAgg& r : regions) {
+    if (r.events == 0) continue;
+    total += r.events;
+    ++live;
+    if (r.events > max_ev) max_ev = r.events;
+  }
+  input.set_scalar("windows", static_cast<double>(barriers));
+  if (live > 0 && total > 0) {
+    input.set_scalar("region_imbalance",
+                     static_cast<double>(max_ev * 1000 * live / total) / 1000.0);
+  }
+  return obs::evaluate_slos("trace", specs, input);
+}
+
+}  // namespace bento::tools
