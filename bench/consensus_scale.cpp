@@ -25,6 +25,13 @@
 //   --profile-out FILE       ShardProfile JSON, deterministic half
 //   --profile-wall-out FILE  ShardProfile JSON + wall attribution (not stable)
 //   --trace-out FILE         trace.jsonl (stream + shard.window/barrier events)
+//   --trace-spans            add causal spans to the trace: one client.invoke
+//                            root per session (its duration == the session
+//                            TTLB), relay.forward + net.link spans along the
+//                            whole chain, and chaos events — the input
+//                            `bentotrace critpath` attributes. ~10x more ring
+//                            events per session; meant for the smaller
+//                            explainer run, not the 100k standing scenario
 //   --slo SPEC               replace the default objectives (repeatable)
 //   --top                    render a bentotop frame to stderr after the run
 // Exit code is the SLO verdict: 0 pass, 1 fail.
@@ -44,6 +51,7 @@
 
 #include "obs/profile.hpp"
 #include "obs/slo.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
@@ -71,6 +79,9 @@ constexpr int kEdgesPerRegion = 32;    // client-edge (NIC aggregation) nodes
 //   [6..9]   guard node id     [10..13] middle node id
 //   [14..17] exit node id      [18..21] edge node id
 //   [22]     mix byte (carries the crypto stand-in result hop to hop)
+//   [23..26] root span id (u32 LE; 0 unless --trace-spans): the edge ends
+//            the session's client.invoke span on the final reply cell, so
+//            the root's recorded duration IS the measured TTLB
 constexpr std::size_t kCellBytes = 64;
 
 std::uint32_t get_u32(const bu::Bytes& d, std::size_t at) {
@@ -124,6 +135,9 @@ class RelayHandler : public bs::MessageHandler {
   void on_message(bs::NodeId /*from*/, bu::Bytes data) override {
     g_cells.fetch_add(1, std::memory_order_relaxed);
     if (data.size() < kCellBytes) return;
+    // Inert (two loads) unless the cell carries a span context, i.e. the
+    // run was started with --trace-spans.
+    bo::SpanScope span(bo::Stage::RelayForward, self);
     const std::uint8_t stage = data[0];
     data[22] = static_cast<std::uint8_t>(mix_cell(data[22] + stage));
     // Destination is read into a local before std::move(data) — the by-value
@@ -186,6 +200,9 @@ class EdgeHandler : public bs::MessageHandler {
       bo::trace(bo::Ev::StreamTtfb, idx, static_cast<std::uint64_t>(delta));
     } else {
       bo::trace(bo::Ev::StreamTtlb, idx, static_cast<std::uint64_t>(delta));
+      // Close the session's root span (no-op when the cell carries no id):
+      // same sim instant as the ttlb stamp, so blame sums match the series.
+      bo::end_span(get_u32(data, 23), bo::Stage::ClientInvoke);
       ++completed;
     }
   }
@@ -201,6 +218,7 @@ struct Options {
   std::string trace_out;         // trace.jsonl
   std::vector<std::string> slo_specs;
   bool top = false;
+  bool trace_spans = false;      // causal spans for bentotrace critpath
 };
 
 bool write_file(const std::string& path, const std::string& body) {
@@ -240,6 +258,8 @@ int main(int argc, char** argv) {
       opt.profile_wall_out = value();
     } else if (arg == "--trace-out") {
       opt.trace_out = value();
+    } else if (arg == "--trace-spans") {
+      opt.trace_spans = true;
     } else if (arg == "--slo") {
       opt.slo_specs.push_back(value());
     } else if (arg == "--top") {
@@ -249,7 +269,7 @@ int main(int argc, char** argv) {
                    "usage: consensus_scale [--shards N] [--clients N] [--seed N]\n"
                    "                       [--out FILE] [--profile-out FILE]\n"
                    "                       [--profile-wall-out FILE] [--trace-out FILE]\n"
-                   "                       [--slo SPEC]... [--top]\n");
+                   "                       [--trace-spans] [--slo SPEC]... [--top]\n");
       return 2;
     }
   }
@@ -264,13 +284,24 @@ int main(int argc, char** argv) {
 
   // The trace ring needs ttfb+ttlb per client plus the per-barrier shard
   // events; cap the mask to exactly those kinds so the firehose kinds cost
-  // one branch each and the ring never wraps.
-  bo::recorder().enable(std::max<std::size_t>(std::size_t{1} << 18,
-                                              static_cast<std::size_t>(3 * opt.clients)));
-  bo::recorder().set_mask(bo::Recorder::mask_of(bo::Ev::StreamTtfb) |
-                          bo::Recorder::mask_of(bo::Ev::StreamTtlb) |
-                          bo::Recorder::mask_of(bo::Ev::ShardWindow) |
-                          bo::Recorder::mask_of(bo::Ev::ShardBarrier));
+  // one branch each and the ring never wraps. With --trace-spans, each
+  // session adds a root span, 9 net.link spans (4 events each: begin, end,
+  // wire + idle budget notes), 7 relay.forward spans and the ref notes —
+  // ~75 events/session — so the ring is sized accordingly.
+  bo::recorder().enable(std::max<std::size_t>(
+      std::size_t{1} << 18,
+      static_cast<std::size_t>((opt.trace_spans ? 96 : 3) * opt.clients)));
+  std::uint64_t mask = bo::Recorder::mask_of(bo::Ev::StreamTtfb) |
+                       bo::Recorder::mask_of(bo::Ev::StreamTtlb) |
+                       bo::Recorder::mask_of(bo::Ev::ShardWindow) |
+                       bo::Recorder::mask_of(bo::Ev::ShardBarrier);
+  if (opt.trace_spans) {
+    mask |= bo::Recorder::mask_of(bo::Ev::SpanBegin) |
+            bo::Recorder::mask_of(bo::Ev::SpanEnd) |
+            bo::Recorder::mask_of(bo::Ev::SpanNote) |
+            bo::Recorder::mask_of(bo::Ev::ChaosFault);
+  }
+  bo::recorder().set_mask(mask);
   bo::shard_profiler().reset();
 
   // Build. All regions are assigned while the latency map is empty, so the
@@ -332,7 +363,8 @@ int main(int argc, char** argv) {
     const bs::NodeId exit_ = relay_ids[re * kRelaysPerRegion + (c * 17 + 7) % kRelaysPerRegion];
     const Time start = ramp0 + Duration::micros(static_cast<std::int64_t>(c) * 100);
     start_us[c] = start.micros();
-    sim.post(r, start, [&net, edge, guard, middle, exit_, c] {
+    const bool spans = opt.trace_spans;
+    sim.post(r, start, [&net, edge, guard, middle, exit_, c, spans] {
       bu::Bytes cell(kCellBytes, 0);
       cell[0] = 0;
       put_u32(cell, 2, static_cast<std::uint32_t>(c));
@@ -341,7 +373,17 @@ int main(int argc, char** argv) {
       put_u32(cell, 14, exit_);
       put_u32(cell, 18, edge);
       cell[22] = static_cast<std::uint8_t>(c);
-      net.send(edge, guard, std::move(cell));
+      if (spans) {
+        // Root span for the whole session; detached, because the edge ends
+        // it when the final reply cell lands (its id rides in the cell).
+        // The first send happens inside the scope so the link inherits it.
+        bo::SpanScope root(bo::SpanScope::kRoot, bo::Stage::ClientInvoke,
+                           static_cast<std::uint32_t>(c));
+        put_u32(cell, 23, root.detach());
+        net.send(edge, guard, std::move(cell));
+      } else {
+        net.send(edge, guard, std::move(cell));
+      }
     });
   }
 

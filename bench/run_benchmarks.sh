@@ -33,6 +33,17 @@
 # TTFB ceiling among them); its byte-stable verdict lands in
 # BENCH_scenarios.json and the run fails if the verdict is "fail" or the
 # wall-time attribution drops below 95%.
+#
+# Tail-latency explainer gate (DESIGN.md §14): a fixed small spanned run of
+# the consensus scenario feeds `bentotrace critpath`; its blame profile is
+# diffed against the committed bench/consensus_critpath_golden.json and a
+# per-segment mean/tail regression (>10% and >50 µs) fails the script. The
+# top-blame segment and diff verdict are appended to BENCH_trajectory.jsonl.
+# Regenerate the golden after an intentional change with:
+#   ./build/bench/consensus_scale --shards 4 --clients 2000 --seed 42 \
+#     --trace-spans --trace-out /tmp/t.jsonl --slo "ttlb_us:count>=2000"
+#   ./build/tools/bentotrace critpath /tmp/t.jsonl --json \
+#     > bench/consensus_critpath_golden.json
 
 set -euo pipefail
 
@@ -62,6 +73,12 @@ if [[ ! -x "${consensus_bin}" ]]; then
   exit 1
 fi
 scenarios_json="${BENCH_SCENARIOS:-${repo_root}/BENCH_scenarios.json}"
+bentotrace_bin="${build_dir}/tools/bentotrace"
+if [[ ! -x "${bentotrace_bin}" ]]; then
+  echo "error: ${bentotrace_bin} not built (cmake --build ${build_dir} --target bentotrace)" >&2
+  exit 1
+fi
+critpath_golden="${BENCH_CRITPATH_GOLDEN:-${repo_root}/bench/consensus_critpath_golden.json}"
 
 raw_json="$(mktemp)"
 raw4_json="$(mktemp)"
@@ -69,7 +86,10 @@ scaling_json="$(mktemp)"
 consensus_summary="$(mktemp)"
 baseline_copy="$(mktemp)"
 obs_baseline_copy="$(mktemp)"
-trap 'rm -f "${raw_json}" "${raw4_json}" "${scaling_json}" "${consensus_summary}" "${baseline_copy}" "${obs_baseline_copy}"' EXIT
+critpath_trace="$(mktemp)"
+critpath_json="$(mktemp)"
+critpath_diff_json="$(mktemp)"
+trap 'rm -f "${raw_json}" "${raw4_json}" "${scaling_json}" "${consensus_summary}" "${baseline_copy}" "${obs_baseline_copy}" "${critpath_trace}" "${critpath_json}" "${critpath_diff_json}"' EXIT
 
 # Snapshot the committed baselines before anything overwrites them (the
 # default out paths are the baseline files themselves).
@@ -96,17 +116,40 @@ set +e
 consensus_exit=$?
 set -e
 
+# Tail-latency explainer gate (DESIGN.md §14): a fixed small spanned run of
+# the same scenario, its per-request critical-path blame profile, and a
+# `bentotrace diff` against the committed golden. The profile is a pure
+# function of (seed, clients, topology) — byte-stable across hosts and
+# shard counts — so the golden can be a committed JSON. The run carries its
+# own SLO (the default windows floor assumes the 100k-session scale);
+# --trace-spans is what the golden's blame numbers are made of.
+"${consensus_bin}" --shards 4 --clients 2000 --seed 42 --trace-spans \
+  --trace-out "${critpath_trace}" --slo "ttlb_us:count>=2000" >/dev/null
+"${bentotrace_bin}" critpath "${critpath_trace}" --json >"${critpath_json}"
+critpath_diff_exit=2  # 2 = skipped (no golden committed yet)
+if [[ -f "${critpath_golden}" ]]; then
+  set +e
+  "${bentotrace_bin}" diff "${critpath_golden}" "${critpath_json}" --json \
+    >"${critpath_diff_json}"
+  critpath_diff_exit=$?
+  set -e
+else
+  : >"${critpath_diff_json}"
+fi
+
 python3 - "${raw_json}" "${out_json}" "${obs_out_json}" \
   "${baseline_copy}" "${obs_baseline_copy}" "${trajectory_jsonl}" \
   "${git_rev}" "${BENCH_BASELINE_SKIP:-0}" "${scaling_json}" \
   "${raw4_json}" "${consensus_summary}" "${consensus_exit}" \
-  "${scenarios_json}" <<'PY'
+  "${scenarios_json}" "${critpath_json}" "${critpath_diff_json}" \
+  "${critpath_diff_exit}" <<'PY'
 import json
 import sys
 
 (raw_path, out_path, obs_out_path, baseline_path, obs_baseline_path,
  trajectory_path, git_rev, baseline_skip, scaling_path,
- raw4_path, consensus_summary_path, consensus_exit, scenarios_path) = sys.argv[1:14]
+ raw4_path, consensus_summary_path, consensus_exit, scenarios_path,
+ critpath_path, critpath_diff_path, critpath_diff_exit) = sys.argv[1:17]
 with open(raw_path) as f:
     raw = json.load(f)
 with open(scaling_path) as f:
@@ -319,6 +362,32 @@ print(f"consensus scenario: verdict={scenario_verdict}, "
       f"attributed={consensus['wall_attributed_pct']}%, "
       f"imbalance_x1000={consensus['region_imbalance_x1000']}")
 
+# ---- Tail-latency explainer gate (DESIGN.md §14) ------------------------
+# The spanned run's blame profile names the stage that owns the most
+# critical-path time, and `bentotrace diff` against the committed golden
+# flags any per-segment mean/tail regression (>10% and >50 µs). Both land
+# in the trajectory so the blame history is recorded PR over PR.
+with open(critpath_path) as f:
+    critpath = json.load(f)["critpath"]
+critpath_top_seg = critpath.get("top", "")
+critpath_tail_mean_us = critpath.get("cohorts", {}).get("tail_mean_us")
+if critpath_diff_exit == "2":
+    critpath_diff_verdict = "skip"
+    print("critpath gate: no committed golden "
+          "(regenerate: bentotrace critpath <trace> --json "
+          "> bench/consensus_critpath_golden.json)")
+else:
+    with open(critpath_diff_path) as f:
+        critpath_diff_verdict = json.load(f)["critpath_diff"]["verdict"]
+    if critpath_diff_verdict != "pass" and baseline_skip != "1":
+        failures.append(
+            "critical-path blame regressed vs bench/consensus_critpath_golden"
+            ".json (bentotrace diff: per-segment mean or tail mean grew "
+            ">10% and >50us)")
+print(f"critpath: top_seg={critpath_top_seg}, "
+      f"tail_mean_us={critpath_tail_mean_us}, "
+      f"diff_verdict={critpath_diff_verdict}")
+
 # ---- Shard-scaling gate (DESIGN.md §12) ---------------------------------
 # shards=4 must deliver >= 2.0x the cells/sec of shards=1 on the large
 # multi-region topology. Parallel speedup needs parallel hardware: on a
@@ -435,6 +504,9 @@ trajectory_entry = {
         prof_gate["windowed_churn_allocs_per_event"],
     "scenario_verdict": scenario_verdict,
     "scenario_ttfb_p99_us": scenario_ttfb_p99,
+    "critpath_top_seg": critpath_top_seg,
+    "critpath_tail_mean_us": critpath_tail_mean_us,
+    "critpath_diff_verdict": critpath_diff_verdict,
     "scenario_wall_attributed_pct": consensus["wall_attributed_pct"],
     "scenario_imbalance_x1000": consensus["region_imbalance_x1000"],
     "gate": "skip" if baseline_skip == "1" else ("fail" if failures else "pass"),

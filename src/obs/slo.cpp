@@ -138,8 +138,10 @@ std::int64_t slo_percentile(std::vector<std::int64_t> samples, double pct) {
   if (samples.empty()) return 0;
   std::sort(samples.begin(), samples.end());
   // Nearest rank: the smallest sample with at least pct% of the mass at or
-  // below it. rank is 1-based; clamp guards pct == 0 and fp round-up.
-  double rank = std::ceil(pct / 100.0 * static_cast<double>(samples.size()));
+  // below it. rank is 1-based; the epsilon keeps an exact rank exact when
+  // pct/100*n lands a hair above an integer (99.9% of 1000 must be rank
+  // 999, not 1000), and the clamps guard pct == 0 and the top end.
+  double rank = std::ceil(pct / 100.0 * static_cast<double>(samples.size()) - 1e-9);
   if (rank < 1) rank = 1;
   std::size_t idx = static_cast<std::size_t>(rank) - 1;
   if (idx >= samples.size()) idx = samples.size() - 1;

@@ -59,6 +59,12 @@ bool stage_names_complete();
 inline constexpr std::uint32_t kNoteRef = 0;        // circuit/container/node id
 inline constexpr std::uint32_t kNoteWireBytes = 1;  // message size on the wire
 inline constexpr std::uint32_t kNoteChaos = 2;      // injected chaos::FaultKind
+// Per-link budget notes stamped by sim::Network at send time, consumed by
+// the offline critical-path analyzer (obs/critpath.hpp, DESIGN.md §14):
+// the uncontended transit µs at spec bandwidth (serialize + propagate) and
+// the fault-added dwell µs (throttled serialization + injected delay).
+inline constexpr std::uint32_t kNoteLinkIdle = 3;   // idle transit budget, µs
+inline constexpr std::uint32_t kNoteChaosDwell = 4; // fault-added dwell, µs
 
 /// The propagated context: which request (trace) and which span is the
 /// causal parent of whatever happens next. 64 bits total, trivially

@@ -163,8 +163,31 @@ BENTO_HOT void Network::send(NodeId from, NodeId to, util::Bytes payload) {
   if (duplicate) dup_pkt = pkt;
   if (pkt.ctx.active()) {
     pkt.link_span = obs::open_span(obs::Stage::NetLink, to);
-    obs::span_note(pkt.link_span, obs::kNoteWireBytes,
-                   static_cast<std::uint32_t>(pkt.wire_size));
+    if (pkt.link_span != 0) {
+      obs::span_note(pkt.link_span, obs::kNoteWireBytes,
+                     static_cast<std::uint32_t>(pkt.wire_size));
+      // Budget notes for the offline critical-path analyzer: the span's
+      // measured duration minus these is pure queue wait. Each serialization
+      // leg is truncated to µs separately, exactly like the legs serve()
+      // schedules, so budget <= measured always holds. Downlink bandwidth is
+      // sampled at send time; a throttle landing mid-flight shifts the
+      // difference into the queue segment, never breaking the sum.
+      const NodeState& dst = *nodes_[to];
+      const auto wire = static_cast<double>(pkt.wire_size);
+      const Duration spec_ser =
+          Duration::seconds(wire / src.spec.up_bytes_per_sec) +
+          Duration::seconds(wire / dst.spec.down_bytes_per_sec);
+      const Duration idle = spec_ser + latency(from, to);
+      obs::span_note(pkt.link_span, obs::kNoteLinkIdle,
+                     static_cast<std::uint32_t>(idle.count_micros()));
+      const Duration cur_ser = Duration::seconds(wire / src.up.bytes_per_sec) +
+                               Duration::seconds(wire / dst.down.bytes_per_sec);
+      const Duration dwell = cur_ser - spec_ser + pkt.chaos_delay;
+      if (dwell.count_micros() > 0) {
+        obs::span_note(pkt.link_span, obs::kNoteChaosDwell,
+                       static_cast<std::uint32_t>(dwell.count_micros()));
+      }
+    }
   }
   enqueue(src.up, to, std::move(pkt));
   if (duplicate) enqueue(src.up, to, std::move(dup_pkt));

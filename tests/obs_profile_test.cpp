@@ -197,6 +197,56 @@ TEST(Slo, PercentileIsNearestRank) {
   EXPECT_EQ(bo::slo_percentile({}, 99), 0);
 }
 
+TEST(Slo, PercentileEdgeCases) {
+  // Empty series is defined as 0 (the engine separately fails the spec as
+  // missing — the helper itself must not trap).
+  EXPECT_EQ(bo::slo_percentile({}, 50), 0);
+  // Single sample: every percentile is that sample.
+  EXPECT_EQ(bo::slo_percentile({42}, 0.001), 42);
+  EXPECT_EQ(bo::slo_percentile({42}, 50), 42);
+  EXPECT_EQ(bo::slo_percentile({42}, 99.9), 42);
+  EXPECT_EQ(bo::slo_percentile({42}, 100), 42);
+  // Degenerate pct clamps to the extremes instead of indexing out of range.
+  std::vector<std::int64_t> v{10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  EXPECT_EQ(bo::slo_percentile(v, 0), 10);
+  EXPECT_EQ(bo::slo_percentile(v, 100), 100);
+  // Fractional percentiles on small N: ceil(99.9% of 10) = 10th sample.
+  EXPECT_EQ(bo::slo_percentile(v, 99.9), 100);
+  // ...and on N=1000 the nearest rank is the 999th sample, not the max.
+  std::vector<std::int64_t> big(1000);
+  for (int i = 0; i < 1000; ++i) big[static_cast<std::size_t>(i)] = i + 1;
+  EXPECT_EQ(bo::slo_percentile(big, 99.9), 999);
+  EXPECT_EQ(bo::slo_percentile(big, 99), 990);
+  // The input need not be sorted (the helper sorts a copy).
+  EXPECT_EQ(bo::slo_percentile({30, 10, 20}, 50), 20);
+}
+
+TEST(Slo, SpecGrammarRejectsGarbage) {
+  bo::SloSpec s;
+  std::string err;
+  // Percentiles live in (0, 100]: p0 is meaningless under nearest-rank,
+  // p100 is the max.
+  EXPECT_FALSE(bo::parse_slo_spec("x:p0<=1", s, &err));
+  EXPECT_NE(err.find("percentile"), std::string::npos);
+  ASSERT_TRUE(bo::parse_slo_spec("x:p100<=1", s));
+  EXPECT_DOUBLE_EQ(s.pct, 100.0);
+  EXPECT_EQ(s.name(), "x:p100");
+  // Mangled operators and non-numeric pieces all fail, never crash.
+  EXPECT_FALSE(bo::parse_slo_spec("", s, &err));
+  EXPECT_FALSE(bo::parse_slo_spec("x:p99<>5", s, &err));
+  EXPECT_FALSE(bo::parse_slo_spec("x:p99<=5trailing", s, &err));
+  EXPECT_FALSE(bo::parse_slo_spec("x:pabc<=5", s, &err));
+  EXPECT_FALSE(bo::parse_slo_spec("x:p<=5", s, &err));
+  EXPECT_FALSE(bo::parse_slo_spec(":p99<=5", s, &err));
+  EXPECT_FALSE(bo::parse_slo_spec("x:<=5", s, &err));
+  EXPECT_FALSE(bo::parse_slo_spec("x:p99<=", s, &err));
+  // Whitespace is not stripped: a padded metric is a different (and almost
+  // certainly missing) metric, and a padded target is not a number.
+  ASSERT_TRUE(bo::parse_slo_spec(" x :p99<=5", s));
+  EXPECT_EQ(s.metric, " x ");
+  EXPECT_FALSE(bo::parse_slo_spec("x:p99<= 5 ", s, &err));
+}
+
 TEST(Slo, MissingMetricFailsTheRun) {
   bo::SloInput input;
   input.add_sample("ttfb_us", 100);

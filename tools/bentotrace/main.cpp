@@ -11,22 +11,36 @@
 //                                      {dispatch, barrier wait, drain, merge}
 //   bentotrace slo     <trace.jsonl> SPEC [SPEC...]
 //                                      evaluate SLO specs (see obs/slo.hpp,
-//                                      e.g. ttfb_us:p99<=250000) against the
-//                                      trace; exit 0 pass / 1 fail
+//                                      e.g. ttfb_us:p99<=250000 or
+//                                      critpath.net_link_queue_us:p99<=...)
+//                                      against the trace; exit 0 pass / 1 fail
+//   bentotrace critpath <trace.jsonl> [--json]
+//                                      per-request critical-path blame,
+//                                      aggregated with p50-body vs p99-tail
+//                                      cohorts (DESIGN.md §14)
+//   bentotrace diff A B [--threshold-pct N] [--floor-us N] [--json]
+//                                      align two runs' blame profiles (each
+//                                      side: trace.jsonl or a critpath JSON)
+//                                      and flag per-segment regressions;
+//                                      exit 0 ok / 1 regressed
 //
 // `-` reads the dump from stdin. Every subcommand starts with a self-check
 // that obs::ev_name / obs::stage_name cover their whole enums — a new kind
 // added without a name string fails loudly here (and in CI) instead of
 // rendering as "unknown" in reports.
 
+#include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "bentotrace/critpath.hpp"
 #include "bentotrace/reader.hpp"
 #include "bentotrace/shards.hpp"
+#include "obs/critpath.hpp"
 #include "obs/slo.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
@@ -36,7 +50,10 @@ namespace {
 int usage() {
   std::cerr << "usage: bentotrace <summary|tree|chrome> <trace.jsonl|->\n"
                "       bentotrace shards <trace.jsonl|-> [--profile <profile_wall.json>]\n"
-               "       bentotrace slo <trace.jsonl|-> SPEC [SPEC...]\n";
+               "       bentotrace slo <trace.jsonl|-> SPEC [SPEC...]\n"
+               "       bentotrace critpath <trace.jsonl|-> [--json]\n"
+               "       bentotrace diff <A> <B> [--threshold-pct N] "
+               "[--floor-us N] [--json]\n";
   return 2;
 }
 
@@ -88,8 +105,61 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const std::string path = argv[2];
 
+  if (cmd == "diff") {
+    if (argc < 4) return usage();
+    std::uint64_t threshold_pct = 10;
+    std::int64_t floor_us = 50;
+    bool json = false;
+    for (int i = 4; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--threshold-pct" && i + 1 < argc) {
+        threshold_pct = std::strtoull(argv[++i], nullptr, 10);
+      } else if (arg == "--floor-us" && i + 1 < argc) {
+        floor_us = std::strtoll(argv[++i], nullptr, 10);
+      } else if (arg == "--json") {
+        json = true;
+      } else {
+        return usage();
+      }
+    }
+    bento::obs::BlameProfile a;
+    bento::obs::BlameProfile b;
+    std::string text;
+    std::string err;
+    if (!read_whole(path, text)) return 1;
+    if (!bento::tools::load_blame_profile(text, a, &err)) {
+      std::cerr << "bentotrace: " << path << ": " << err << "\n";
+      return 1;
+    }
+    if (!read_whole(argv[3], text)) return 1;
+    if (!bento::tools::load_blame_profile(text, b, &err)) {
+      std::cerr << "bentotrace: " << argv[3] << ": " << err << "\n";
+      return 1;
+    }
+    const bento::obs::BlameDiff diff =
+        bento::obs::diff_blame(a, b, threshold_pct, floor_us);
+    std::cout << (json ? diff.to_json() : diff.to_string());
+    return diff.regressed() ? 1 : 0;
+  }
+
   std::vector<bento::tools::RawEvent> events;
   if (!read_events(path, events)) return 1;
+
+  if (cmd == "critpath") {
+    bool json = false;
+    for (int i = 3; i < argc; ++i) {
+      if (std::string(argv[i]) == "--json") {
+        json = true;
+      } else {
+        return usage();
+      }
+    }
+    const bento::obs::BlameProfile profile = bento::obs::aggregate_blame(
+        bento::obs::compute_critical_paths(
+            bento::tools::crit_input_from_events(events)));
+    std::cout << (json ? profile.to_json() : profile.to_string());
+    return 0;
+  }
 
   if (cmd == "shards") {
     bento::obs::ShardProfileSnapshot wall;

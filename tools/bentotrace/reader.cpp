@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <array>
 #include <charconv>
-#include <cmath>
 #include <istream>
 #include <ostream>
+
+#include "bentotrace/textutil.hpp"
+#include "obs/slo.hpp"
 
 namespace bento::tools {
 
@@ -128,6 +130,10 @@ TraceForest build_forest(const std::vector<RawEvent>& events) {
         it->second.ref = value;
       } else if (note_kind == obs::kNoteWireBytes) {
         it->second.wire_bytes = value;
+      } else if (note_kind == obs::kNoteLinkIdle) {
+        it->second.idle_us = value;
+      } else if (note_kind == obs::kNoteChaosDwell) {
+        it->second.chaos_us = value;
       }
     } else if (ev.ev == "stream.ttfb") {
       forest.ttfb.emplace_back(ev.a, static_cast<std::int64_t>(ev.b));
@@ -174,17 +180,18 @@ void format_node(const TraceForest& forest, std::uint32_t id, int depth,
   if (!node.ok) os << " FAILED";
   if (node.ref != 0) os << " ref=" << node.ref;
   if (node.wire_bytes != 0) os << " wire=" << node.wire_bytes << "B";
+  if (node.chaos_us != 0) os << " chaos=+" << node.chaos_us << "us";
   os << "\n";
   for (const std::uint32_t child : node.children) {
     format_node(forest, child, depth + 1, os);
   }
 }
 
-std::int64_t percentile(std::vector<std::int64_t>& sorted, double p) {
-  if (sorted.empty()) return 0;
-  // Nearest-rank on the sorted sample; deterministic and monotone.
-  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
-  return sorted[static_cast<std::size_t>(std::llround(rank))];
+// Percentiles everywhere in bentotrace are obs::slo_percentile — the same
+// nearest-rank convention the SLO gates use, so a table can never disagree
+// with the spec that gates it.
+std::int64_t percentile(const std::vector<std::int64_t>& sorted, double p) {
+  return obs::slo_percentile(sorted, p);
 }
 
 }  // namespace
@@ -240,21 +247,13 @@ void format_stage_summary(const TraceForest& forest, std::ostream& os) {
     const std::string name(obs::stage_name(static_cast<obs::Stage>(i)));
     os << name;
     for (std::size_t pad = name.size(); pad < 20; ++pad) os << ' ';
-    auto col = [&os](std::int64_t v, int width) {
-      const std::string s = std::to_string(v);
-      for (std::size_t pad = s.size(); pad < static_cast<std::size_t>(width);
-           ++pad) {
-        os << ' ';
-      }
-      os << s;
-    };
-    col(static_cast<std::int64_t>(a.count), 6);
-    col(static_cast<std::int64_t>(a.failed), 6);
-    col(total, 10);
-    col(mean, 11);
-    col(percentile(a.durations, 50), 11);
-    col(percentile(a.durations, 95), 11);
-    col(a.durations.empty() ? 0 : a.durations.back(), 11);
+    rcol(os, static_cast<std::int64_t>(a.count), 6);
+    rcol(os, static_cast<std::int64_t>(a.failed), 6);
+    rcol(os, total, 10);
+    rcol(os, mean, 11);
+    rcol(os, percentile(a.durations, 50), 11);
+    rcol(os, percentile(a.durations, 95), 11);
+    rcol(os, a.durations.empty() ? 0 : a.durations.back(), 11);
     if (a.incomplete > 0) os << "  (" << a.incomplete << " incomplete)";
     os << "\n";
   }
@@ -275,23 +274,17 @@ void format_ttfb_table(const TraceForest& forest, std::ostream& os) {
       all.push_back(us);
     }
     os << label << " (us):\n";
-    os << "  circuit   count     p50     p95     max\n";
+    os << "  circuit   count     p50     p95     p99   p99.9     max\n";
     auto row = [&os](const std::string& key, std::vector<std::int64_t>& v) {
       std::sort(v.begin(), v.end());
       os << "  " << key;
       for (std::size_t pad = key.size(); pad < 8; ++pad) os << ' ';
-      auto col = [&os](std::int64_t x, int width) {
-        const std::string s = std::to_string(x);
-        for (std::size_t pad = s.size(); pad < static_cast<std::size_t>(width);
-             ++pad) {
-          os << ' ';
-        }
-        os << s;
-      };
-      col(static_cast<std::int64_t>(v.size()), 7);
-      col(percentile(v, 50), 8);
-      col(percentile(v, 95), 8);
-      col(v.back(), 8);
+      rcol(os, static_cast<std::int64_t>(v.size()), 7);
+      rcol(os, percentile(v, 50), 8);
+      rcol(os, percentile(v, 95), 8);
+      rcol(os, percentile(v, 99), 8);
+      rcol(os, percentile(v, 99.9), 8);
+      rcol(os, v.back(), 8);
       os << "\n";
     };
     for (auto& [circ, v] : per_circuit) row(std::to_string(circ), v);

@@ -50,6 +50,8 @@ struct SpanNode {
   bool ok = true;
   std::uint32_t ref = 0;         // kNoteRef annotation, if any
   std::uint64_t wire_bytes = 0;  // kNoteWireBytes annotation, if any
+  std::int64_t idle_us = 0;      // kNoteLinkIdle: uncontended transit budget
+  std::int64_t chaos_us = 0;     // kNoteChaosDwell: fault-added dwell
   std::vector<std::uint32_t> children;  // ordered by begin time (= id order)
 
   bool complete() const { return begin_ts >= 0 && end_ts >= 0; }

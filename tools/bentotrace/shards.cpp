@@ -1,55 +1,15 @@
 #include "bentotrace/shards.hpp"
 
-#include <charconv>
 #include <cstdint>
 #include <ostream>
+
+#include "bentotrace/critpath.hpp"
+#include "bentotrace/textutil.hpp"
+#include "obs/critpath.hpp"
 
 namespace bento::tools {
 
 namespace {
-
-// Key-directed scanner for the ShardProfile emitter's fixed shape (no
-// whitespace, known key order). Like the jsonl reader, refusing anything
-// else means a foreign file is reported instead of half-read.
-template <typename Int>
-bool find_int(std::string_view text, std::string_view key, Int& out) {
-  const std::size_t at = text.find(key);
-  if (at == std::string_view::npos) return false;
-  std::string_view rest = text.substr(at + key.size());
-  const auto* begin = rest.data();
-  const auto* end = rest.data() + rest.size();
-  auto [ptr, ec] = std::from_chars(begin, end, out);
-  return ec == std::errc{} && ptr != begin;
-}
-
-/// Splits `text` into the `{...}` object bodies of the array at `key`.
-std::vector<std::string_view> array_objects(std::string_view text,
-                                            std::string_view key) {
-  std::vector<std::string_view> out;
-  std::size_t at = text.find(key);
-  if (at == std::string_view::npos) return out;
-  at += key.size();
-  while (at < text.size() && text[at] != ']') {
-    if (text[at] != '{') {
-      ++at;
-      continue;
-    }
-    const std::size_t close = text.find('}', at);
-    if (close == std::string_view::npos) break;
-    out.push_back(text.substr(at + 1, close - at - 1));
-    at = close + 1;
-  }
-  return out;
-}
-
-void fixed1(std::ostream& os, double v) {
-  const std::int64_t scaled = static_cast<std::int64_t>(v * 10 + (v < 0 ? -0.5 : 0.5));
-  os << scaled / 10 << '.' << (scaled < 0 ? -(scaled % 10) : scaled % 10);
-}
-
-double pct(std::uint64_t part, std::uint64_t whole) {
-  return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) / static_cast<double>(whole);
-}
 
 struct RegionAgg {
   std::uint32_t id = 0;
@@ -168,7 +128,7 @@ void format_shard_report(const std::vector<RawEvent>& events,
   os << "region balance:\n";
   for (const RegionAgg& r : live) {
     os << "  r" << r.id << " " << r.events << " ev ";
-    fixed1(os, pct(r.events, total));
+    fixed1(os, pct_of(r.events, total));
     os << "% " << r.windows << " win\n";
   }
 
@@ -185,24 +145,24 @@ void format_shard_report(const std::vector<RawEvent>& events,
   os << "wall attribution (run ";
   fixed1(os, static_cast<double>(wall->run_wall_ns) / 1e6);
   os << " ms, ";
-  fixed1(os, pct(attributed, wall->run_wall_ns));
+  fixed1(os, pct_of(attributed, wall->run_wall_ns));
   os << "% attributed):\n";
   os << "  dispatch ";
-  fixed1(os, pct(wall->dispatch_wall_ns + wall->exclusive_wall_ns, wall->run_wall_ns));
+  fixed1(os, pct_of(wall->dispatch_wall_ns + wall->exclusive_wall_ns, wall->run_wall_ns));
   os << "% | barrier wait ";
-  fixed1(os, pct(wall->barrier_wall_ns, wall->run_wall_ns));
+  fixed1(os, pct_of(wall->barrier_wall_ns, wall->run_wall_ns));
   os << "% | mailbox drain ";
-  fixed1(os, pct(wall->drain_wall_ns, wall->run_wall_ns));
+  fixed1(os, pct_of(wall->drain_wall_ns, wall->run_wall_ns));
   os << "% | merge ";
-  fixed1(os, pct(wall->merge_wall_ns, wall->run_wall_ns));
+  fixed1(os, pct_of(wall->merge_wall_ns, wall->run_wall_ns));
   os << "% | other ";
-  fixed1(os, pct(other, wall->run_wall_ns));
+  fixed1(os, pct_of(other, wall->run_wall_ns));
   os << "%\n";
   for (const auto& w : wall->workers) {
     os << "  worker " << w.id << ": busy ";
-    fixed1(os, pct(w.busy_ns, wall->run_wall_ns));
+    fixed1(os, pct_of(w.busy_ns, wall->run_wall_ns));
     os << "% (" << w.events << " ev, " << w.windows << " win, stall ";
-    fixed1(os, pct(wall->run_wall_ns > w.busy_ns ? wall->run_wall_ns - w.busy_ns : 0,
+    fixed1(os, pct_of(wall->run_wall_ns > w.busy_ns ? wall->run_wall_ns - w.busy_ns : 0,
                    wall->run_wall_ns));
     os << "%)\n";
   }
@@ -238,6 +198,21 @@ obs::SloReport evaluate_trace_slos(const std::vector<RawEvent>& events,
   if (live > 0 && total > 0) {
     input.set_scalar("region_imbalance",
                      static_cast<double>(max_ev * 1000 * live / total) / 1000.0);
+  }
+  // critpath.* metrics (e.g. "critpath.net_link_queue_us:p99<=...") run the
+  // critical-path analyzer over the same events — lazily, only when a spec
+  // actually asks, so plain latency gates stay O(events).
+  bool want_critpath = false;
+  for (const obs::SloSpec& spec : specs) {
+    if (spec.metric.rfind("critpath.", 0) == 0) {
+      want_critpath = true;
+      break;
+    }
+  }
+  if (want_critpath) {
+    const obs::CritReport report =
+        obs::compute_critical_paths(crit_input_from_events(events));
+    obs::add_critpath_series(report, input);
   }
   return obs::evaluate_slos("trace", specs, input);
 }

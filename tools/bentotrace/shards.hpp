@@ -37,6 +37,8 @@ void format_shard_report(const std::vector<RawEvent>& events,
 /// Builds the SLO input (ttfb_us / ttlb_us series) from trace events and
 /// evaluates the given objectives. Scalar metrics available: "windows"
 /// (shard.barrier count) and "region_imbalance" (from shard.window events).
+/// Specs naming "critpath.*" metrics (e.g. critpath.net_link_queue_us) run
+/// the critical-path analyzer over the same events to build those series.
 obs::SloReport evaluate_trace_slos(const std::vector<RawEvent>& events,
                                    const std::vector<obs::SloSpec>& specs);
 
