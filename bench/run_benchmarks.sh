@@ -2,7 +2,7 @@
 # Run the datapath microbenchmarks and distill BENCH_datapath.json plus
 # BENCH_obs.json.
 #
-# Usage: bench/run_benchmarks.sh [build-dir] [out-json] [obs-out-json]
+# Usage: bench/run_benchmarks.sh [build-dir] [out-json] [obs-out-json] [store-out-json]
 #
 # BENCH_datapath.json records keystream throughput (seed scalar baseline vs
 # the current 8-block kernel), the 3-hop relay datapath (cells/s, MB/s,
@@ -24,6 +24,12 @@
 # also appends one line to BENCH_trajectory.jsonl so the perf history of the
 # repo is recorded PR over PR. Set BENCH_BASELINE_SKIP=1 to bypass the gate
 # (e.g. when intentionally refreshing the committed baselines).
+#
+# Sealed-store gates (DESIGN.md §15): BENCH_store.json records the blob
+# store's append/replay/compaction story. The run fails if a steady-state
+# append performs any heap allocation, if replaying the same log twice does
+# not reproduce a byte-identical namespace (SHA-256 snapshot digest), or if
+# an idle persistent-store mount costs the invoke datapath more than 2%.
 #
 # Shard observatory gates (DESIGN.md §13): the profiler hot hooks must add
 # <= 2% to the relay datapath and zero allocations per cell — at --shards 1
@@ -51,9 +57,11 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 out_json="${2:-${repo_root}/BENCH_datapath.json}"
 obs_out_json="${3:-${repo_root}/BENCH_obs.json}"
+store_out_json="${4:-${repo_root}/BENCH_store.json}"
 min_time="${BENCH_MIN_TIME:-0.2}"
 baseline_json="${BENCH_BASELINE:-${repo_root}/BENCH_datapath.json}"
 obs_baseline_json="${BENCH_OBS_BASELINE:-${repo_root}/BENCH_obs.json}"
+store_baseline_json="${BENCH_STORE_BASELINE:-${repo_root}/BENCH_store.json}"
 trajectory_jsonl="${BENCH_TRAJECTORY:-${repo_root}/BENCH_trajectory.jsonl}"
 git_rev="$(git -C "${repo_root}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
@@ -72,6 +80,11 @@ if [[ ! -x "${consensus_bin}" ]]; then
   echo "error: ${consensus_bin} not built (cmake --build ${build_dir} --target consensus_scale)" >&2
   exit 1
 fi
+store_bin="${build_dir}/bench/store"
+if [[ ! -x "${store_bin}" ]]; then
+  echo "error: ${store_bin} not built (cmake --build ${build_dir} --target store)" >&2
+  exit 1
+fi
 scenarios_json="${BENCH_SCENARIOS:-${repo_root}/BENCH_scenarios.json}"
 bentotrace_bin="${build_dir}/tools/bentotrace"
 if [[ ! -x "${bentotrace_bin}" ]]; then
@@ -82,19 +95,22 @@ critpath_golden="${BENCH_CRITPATH_GOLDEN:-${repo_root}/bench/consensus_critpath_
 
 raw_json="$(mktemp)"
 raw4_json="$(mktemp)"
+raw_store_json="$(mktemp)"
 scaling_json="$(mktemp)"
 consensus_summary="$(mktemp)"
 baseline_copy="$(mktemp)"
 obs_baseline_copy="$(mktemp)"
+store_baseline_copy="$(mktemp)"
 critpath_trace="$(mktemp)"
 critpath_json="$(mktemp)"
 critpath_diff_json="$(mktemp)"
-trap 'rm -f "${raw_json}" "${raw4_json}" "${scaling_json}" "${consensus_summary}" "${baseline_copy}" "${obs_baseline_copy}" "${critpath_trace}" "${critpath_json}" "${critpath_diff_json}"' EXIT
+trap 'rm -f "${raw_json}" "${raw4_json}" "${raw_store_json}" "${scaling_json}" "${consensus_summary}" "${baseline_copy}" "${obs_baseline_copy}" "${store_baseline_copy}" "${critpath_trace}" "${critpath_json}" "${critpath_diff_json}"' EXIT
 
 # Snapshot the committed baselines before anything overwrites them (the
 # default out paths are the baseline files themselves).
 if [[ -f "${baseline_json}" ]]; then cp "${baseline_json}" "${baseline_copy}"; else : >"${baseline_copy}"; fi
 if [[ -f "${obs_baseline_json}" ]]; then cp "${obs_baseline_json}" "${obs_baseline_copy}"; else : >"${obs_baseline_copy}"; fi
+if [[ -f "${store_baseline_json}" ]]; then cp "${store_baseline_json}" "${store_baseline_copy}"; else : >"${store_baseline_copy}"; fi
 
 "${bin}" --benchmark_format=json --benchmark_min_time="${min_time}" \
   >"${raw_json}"
@@ -104,6 +120,12 @@ if [[ -f "${obs_baseline_json}" ]]; then cp "${obs_baseline_json}" "${obs_baseli
 "${bin}" --shards 4 \
   --benchmark_filter='Profiled|ProfilerOverhead|WindowedDispatchChurn' \
   --benchmark_format=json --benchmark_min_time="${min_time}" >"${raw4_json}"
+
+# Sealed blob-store benchmarks (DESIGN.md §15): append/replay/compaction,
+# the zero-alloc steady-state append, the replay-determinism witness, and
+# the idle-mount invoke-datapath tax.
+"${store_bin}" --benchmark_format=json --benchmark_min_time="${min_time}" \
+  >"${raw_store_json}"
 
 # Shard-scaling sweep (DESIGN.md §12): region-sharded simulator throughput
 # at shards 1/2/4/8 on the large multi-region topology.
@@ -142,14 +164,16 @@ python3 - "${raw_json}" "${out_json}" "${obs_out_json}" \
   "${git_rev}" "${BENCH_BASELINE_SKIP:-0}" "${scaling_json}" \
   "${raw4_json}" "${consensus_summary}" "${consensus_exit}" \
   "${scenarios_json}" "${critpath_json}" "${critpath_diff_json}" \
-  "${critpath_diff_exit}" <<'PY'
+  "${critpath_diff_exit}" "${raw_store_json}" "${store_baseline_copy}" \
+  "${store_out_json}" <<'PY'
 import json
 import sys
 
 (raw_path, out_path, obs_out_path, baseline_path, obs_baseline_path,
  trajectory_path, git_rev, baseline_skip, scaling_path,
  raw4_path, consensus_summary_path, consensus_exit, scenarios_path,
- critpath_path, critpath_diff_path, critpath_diff_exit) = sys.argv[1:17]
+ critpath_path, critpath_diff_path, critpath_diff_exit,
+ raw_store_path, store_baseline_path, store_out_path) = sys.argv[1:20]
 with open(raw_path) as f:
     raw = json.load(f)
 with open(scaling_path) as f:
@@ -297,6 +321,52 @@ with open(obs_out_path, "w") as f:
 
 print(json.dumps(obs, indent=2))
 
+# Sealed blob-store distillation (BENCH_store.json, DESIGN.md §15).
+with open(raw_store_path) as f:
+    raw_store = json.load(f)
+s_by = {b["name"]: b for b in raw_store["benchmarks"]}
+
+def s_mb(name):
+    return round(s_by[name]["bytes_per_second"] / 1e6, 1)
+
+s_idle = s_by["BM_StoreIdleInvokeOverhead"]
+s_replay = s_by["BM_StoreReplay"]
+s_compact = s_by["BM_StoreCompact"]
+store = {
+    "bench": "store",
+    "append": {
+        "sealed_mb_s_512": s_mb("BM_StoreAppend/512"),
+        "sealed_mb_s_4096": s_mb("BM_StoreAppend/4096"),
+        "plain_mb_s_4096": s_mb("BM_StoreAppendPlain/4096"),
+        "appends_per_sec_512": round(s_by["BM_StoreAppend/512"]["items_per_second"]),
+        "allocs_per_append_512": s_by["BM_StoreAppend/512"]["allocs_per_append"],
+        "allocs_per_append_4096": s_by["BM_StoreAppend/4096"]["allocs_per_append"],
+    },
+    "replay": {
+        "mb_per_sec": round(s_replay["bytes_per_second"] / 1e6, 1),
+        "frames_per_sec": round(s_replay["items_per_second"]),
+        "deterministic": int(s_replay["deterministic"]),
+        "torn": int(s_replay["torn"]),
+        "live_files": int(s_replay["live_files"]),
+    },
+    "compaction": {
+        "compactions_per_sec": round(s_compact["items_per_second"]),
+        "sealed_kb_per_compaction": round(
+            s_compact["sealed_bytes_per_compaction"] / 1e3, 1),
+        "reclaimed_ratio": round(s_compact["reclaimed_ratio"], 3),
+    },
+    "idle_mount": {
+        "invoke_overhead_pct": round(s_idle["overhead_pct"], 2),
+        "extra_allocs_per_invoke": s_idle["extra_allocs_per_invoke"],
+    },
+}
+
+with open(store_out_path, "w") as f:
+    json.dump(store, f, indent=2)
+    f.write("\n")
+
+print(json.dumps(store, indent=2))
+
 # Smoke assertions: the invariants these PRs establish must hold wherever
 # the benchmark runs, independent of absolute host speed.
 failures = []
@@ -329,6 +399,19 @@ if chaos_gate["extra_allocs_per_cell"] > 0:
     failures.append("idle chaos hooks allocate on the network send path")
 if chaos_gate["overhead_pct"] > 2.0:
     failures.append("idle chaos hooks cost the network send path above 2%")
+# Sealed-store gates (DESIGN.md §15): steady-state appends are heap-free,
+# replay of one log is byte-deterministic (SHA-256 namespace digest), and
+# an idle persistent mount taxes the invoke datapath at most 2%.
+if store["append"]["allocs_per_append_512"] != 0:
+    failures.append("store append (512B) allocates in steady state")
+if store["append"]["allocs_per_append_4096"] != 0:
+    failures.append("store append (4KiB) allocates in steady state")
+if store["replay"]["deterministic"] != 1:
+    failures.append("store replay is not deterministic (snapshot digest drifted)")
+if store["replay"]["torn"] != 0:
+    failures.append("store replay reported a torn tail on a fully synced log")
+if store["idle_mount"]["invoke_overhead_pct"] > 2.0:
+    failures.append("idle persistent-store mount costs the invoke datapath above 2%")
 # Shard profiler gates (DESIGN.md §13): hooks free of heap and <= 2% on the
 # cell datapath, serial and pooled alike.
 prof_gate = obs["shard_profiler"]
@@ -474,6 +557,17 @@ else:
             gate_allocs("idle chaos hooks",
                         chaos_gate["extra_allocs_per_cell"],
                         base_chaos["extra_allocs_per_cell"])
+        store_base = load_baseline(store_baseline_path)
+        if store_base is not None:
+            gate_allocs("store append (512B)",
+                        store["append"]["allocs_per_append_512"],
+                        store_base["append"]["allocs_per_append_512"])
+            gate_allocs("store append (4KiB)",
+                        store["append"]["allocs_per_append_4096"],
+                        store_base["append"]["allocs_per_append_4096"])
+            if (store["replay"]["deterministic"] <
+                    store_base["replay"]["deterministic"]):
+                failures.append("store replay determinism regressed vs baseline")
         print("bench gate: compared against committed baselines"
               + (" — FAILED" if failures else " — ok"))
 
@@ -509,6 +603,9 @@ trajectory_entry = {
     "critpath_diff_verdict": critpath_diff_verdict,
     "scenario_wall_attributed_pct": consensus["wall_attributed_pct"],
     "scenario_imbalance_x1000": consensus["region_imbalance_x1000"],
+    "store_allocs_per_append": store["append"]["allocs_per_append_512"],
+    "store_replay_deterministic": store["replay"]["deterministic"],
+    "store_idle_overhead_pct": store["idle_mount"]["invoke_overhead_pct"],
     "gate": "skip" if baseline_skip == "1" else ("fail" if failures else "pass"),
 }
 with open(trajectory_path, "a") as f:
@@ -519,4 +616,4 @@ if failures:
     sys.exit(1)
 PY
 
-echo "wrote ${out_json}, ${obs_out_json}, ${scenarios_json}; appended ${trajectory_jsonl}"
+echo "wrote ${out_json}, ${obs_out_json}, ${store_out_json}, ${scenarios_json}; appended ${trajectory_jsonl}"

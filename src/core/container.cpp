@@ -41,7 +41,13 @@ Container::Container(BentoServer& server, std::uint64_t id, std::string image,
   }
 }
 
-Container::~Container() { *alive_ = false; }
+Container::~Container() {
+  *alive_ = false;
+  // Normal teardown returns the volume name for the next tenant. After a
+  // server crash() the key was already forcibly cleared (a dead process
+  // releases nothing; the claim table itself died with it).
+  if (!store_volume_key_.empty()) server_.release_store_name(store_volume_key_);
+}
 
 void Container::install(const FunctionManifest& manifest, const UploadBody& body,
                         tor::EdgeStream* uploader,
@@ -54,12 +60,27 @@ void Container::install(const FunctionManifest& manifest, const UploadBody& body
   resources_ = std::make_unique<sandbox::ResourceAccountant>(manifest.resources,
                                                              &server_.aggregate());
   std::unique_ptr<sandbox::VfsBackend> backend;
-  if (conclave_ != nullptr) {
+  if (server_.persistent_store()) {
+    // Persistent mount: the chroot sits on the sealed blob store, keyed by
+    // function name. take_or_open_store replays whatever the named volume
+    // already holds (possibly staged by recover_stores after a chaos
+    // restart), so a crashed Dropbox comes back with its files.
+    store_ = server_.take_or_open_store(manifest.name, &store_volume_key_);
+    auto mount = std::make_unique<sandbox::StoreBackend>(store_.get());
+    mount->set_on_mutate([this] { schedule_store_maintenance(); });
+    backend = std::move(mount);
+  } else if (conclave_ != nullptr) {
     backend = std::make_unique<FsProtectBackend>(conclave_->fs());
   } else {
     backend = std::make_unique<sandbox::MemoryBackend>();
   }
   vfs_ = std::make_unique<sandbox::Vfs>(std::move(backend), *resources_);
+  if (store_ != nullptr) {
+    // Replayed files get charged exactly like fresh writes (throws — and
+    // fails the install — if the recovered state busts the disk budget).
+    vfs_->restore_accounting();
+    schedule_store_maintenance();
+  }
   netfilter_ =
       sandbox::NetFilter::from_exit_policy(server_.router().descriptor().exit_policy);
   stem_ = std::make_unique<StemSession>(server_.stem_proxy(), server_.directory(),
@@ -185,6 +206,27 @@ void Container::kill(const std::string& reason) {
 void Container::update_memory(std::size_t sandbox_estimate) {
   resources_->charge_memory(sandbox_estimate);
   if (conclave_ != nullptr) conclave_->set_memory_bytes(sandbox_estimate);
+}
+
+void Container::schedule_store_maintenance() {
+  // Background compaction rides the simulator like any other housekeeping —
+  // but armed by mutations (the StoreBackend on_mutate hook) rather than a
+  // free-running period, so an idle store leaves the event queue empty and
+  // world.run() quiesces. One tick is pending at a time; the weak liveness
+  // token keeps a doomed container's tick from touching freed state.
+  if (compaction_pending_ || store_ == nullptr || !store_->wants_compaction()) {
+    return;
+  }
+  compaction_pending_ = true;
+  constexpr util::Duration kStoreMaintenanceDelay = util::Duration::millis(250);
+  server_.simulator().after(
+      kStoreMaintenanceDelay,
+      [this, alive = std::weak_ptr<bool>(alive_)] {
+        const std::shared_ptr<bool> lock = alive.lock();
+        if (lock == nullptr || !*lock || store_ == nullptr) return;
+        compaction_pending_ = false;
+        if (store_->wants_compaction()) store_->compact();
+      });
 }
 
 // ---- HostApi ----

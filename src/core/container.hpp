@@ -69,6 +69,10 @@ class Container final : public HostApi {
   const TokenPair& tokens() const { return tokens_; }
   const FunctionManifest& manifest() const { return manifest_; }
   tee::Conclave* conclave() { return conclave_.get(); }
+  /// Non-null when the chroot is mounted on the persistent sealed store.
+  /// (const member, mutable store: digest/get traffic touches the LRU.)
+  store::BlobStore* blob_store() const { return store_.get(); }
+  const std::string& store_volume_key() const { return store_volume_key_; }
   std::optional<tee::SecureChannel>& channel() { return channel_; }
 
   /// Installs the function; throws (sandbox/script/parse errors) on failure.
@@ -117,6 +121,10 @@ class Container final : public HostApi {
   void run_guarded(Fn&& fn);
   void kill(const std::string& reason);
   void update_memory(std::size_t sandbox_estimate);
+  /// Arms one background-compaction simulator event when the store's
+  /// garbage ratio warrants it (called from the StoreBackend mutation
+  /// hook); guarded by the liveness token. No-op while one is pending.
+  void schedule_store_maintenance();
 
   BentoServer& server_;
   std::uint64_t id_;
@@ -127,6 +135,12 @@ class Container final : public HostApi {
   sandbox::SyscallFilter filter_ = sandbox::SyscallFilter::deny_all();
   std::unique_ptr<sandbox::ResourceAccountant> resources_;
   std::unique_ptr<sandbox::Vfs> vfs_;
+  /// Persistent-store lifecycle: the container owns the BlobStore (open
+  /// log, index, cache); the underlying Volume belongs to the server's
+  /// VolumeManager and survives crashes.
+  std::unique_ptr<store::BlobStore> store_;
+  std::string store_volume_key_;
+  bool compaction_pending_ = false;
   sandbox::NetFilter netfilter_ = sandbox::NetFilter::deny_all();
   std::unique_ptr<tee::Conclave> conclave_;
   std::optional<tee::SecureChannel> channel_;

@@ -52,7 +52,18 @@ BentoServer::BentoServer(sim::Simulator& sim, sim::Network& net, tor::Router& ro
       config_(std::move(config)),
       rng_(rng),
       platform_(rng_.next_u64(), ias.current_tcb(), rng_),
-      aggregate_(config_.aggregate_limits) {
+      aggregate_(config_.aggregate_limits),
+      // Seeded from the fingerprint (FNV-1a), NOT from rng_: the durable
+      // media must not perturb the server's existing random streams, and
+      // torn-tail draws stay a function of the node identity alone.
+      volumes_([&router] {
+        std::uint64_t h = 1469598103934665603ull;
+        for (const char c : router.fingerprint()) {
+          h ^= static_cast<std::uint8_t>(c);
+          h *= 1099511628211ull;
+        }
+        return h;
+      }()) {
   ias_.provision(platform_);
   // The companion onion proxy: the Stem-firewalled Tor access functions
   // get. Its node is "localhost" relative to the relay.
@@ -359,12 +370,73 @@ void BentoServer::crash() {
                  containers_.size(), " containers");
   counters_.deaths += containers_.size();
   conns_.clear();
+  // A dead process releases no claims: clear each doomed container's volume
+  // key so its (deferred) destructor cannot release a name a post-restart
+  // container has since re-claimed.
+  for (auto& [id, container] : containers_) container->store_volume_key_.clear();
   // Same deferral as remove_container: a chaos handler may reach this from
   // inside a container's own call stack.
   auto doomed = std::make_shared<std::map<std::uint64_t, std::unique_ptr<Container>>>(
       std::move(containers_));
   containers_.clear();
   sim_.after(util::Duration::micros(0), [doomed] {});
+  // Durable media take the crash too: unsynced bytes vanish, the active
+  // segment keeps a deterministic torn prefix. Everything RAM-resident
+  // about the stores (staged recoveries, name claims) dies with the
+  // process; the Volumes themselves survive inside volumes_.
+  recovered_.clear();
+  open_store_names_.clear();
+  volumes_.crash();
+}
+
+std::unique_ptr<store::BlobStore> BentoServer::take_or_open_store(
+    const std::string& name, std::string* volume_key) {
+  // Duplicate live functions under one name must not share a log: the
+  // second claimant gets a uniquified volume (durable only under that
+  // exact suffix — acceptable for replicas, which rebuild from their
+  // primary anyway).
+  std::string key = name;
+  for (std::uint64_t n = 2; open_store_names_.contains(key); ++n) {
+    key = name + "#" + std::to_string(n);
+  }
+  open_store_names_.insert(key);
+  if (volume_key != nullptr) *volume_key = key;
+
+  auto staged = recovered_.find(key);
+  if (staged != recovered_.end()) {
+    std::unique_ptr<store::BlobStore> blob = std::move(staged->second);
+    recovered_.erase(staged);
+    return blob;
+  }
+  std::unique_ptr<store::Sealer> sealer =
+      config_.sgx_available
+          ? tee::make_store_sealer(platform_, runtime_measurement(), key)
+          : store::make_null_sealer();
+  auto blob = std::make_unique<store::BlobStore>(
+      volumes_.open(key), std::move(sealer), config_.store_options);
+  if (blob->volume().total_bytes() > 0) blob->replay();
+  return blob;
+}
+
+void BentoServer::release_store_name(const std::string& volume_key) {
+  open_store_names_.erase(volume_key);
+}
+
+std::vector<std::pair<std::string, store::ReplayReport>>
+BentoServer::recover_stores() {
+  std::vector<std::pair<std::string, store::ReplayReport>> reports;
+  for (const std::string& key : volumes_.keys()) {
+    if (open_store_names_.contains(key) || recovered_.contains(key)) continue;
+    std::unique_ptr<store::Sealer> sealer =
+        config_.sgx_available
+            ? tee::make_store_sealer(platform_, runtime_measurement(), key)
+            : store::make_null_sealer();
+    auto blob = std::make_unique<store::BlobStore>(
+        volumes_.open(key), std::move(sealer), config_.store_options);
+    reports.emplace_back(key, blob->replay());
+    recovered_.emplace(key, std::move(blob));
+  }
+  return reports;
 }
 
 void BentoServer::remove_container(std::uint64_t id) {

@@ -30,6 +30,8 @@ void BentoWorld::start() {
     cfg.policy = options_.policy;
     cfg.sgx_available = options_.sgx_available;
     cfg.verify = options_.verify;
+    cfg.persistent_store = options_.persistent_store;
+    cfg.store_options = options_.store_options;
     servers_.push_back(std::make_unique<BentoServer>(
         bed_.sim(), bed_.net(), router, bed_.directory(), bed_.consensus(), *ias_,
         natives_, cfg, bed_.rng().fork()));

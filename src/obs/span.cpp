@@ -19,6 +19,9 @@ const char* stage_name(Stage stage) {
     case Stage::FnExecute: return "fn.execute";
     case Stage::StemMediate: return "stem.mediate";
     case Stage::Attest: return "attest";
+    case Stage::StoreAppend: return "store.append";
+    case Stage::StoreCompact: return "store.compact";
+    case Stage::StoreReplay: return "store.replay";
     case Stage::kCount: break;
   }
   return "unknown";

@@ -46,6 +46,9 @@ enum class Stage : std::uint8_t {
   FnExecute,       // function code running inside the sandbox
   StemMediate,     // Stem firewall mediating one control-plane call
   Attest,          // spawn-time remote attestation round
+  StoreAppend,     // sealed blob store: frame sealed + committed to the log
+  StoreCompact,    // sealed blob store: background segment compaction run
+  StoreReplay,     // sealed blob store: crash-consistent log replay
   kCount,
 };
 

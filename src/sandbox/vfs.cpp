@@ -4,6 +4,12 @@
 
 namespace bento::sandbox {
 
+std::optional<std::size_t> VfsBackend::size_of(const std::string& path) const {
+  const std::optional<util::Bytes> data = get(path);
+  if (!data.has_value()) return std::nullopt;
+  return data->size();
+}
+
 void MemoryBackend::put(const std::string& path, util::ByteView data) {
   files_[path] = util::Bytes(data.begin(), data.end());
 }
@@ -21,6 +27,27 @@ std::vector<std::string> MemoryBackend::keys() const {
   out.reserve(files_.size());
   for (const auto& [k, v] : files_) out.push_back(k);
   return out;
+}
+
+void StoreBackend::put(const std::string& path, util::ByteView data) {
+  blob_->put(path, data);
+  if (on_mutate_) on_mutate_();
+}
+
+std::optional<util::Bytes> StoreBackend::get(const std::string& path) const {
+  return blob_->get(path);
+}
+
+bool StoreBackend::erase(const std::string& path) {
+  const bool existed = blob_->remove(path);
+  if (existed && on_mutate_) on_mutate_();
+  return existed;
+}
+
+std::vector<std::string> StoreBackend::keys() const { return blob_->list(); }
+
+std::optional<std::size_t> StoreBackend::size_of(const std::string& path) const {
+  return blob_->size_of(path);
 }
 
 std::string chroot_normalize(const std::string& path) {
@@ -75,5 +102,18 @@ bool Vfs::exists(const std::string& path) const {
 }
 
 std::vector<std::string> Vfs::list() const { return backend_->keys(); }
+
+void Vfs::restore_accounting() {
+  for (const std::string& key : backend_->keys()) {
+    const std::optional<std::size_t> size = backend_->size_of(key);
+    if (!size.has_value()) continue;
+    const auto old = sizes_.find(key);
+    const std::int64_t delta =
+        static_cast<std::int64_t>(*size) -
+        (old == sizes_.end() ? 0 : static_cast<std::int64_t>(old->second));
+    resources_.charge_disk(delta);
+    sizes_[key] = *size;
+  }
+}
 
 }  // namespace bento::sandbox

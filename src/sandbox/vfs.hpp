@@ -9,6 +9,7 @@
 // selected by the backend interface.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -16,11 +17,13 @@
 #include <vector>
 
 #include "sandbox/resources.hpp"
+#include "store/store.hpp"
 #include "util/bytes.hpp"
 
 namespace bento::sandbox {
 
-/// Storage backend: plain memory or an enclaved FsProtect.
+/// Storage backend: plain memory, an enclaved FsProtect, or the persistent
+/// sealed blob store.
 class VfsBackend {
  public:
   virtual ~VfsBackend() = default;
@@ -28,6 +31,9 @@ class VfsBackend {
   virtual std::optional<util::Bytes> get(const std::string& path) const = 0;
   virtual bool erase(const std::string& path) = 0;
   virtual std::vector<std::string> keys() const = 0;
+  /// Size without materializing contents (recovery accounting). The default
+  /// reads the file.
+  virtual std::optional<std::size_t> size_of(const std::string& path) const;
 };
 
 class MemoryBackend : public VfsBackend {
@@ -39,6 +45,32 @@ class MemoryBackend : public VfsBackend {
 
  private:
   std::map<std::string, util::Bytes> files_;
+};
+
+/// Mounts a persistent sealed BlobStore (src/store) behind the chroot: the
+/// container's files survive process crashes and come back byte-identical
+/// through the store's crash-consistent replay. The store is owned by the
+/// container (lifecycle) while its Volume lives in the server's
+/// VolumeManager (durability across BentoServer::crash()).
+class StoreBackend final : public VfsBackend {
+ public:
+  explicit StoreBackend(store::BlobStore* blob) : blob_(blob) {}
+  void put(const std::string& path, util::ByteView data) override;
+  std::optional<util::Bytes> get(const std::string& path) const override;
+  bool erase(const std::string& path) override;
+  std::vector<std::string> keys() const override;
+  std::optional<std::size_t> size_of(const std::string& path) const override;
+
+  store::BlobStore& blob() { return *blob_; }
+
+  /// Fired after every mutation (put/erase) — the container hooks this to
+  /// schedule background compaction as a simulator event, so the event
+  /// queue stays empty while the store is idle.
+  void set_on_mutate(std::function<void()> fn) { on_mutate_ = std::move(fn); }
+
+ private:
+  store::BlobStore* blob_;  // non-owning; the container outlives the mount
+  std::function<void()> on_mutate_;
 };
 
 /// Normalizes a path inside the chroot: collapses ".", "..", duplicate
@@ -55,6 +87,13 @@ class Vfs {
   bool exists(const std::string& path) const;
   std::vector<std::string> list() const;
   std::size_t file_count() const { return sizes_.size(); }
+
+  /// Rebuilds the size map and disk charges from whatever the backend
+  /// already holds — called after mounting a recovered persistent store so
+  /// replayed files are accounted exactly like freshly written ones.
+  /// Throws (via ResourceAccountant) if the recovered state no longer fits
+  /// the container's disk budget.
+  void restore_accounting();
 
  private:
   std::unique_ptr<VfsBackend> backend_;

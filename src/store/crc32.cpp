@@ -1,0 +1,57 @@
+#include "store/crc32.hpp"
+
+#include <array>
+
+#include "util/annotations.hpp"
+
+namespace bento::store {
+
+namespace {
+
+// Slice-by-4 tables, computed once at static-init time from the reflected
+// Castagnoli polynomial. 4 KiB of constant data total.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 4> t;
+  Tables() {
+    constexpr std::uint32_t kPoly = 0x82f63b78u;  // 0x1EDC6F41 reflected
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? (c >> 1) ^ kPoly : c >> 1;
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xff];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xff];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xff];
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+BENTO_HOT std::uint32_t crc32c_update(std::uint32_t state, const std::uint8_t* data,
+                                      std::size_t len) {
+  const Tables& tb = tables();
+  std::uint32_t c = state;
+  while (len >= 4) {
+    c ^= static_cast<std::uint32_t>(data[0]) |
+         (static_cast<std::uint32_t>(data[1]) << 8) |
+         (static_cast<std::uint32_t>(data[2]) << 16) |
+         (static_cast<std::uint32_t>(data[3]) << 24);
+    c = tb.t[3][c & 0xff] ^ tb.t[2][(c >> 8) & 0xff] ^ tb.t[1][(c >> 16) & 0xff] ^
+        tb.t[0][(c >> 24) & 0xff];
+    data += 4;
+    len -= 4;
+  }
+  while (len-- > 0) {
+    c = (c >> 8) ^ tb.t[0][(c ^ *data++) & 0xff];
+  }
+  return c;
+}
+
+}  // namespace bento::store

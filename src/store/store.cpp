@@ -1,0 +1,530 @@
+#include "store/store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "store/crc32.hpp"
+#include "util/annotations.hpp"
+
+namespace bento::store {
+
+namespace {
+
+constexpr std::size_t kHeaderLen = 24;
+constexpr std::uint8_t kMagic[4] = {'B', 'S', 'F', '1'};
+constexpr std::uint8_t kFormatVersion = 1;
+constexpr std::size_t kMetaBodyLen = 2;  // version byte + sealed flag
+
+void store_le32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+void store_le64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+std::uint32_t load_le32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+std::uint64_t load_le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+/// The one primitive that commits frame bytes to durable media. bentolint
+/// BL109 requires every caller to be BENTO_FRAMED and to pair the call
+/// with a crc32 update in the same function.
+void write_frame(Volume& volume, util::ByteView frame, bool sync) {
+  volume.append(frame);
+  if (sync) volume.sync();
+}
+
+/// Appends a complete (CRC-stamped) Meta frame to `out`. Used by
+/// compaction, which assembles a replacement segment off to the side and
+/// installs it with Volume::replace_prefix rather than write_frame.
+BENTO_FRAMED void build_meta_frame(util::Bytes& out, std::uint64_t seq,
+                                   bool sealing) {
+  const std::size_t base = out.size();
+  out.resize(base + kHeaderLen + kMetaBodyLen);
+  std::uint8_t* p = out.data() + base;
+  std::memcpy(p, kMagic, 4);
+  store_le32(p + 4, 0);
+  store_le32(p + 8, static_cast<std::uint32_t>(kHeaderLen + kMetaBodyLen));
+  store_le64(p + 12, seq);
+  p[20] = 0;  // Op::Meta
+  p[21] = 0;  // path length
+  p[22] = 0;
+  p[23] = 0;
+  p[24] = kFormatVersion;
+  p[25] = sealing ? 1 : 0;
+  const std::uint32_t crc = crc32c_final(
+      crc32c_update(crc32c_init(), p + 8, kHeaderLen + kMetaBodyLen - 8));
+  store_le32(p + 4, crc);
+}
+
+struct StoreCounters {
+  obs::Counter append_frames = obs::registry().counter("store.append.frames");
+  obs::Counter append_bytes = obs::registry().counter("store.append.bytes");
+  obs::Counter replay_frames = obs::registry().counter("store.replay.frames");
+  obs::Counter replay_truncated = obs::registry().counter("store.replay.truncated_bytes");
+  obs::Counter compact_runs = obs::registry().counter("store.compact.runs");
+  obs::Counter compact_reclaimed = obs::registry().counter("store.compact.reclaimed_bytes");
+  obs::Counter cache_hits = obs::registry().counter("store.cache.hits");
+  obs::Counter cache_misses = obs::registry().counter("store.cache.misses");
+};
+
+StoreCounters& counters() {
+  static StoreCounters c;
+  return c;
+}
+
+}  // namespace
+
+BlobStore::BlobStore(Volume& volume, std::unique_ptr<Sealer> sealer,
+                     StoreOptions opts)
+    : volume_(volume), sealer_(std::move(sealer)), opts_(opts) {
+  frame_scratch_.reserve(1024);
+}
+
+BlobStore::~BlobStore() = default;
+
+void BlobStore::roll_segment(std::size_t upcoming_frame) {
+  const std::size_t meta_frame = kHeaderLen + kMetaBodyLen;
+  Segment* active = volume_.active();
+  const bool need_fresh =
+      active == nullptr ||
+      (active->data.size() + upcoming_frame > opts_.segment_bytes &&
+       active->data.size() > meta_frame);
+  if (need_fresh) {
+    volume_.create_segment(std::max(opts_.segment_bytes,
+                                    upcoming_frame + meta_frame));
+  }
+}
+
+// The single append path: build the frame in the reusable scratch, CRC it,
+// commit with write_frame. Steady state (existing path, warmed scratch
+// capacity) performs zero heap allocations.
+BENTO_FRAMED BENTO_HOT void BlobStore::append_record(Op op,
+                                                     const std::string& path,
+                                                     util::ByteView payload,
+                                                     Entry* reuse) {
+  const std::size_t sealed_len =
+      payload.size() + (op == Op::Put ? sealer_->overhead() : 0);
+  const std::size_t frame_len = kHeaderLen + path.size() + sealed_len;
+  roll_segment(frame_len);
+  // Every segment starts with a Meta record (fresh segments, and a tail
+  // truncated to empty by torn-write recovery).
+  if (volume_.active()->data.empty()) {
+    frame_scratch_.clear();
+    build_meta_frame(frame_scratch_, next_seq_++, sealer_->sealing());
+    write_frame(volume_, frame_scratch_, opts_.sync_every_append);
+  }
+
+  // Reserve the full frame up front: seal_append's AAD view aliases the
+  // scratch header, which must therefore never reallocate mid-build.
+  frame_scratch_.clear();
+  frame_scratch_.reserve(frame_len);  // bentolint: allow(BL102 capacity reused across appends)
+  frame_scratch_.resize(kHeaderLen);  // bentolint: allow(BL102 within reserved capacity)
+  const std::uint64_t seq = next_seq_++;
+  std::uint8_t* hdr = frame_scratch_.data();
+  std::memcpy(hdr, kMagic, 4);
+  store_le32(hdr + 4, 0);
+  store_le32(hdr + 8, static_cast<std::uint32_t>(frame_len));
+  store_le64(hdr + 12, seq);
+  hdr[20] = static_cast<std::uint8_t>(op);
+  hdr[21] = static_cast<std::uint8_t>(path.size() & 0xff);
+  hdr[22] = static_cast<std::uint8_t>((path.size() >> 8) & 0xff);
+  hdr[23] = 0;
+  // bentolint: allow(BL102 within reserved capacity)
+  frame_scratch_.insert(frame_scratch_.end(), path.begin(), path.end());
+
+  if (op == Op::Put) {
+    const util::ByteView aad(frame_scratch_.data() + 20, 4 + path.size());
+    sealer_->seal_append(frame_scratch_, seq, aad, payload);
+  } else {
+    // bentolint: allow(BL102 within reserved capacity)
+    frame_scratch_.insert(frame_scratch_.end(), payload.begin(),
+                          payload.end());
+  }
+
+  const std::uint32_t crc = crc32c_final(crc32c_update(
+      crc32c_init(), frame_scratch_.data() + 8, frame_scratch_.size() - 8));
+  store_le32(frame_scratch_.data() + 4, crc);
+  const Segment& seg = *volume_.active();
+  const std::size_t offset = seg.data.size();
+  write_frame(volume_, frame_scratch_, opts_.sync_every_append);
+
+  counters().append_frames.inc();
+  counters().append_bytes.inc(frame_len);
+  if (reuse != nullptr) {
+    reuse->seq = seq;
+    reuse->segment_id = seg.id;
+    reuse->offset = offset;
+    reuse->frame_len = frame_len;
+    reuse->plain_size = payload.size();
+  }
+}
+
+void BlobStore::retire(const Entry& e) {
+  garbage_bytes_ += e.frame_len;
+  live_bytes_ -= e.plain_size;
+}
+
+void BlobStore::put(const std::string& path, util::ByteView data) {
+  if (!replayed_) {
+    if (volume_.total_bytes() != 0) {
+      throw std::logic_error("store: replay() required before first mutation");
+    }
+    replayed_ = true;
+  }
+  if (path.empty() || path.size() > 0xffff) {
+    throw std::invalid_argument("store: bad path length");
+  }
+  obs::SpanScope span(obs::Stage::StoreAppend);
+  auto [it, inserted] = index_.try_emplace(path);
+  Entry& e = it->second;
+  if (!inserted) retire(e);
+  append_record(Op::Put, path, data, &e);
+  live_bytes_ += data.size();
+
+  if (e.in_cache && e.cached.size() == data.size()) {
+    // Same-size overwrite refreshes the cached payload in place — the
+    // steady-state 0-alloc path the bench gate measures.
+    std::copy(data.begin(), data.end(), e.cached.begin());
+    touch_lru(it->first, e);
+  } else {
+    cache_insert(it->first, e, data);
+  }
+}
+
+bool BlobStore::remove(const std::string& path) {
+  auto it = index_.find(path);
+  if (it == index_.end()) return false;
+  obs::SpanScope span(obs::Stage::StoreAppend);
+  Entry& e = it->second;
+  retire(e);
+  if (e.in_cache) {
+    cached_bytes_ -= e.cached.size();
+    lru_.erase(e.lru);
+  }
+  append_record(Op::Remove, path, {}, nullptr);
+  // The tombstone itself is garbage the moment the record it masks is gone;
+  // count it eagerly so the compaction heuristic sees delete-heavy logs.
+  garbage_bytes_ += kHeaderLen + path.size();
+  index_.erase(it);
+  return true;
+}
+
+std::optional<util::Bytes> BlobStore::get(const std::string& path) {
+  auto it = index_.find(path);
+  if (it == index_.end()) return std::nullopt;
+  Entry& e = it->second;
+  if (e.in_cache) {
+    ++cache_hits_;
+    counters().cache_hits.inc();
+    touch_lru(it->first, e);
+    return e.cached;
+  }
+  ++cache_misses_;
+  counters().cache_misses.inc();
+  util::Bytes plain = read_and_unseal(it->first, e);
+  cache_insert(it->first, e, plain);
+  return plain;
+}
+
+bool BlobStore::contains(const std::string& path) const {
+  return index_.count(path) > 0;
+}
+
+std::optional<std::size_t> BlobStore::size_of(const std::string& path) const {
+  auto it = index_.find(path);
+  if (it == index_.end()) return std::nullopt;
+  return it->second.plain_size;
+}
+
+std::vector<std::string> BlobStore::list() const {
+  std::vector<std::string> out;
+  out.reserve(index_.size());
+  for (const auto& [path, e] : index_) out.push_back(path);
+  return out;
+}
+
+void BlobStore::touch_lru(const std::string& /*path*/, Entry& e) {
+  lru_.splice(lru_.begin(), lru_, e.lru);
+}
+
+void BlobStore::cache_insert(const std::string& path, Entry& e,
+                             util::ByteView plain) {
+  if (e.in_cache) {
+    cached_bytes_ -= e.cached.size();
+    e.cached.assign(plain.begin(), plain.end());
+    touch_lru(path, e);
+  } else {
+    e.cached.assign(plain.begin(), plain.end());
+    lru_.push_front(path);
+    e.lru = lru_.begin();
+    e.in_cache = true;
+  }
+  cached_bytes_ += e.cached.size();
+  cache_evict_to(opts_.cache_bytes);
+}
+
+void BlobStore::cache_evict_to(std::size_t limit) {
+  while (cached_bytes_ > limit && !lru_.empty()) {
+    const std::string& victim = lru_.back();
+    auto it = index_.find(victim);
+    if (it != index_.end() && it->second.in_cache) {
+      Entry& e = it->second;
+      cached_bytes_ -= e.cached.size();
+      e.cached = util::Bytes();
+      e.in_cache = false;
+    }
+    lru_.pop_back();
+  }
+}
+
+util::Bytes BlobStore::read_and_unseal(const std::string& path,
+                                       const Entry& e) const {
+  const Segment* seg = nullptr;
+  for (const Segment& s : volume_.segments()) {
+    if (s.id == e.segment_id) {
+      seg = &s;
+      break;
+    }
+  }
+  if (seg == nullptr || e.offset + e.frame_len > seg->data.size()) {
+    throw StoreError("store: index points past the log (internal)");
+  }
+  const std::uint8_t* frame = seg->data.data() + e.offset;
+  const std::size_t path_len = path.size();
+  const util::ByteView aad(frame + 20, 4 + path_len);
+  const util::ByteView body(frame + kHeaderLen + path_len,
+                            e.frame_len - kHeaderLen - path_len);
+  std::optional<util::Bytes> plain = sealer_->open(e.seq, aad, body);
+  if (!plain.has_value()) {
+    throw StoreError("store: record failed to unseal (sealing key mismatch)");
+  }
+  return std::move(*plain);
+}
+
+ReplayReport BlobStore::replay() {
+  if (replayed_) throw std::logic_error("store: replay() called twice");
+  replayed_ = true;
+  obs::SpanScope span(obs::SpanScope::kRoot, obs::Stage::StoreReplay);
+
+  ReplayReport report;
+  std::uint64_t max_seq = 0;
+  bool meta_seen = false;
+  bool truncated = false;
+  std::size_t valid_total = 0;  // bytes of valid prefix across segments
+
+  std::string path;  // reused across records
+  for (const Segment& seg : volume_.segments()) {
+    if (truncated) break;
+    std::size_t off = 0;
+    while (off < seg.data.size()) {
+      const std::size_t remaining = seg.data.size() - off;
+      if (remaining < kHeaderLen) {
+        truncated = true;
+        break;
+      }
+      const std::uint8_t* p = seg.data.data() + off;
+      if (std::memcmp(p, kMagic, 4) != 0) {
+        truncated = true;
+        break;
+      }
+      const std::uint32_t len = load_le32(p + 8);
+      if (len < kHeaderLen || len > remaining) {
+        truncated = true;
+        break;
+      }
+      const std::uint32_t want = load_le32(p + 4);
+      const std::uint32_t got =
+          crc32c_final(crc32c_update(crc32c_init(), p + 8, len - 8));
+      if (want != got) {
+        truncated = true;
+        break;
+      }
+      const std::uint64_t seq = load_le64(p + 12);
+      const std::uint8_t op = p[20];
+      const std::size_t path_len =
+          static_cast<std::size_t>(p[21]) | (static_cast<std::size_t>(p[22]) << 8);
+      if (kHeaderLen + path_len > len || op > 2) {
+        truncated = true;  // CRC-valid but self-inconsistent: treat as torn
+        break;
+      }
+      max_seq = std::max(max_seq, seq);
+      path.assign(reinterpret_cast<const char*>(p) + kHeaderLen, path_len);
+      const util::ByteView body(p + kHeaderLen + path_len,
+                                len - kHeaderLen - path_len);
+
+      switch (static_cast<Op>(op)) {
+        case Op::Meta: {
+          if (body.size() < kMetaBodyLen || body[0] != kFormatVersion) {
+            throw StoreError("store: unsupported log format version");
+          }
+          const bool log_sealed = body[1] != 0;
+          if (log_sealed != sealer_->sealing()) {
+            throw StoreError(
+                "store: log sealing mode does not match the provided sealer");
+          }
+          meta_seen = true;
+          break;
+        }
+        case Op::Put: {
+          if (!meta_seen) {
+            throw StoreError("store: record before any Meta frame");
+          }
+          const util::ByteView aad(p + 20, 4 + path_len);
+          std::optional<util::Bytes> plain = sealer_->open(seq, aad, body);
+          if (!plain.has_value()) {
+            // Fail closed: a CRC-valid record that does not authenticate
+            // means the sealing key is wrong (no attestation), not a torn
+            // write. Recovery must not proceed.
+            throw StoreError(
+                "store: replay unseal failed — sealing key mismatch");
+          }
+          auto [it, inserted] = index_.try_emplace(path);
+          Entry& e = it->second;
+          if (!inserted) retire(e);
+          e.seq = seq;
+          e.segment_id = seg.id;
+          e.offset = off;
+          e.frame_len = len;
+          e.plain_size = plain->size();
+          live_bytes_ += plain->size();
+          cache_insert(it->first, e, *plain);
+          break;
+        }
+        case Op::Remove: {
+          auto it = index_.find(path);
+          if (it != index_.end()) {
+            Entry& e = it->second;
+            retire(e);
+            if (e.in_cache) {
+              cached_bytes_ -= e.cached.size();
+              lru_.erase(e.lru);
+            }
+            index_.erase(it);
+          }
+          garbage_bytes_ += len;
+          break;
+        }
+      }
+      ++report.frames;
+      counters().replay_frames.inc();
+      off += len;
+    }
+    valid_total += std::min(off, seg.data.size());
+    if (truncated) break;
+  }
+
+  next_seq_ = max_seq + 1;
+  report.bytes = valid_total;
+  report.torn = truncated;
+  if (truncated) {
+    const std::size_t tail = volume_.total_bytes() - valid_total;
+    report.truncated_bytes = tail;
+    volume_.truncate_tail(tail);
+    counters().replay_truncated.inc(tail);
+  }
+  report.live_files = index_.size();
+  return report;
+}
+
+std::size_t BlobStore::sealed_segment_bytes() const {
+  const std::vector<Segment>& segs = volume_.segments();
+  std::size_t n = 0;
+  for (std::size_t i = 0; i + 1 < segs.size(); ++i) n += segs[i].data.size();
+  return n;
+}
+
+bool BlobStore::wants_compaction() const {
+  const std::size_t sealed = sealed_segment_bytes();
+  if (sealed == 0) return false;
+  // garbage_bytes_ counts dead frames anywhere; comparing against the
+  // sealed prefix only makes the heuristic trigger-happy, never starved.
+  const double ratio =
+      static_cast<double>(std::min(garbage_bytes_, sealed)) /
+      static_cast<double>(sealed);
+  return ratio > opts_.compact_garbage_ratio;
+}
+
+void BlobStore::compact() {
+  const std::vector<Segment>& segs = volume_.segments();
+  if (segs.size() < 2) return;
+  obs::SpanScope span(obs::SpanScope::kRoot, obs::Stage::StoreCompact);
+  const std::uint64_t active_id = segs.back().id;
+
+  // Live records in the sealed prefix, identified by (segment, offset).
+  struct Patch {
+    Entry* entry;
+    std::size_t new_offset;
+  };
+  std::vector<Patch> patches;
+  util::Bytes compacted;
+  build_meta_frame(compacted, next_seq_++, sealer_->sealing());
+
+  std::size_t before = 0;
+  for (const Segment& seg : segs) {
+    if (seg.id == active_id) break;
+    before += seg.data.size();
+  }
+  std::string path;  // reused
+  for (const Segment& seg : segs) {
+    if (seg.id == active_id) break;
+    std::size_t off = 0;
+    while (off + kHeaderLen <= seg.data.size()) {
+      const std::uint8_t* p = seg.data.data() + off;
+      const std::uint32_t len = load_le32(p + 8);
+      const std::size_t path_len =
+          static_cast<std::size_t>(p[21]) | (static_cast<std::size_t>(p[22]) << 8);
+      if (static_cast<Op>(p[20]) == Op::Put) {
+        path.assign(reinterpret_cast<const char*>(p) + kHeaderLen, path_len);
+        auto it = index_.find(path);
+        if (it != index_.end() && it->second.segment_id == seg.id &&
+            it->second.offset == off) {
+          // Live: copy the frame verbatim — the body keeps its original
+          // (seq, nonce), so sealing nonces are never reused.
+          patches.push_back(Patch{&it->second, compacted.size()});
+          compacted.insert(compacted.end(), p, p + len);
+        }
+      }
+      off += len;
+    }
+  }
+
+  const std::uint64_t new_id = volume_.replace_prefix(active_id, std::move(compacted));
+  for (const Patch& patch : patches) {
+    patch.entry->segment_id = new_id;
+    patch.entry->offset = patch.new_offset;
+  }
+  const std::size_t after = volume_.segments().front().data.size();
+  const std::size_t reclaimed = before > after ? before - after : 0;
+  garbage_bytes_ = garbage_bytes_ > reclaimed ? garbage_bytes_ - reclaimed : 0;
+  ++compactions_;
+  counters().compact_runs.inc();
+  counters().compact_reclaimed.inc(reclaimed);
+}
+
+crypto::Digest BlobStore::snapshot_digest() {
+  crypto::Sha256 h;
+  std::uint8_t lenbuf[8];
+  for (const auto& [path, entry] : index_) {
+    store_le64(lenbuf, path.size());
+    h.update(util::ByteView(lenbuf, 8));
+    h.update(util::ByteView(reinterpret_cast<const std::uint8_t*>(path.data()),
+                            path.size()));
+    const util::Bytes contents =
+        entry.in_cache ? entry.cached : read_and_unseal(path, entry);
+    store_le64(lenbuf, contents.size());
+    h.update(util::ByteView(lenbuf, 8));
+    h.update(contents);
+  }
+  return h.finish();
+}
+
+}  // namespace bento::store

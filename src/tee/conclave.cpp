@@ -183,4 +183,25 @@ void Conclave::set_memory_bytes(std::size_t bytes) {
   runtime_.set_memory_bytes(total);
 }
 
+std::unique_ptr<store::Sealer> Conclave::store_sealer(
+    const std::string& store_name) const {
+  return make_store_sealer(runtime_.platform(), runtime_.measurement(), store_name);
+}
+
+std::unique_ptr<store::Sealer> make_store_sealer(const Platform& platform,
+                                                 const Measurement& measurement,
+                                                 const std::string& store_name) {
+  // Same shape as Enclave::sealing_key (HKDF over the platform sealing
+  // secret, salted by the measurement) with a per-store info label, so each
+  // named store gets an independent ChaCha20-Poly1305 key bound to exactly
+  // the (platform, image) pair attestation vouches for.
+  const util::Bytes okm = crypto::hkdf(
+      platform.sealing_secret(),
+      util::ByteView(measurement.data(), measurement.size()),
+      "bento-store-seal:" + store_name, 32);
+  crypto::ChaChaKey key{};
+  std::memcpy(key.data(), okm.data(), key.size());
+  return store::make_chapoly_sealer(key);
+}
+
 }  // namespace bento::tee

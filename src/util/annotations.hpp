@@ -19,6 +19,14 @@
 //                        entropy reads inside it: sim time must come from
 //                        util/simclock.hpp, randomness from the seeded Rng.
 //
+//   BENTO_FRAMED         This function commits store frames to durable
+//                        media (src/store log format, DESIGN.md §15).
+//                        bentolint BL109 requires every call to the
+//                        write_frame primitive to sit inside a
+//                        BENTO_FRAMED function that also performs a crc32
+//                        update — the every-frame-carries-a-CRC invariant
+//                        torn-write recovery depends on.
+//
 // Escape hatch, always with a reason:
 //   // bentolint: allow(BL102 pool refill, amortized across 64 events)
 // on the violating line or the line above; `allow-file(...)` for a whole
@@ -27,3 +35,4 @@
 
 #define BENTO_HOT
 #define BENTO_DETERMINISTIC
+#define BENTO_FRAMED

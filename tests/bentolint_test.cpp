@@ -153,6 +153,38 @@ TEST(BentoLint, BL108IncludeHygiene) {
   check_fixture("bl108_includes.cpp", "src/fixture.cpp");
 }
 
+TEST(BentoLint, BL109StoreFramingInvariant) {
+  check_fixture("bl109_framing.cpp", "src/store/fixture.cpp");
+}
+
+TEST(BentoLint, BL109SilentOutsideStore) {
+  // Same bytes, different tree position: the framing invariant only binds
+  // the store subsystem, where write_frame is the durable-commit primitive.
+  const std::string src = read_fixture("bl109_framing.cpp");
+  EXPECT_TRUE(bl::analyze_source("src/core/fixture.cpp", src).empty());
+  EXPECT_TRUE(bl::analyze_source("tools/fixture.cpp", src).empty());
+}
+
+TEST(BentoLint, BL109RealStoreLogIsClean) {
+  // The shipped store log is the reason the rule exists: its append path
+  // must lint clean, and stripping the crc32 computation out of the framed
+  // append must fail against an empty baseline.
+  const std::string real = read_repo_source("src/store/store.cpp");
+  ASSERT_NE(real.find("BENTO_FRAMED"), std::string::npos)
+      << "framing annotations missing from store.cpp";
+  const auto clean = bl::analyze_source("src/store/store.cpp", real);
+  EXPECT_TRUE(clean.empty()) << "expected a clean store, got: "
+                             << join(fired(clean));
+
+  const std::string seeded =
+      real +
+      "\nnamespace { BENTO_FRAMED void lint_probe(Volume& v, "
+      "const util::Bytes& f) { write_frame(v, f, true); } }\n";
+  const auto diags = bl::analyze_source("src/store/store.cpp", seeded);
+  ASSERT_EQ(diags.size(), 1u) << join(fired(diags));
+  EXPECT_EQ(diags[0].rule, "BL109");
+}
+
 TEST(BentoLint, JsonOutputIsByteStable) {
   // Same inputs, two runs, byte-identical JSON — the property CI relies on
   // to diff analyzer output across machines.

@@ -1,0 +1,48 @@
+// Golden fixture for BL109 (store framing invariant, src/store/ only):
+// write_frame is the single durable-commit primitive, and every caller must
+// be annotated BENTO_FRAMED and compute a crc32 in the same function body —
+// the every-frame-carries-a-CRC contract torn-write recovery depends on.
+#include <cstdint>
+#include <vector>
+
+#include "util/annotations.hpp"
+
+namespace fx {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// The primitive itself (a definition, not a call) never fires.
+void write_frame(Bytes& log, const Bytes& frame) {
+  log.insert(log.end(), frame.begin(), frame.end());
+}
+
+std::uint32_t crc32c_of(const Bytes& frame) { return frame.empty() ? 0u : 1u; }
+
+// Positive: a commit from an unannotated function.
+void sneaky_commit(Bytes& log, const Bytes& frame) {
+  write_frame(log, frame);  // expect(BL109)
+}
+
+// Positive: annotated, but the frame goes out without a CRC refresh.
+BENTO_FRAMED void unchecked_commit(Bytes& log, Bytes& frame) {
+  frame.push_back(0);
+  write_frame(log, frame);  // expect(BL109)
+}
+
+// Suppressed: a replay-side re-commit of already-checksummed bytes.
+BENTO_FRAMED void verbatim_recommit(Bytes& log, const Bytes& frame) {
+  // bentolint: allow(BL109 frame copied verbatim, CRC already embedded)
+  write_frame(log, frame);
+}
+
+// Clean: the canonical shape — framed, and the CRC is refreshed in-body.
+BENTO_FRAMED void commit_record(Bytes& log, Bytes& frame) {
+  const std::uint32_t crc = crc32c_of(frame);
+  frame[0] = static_cast<std::uint8_t>(crc);
+  write_frame(log, frame);
+}
+
+// Clean: crc32 use without a frame write carries no obligation.
+std::uint32_t checksum_only(const Bytes& frame) { return crc32c_of(frame); }
+
+}  // namespace fx

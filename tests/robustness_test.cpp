@@ -1,15 +1,305 @@
 // Adversarial/robustness tests: malformed wire input at every trust
-// boundary, consensus verification at clients, and failure injection.
+// boundary, consensus verification at clients, failure injection, and
+// crash-consistent recovery of the persistent sealed blob store.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
 #include "chaos/chaos.hpp"
+#include "obs/trace.hpp"
+#include "core/container.hpp"
 #include "core/world.hpp"
+#include "functions/library.hpp"
+#include "functions/shard.hpp"
+#include "store/store.hpp"
 #include "tor/testbed.hpp"
 #include "tor/wire.hpp"
 
 namespace bc = bento::core;
+namespace bch = bento::chaos;
+namespace bf = bento::functions;
+namespace bs = bento::store;
 namespace bt = bento::tor;
 namespace bu = bento::util;
+
+namespace {
+
+/// Topology seed for the durability-torture matrix: $BENTO_CHAOS_SEED when
+/// set (CI sweeps 1..8), otherwise the test's own default — the recovery
+/// contract is seed-independent because every append is synced.
+std::uint64_t chaos_seed(std::uint64_t fallback) {
+  const char* s = std::getenv("BENTO_CHAOS_SEED");
+  if (s == nullptr || *s == '\0') return fallback;
+  return std::strtoull(s, nullptr, 10);
+}
+
+/// Flight recorder for one durability test; on destruction writes the
+/// capture — crash edges, recovery callbacks and the store.replay spans —
+/// to $BENTO_CHAOS_ARTIFACT_DIR/<name>.jsonl if the test failed.
+class RecorderScope {
+ public:
+  explicit RecorderScope(std::string name) : name_(std::move(name)) {
+    bento::obs::recorder().enable(1 << 15);
+  }
+
+  ~RecorderScope() {
+    const char* dir = std::getenv("BENTO_CHAOS_ARTIFACT_DIR");
+    if (dir != nullptr && *dir != '\0' && ::testing::Test::HasFailure()) {
+      std::ostringstream os;
+      bento::obs::recorder().export_jsonl(os);
+      std::ofstream out(std::string(dir) + "/" + name_ + ".jsonl");
+      out << os.str();
+    }
+    bento::obs::recorder().disable();
+  }
+
+ private:
+  std::string name_;
+};
+
+struct Deployed {
+  std::shared_ptr<bc::BentoConnection> conn;
+  std::optional<bc::TokenPair> tokens;
+  std::string error;
+  std::vector<bu::Bytes> outputs;
+};
+
+/// Connect + spawn + upload, draining the world between steps.
+Deployed deploy_function(bc::BentoWorld& world, bc::BentoWorld::Client& client,
+                         const std::string& box,
+                         const bc::FunctionManifest& manifest,
+                         const std::string& source) {
+  Deployed d;
+  client.bento->connect(box, [&](std::shared_ptr<bc::BentoConnection> conn) {
+    d.conn = std::move(conn);
+  });
+  world.run();
+  if (d.conn == nullptr) {
+    d.error = "connect failed";
+    return d;
+  }
+  d.conn->set_output_handler(
+      [&d](bu::Bytes out) { d.outputs.push_back(std::move(out)); });
+  bool ok = false;
+  d.conn->spawn(manifest.image, [&](bool s, std::string err) {
+    ok = s;
+    if (!s) d.error = err;
+  });
+  world.run();
+  if (!ok) return d;
+  d.conn->upload(manifest, source, "", {},
+                 [&](std::optional<bc::TokenPair> tokens, std::string err) {
+                   d.tokens = std::move(tokens);
+                   if (!err.empty()) d.error = err;
+                 });
+  world.run();
+  return d;
+}
+
+/// Wires the crash (down edge) and recover_stores (restart edge) handlers
+/// for one Bento box; replay reports land in `reports` keyed by
+/// "<fingerprint>/<store name>" and `recoveries` counts callback firings.
+void wire_durable_box(bch::ChaosEngine& engine, bc::BentoWorld& world,
+                      const std::string& fingerprint, int& recoveries,
+                      std::map<std::string, bs::ReplayReport>& reports) {
+  bt::Router* router = world.bed().router_by_fingerprint(fingerprint);
+  ASSERT_NE(router, nullptr);
+  engine.set_node_handler(router->node(), [&world, fingerprint](bool up) {
+    if (up) return;
+    if (bc::BentoServer* server = world.server_for(fingerprint)) server->crash();
+    world.bed().router_by_fingerprint(fingerprint)->crash();
+  });
+  engine.set_recovery_callback(
+      router->node(), [&world, &recoveries, &reports, fingerprint] {
+        ++recoveries;
+        bc::BentoServer* server = world.server_for(fingerprint);
+        ASSERT_NE(server, nullptr);
+        for (auto& [name, report] : server->recover_stores()) {
+          reports[fingerprint + "/" + name] = report;
+        }
+      });
+}
+
+/// The box's store-backed container named `name` (tests deploy one each).
+bs::BlobStore* store_of(bc::BentoServer* server, const std::string& name) {
+  if (server == nullptr) return nullptr;
+  for (const bc::Container* container : server->containers()) {
+    if (container->manifest().name == name && container->blob_store() != nullptr) {
+      return container->blob_store();
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+// The tentpole durability contract (DESIGN.md §15): a chaos crash+restart
+// in the middle of a Dropbox/Shard workload must round-trip every stored
+// byte through the sealed log — contents recover byte-identically
+// (digest-witnessed), and a K-subset Shard fetch that leans on the
+// recovered slot still decodes the original file.
+TEST(Robustness, PersistentStoreSurvivesCrashRestart) {
+  RecorderScope recorder("persistent_store_crash_restart");
+  bc::BentoWorldOptions options;
+  options.testbed.seed = chaos_seed(7);
+  options.testbed.guards = 3;
+  options.testbed.middles = 5;
+  options.testbed.exits = 3;
+  options.persistent_store = true;
+  bc::BentoWorld world(options);
+  world.start();
+  bch::ChaosEngine engine(world.sim(), world.bed().net());
+  engine.install({});
+
+  auto client = world.make_client("alice");
+  auto boxes = bc::BentoClient::find_boxes(world.bed().consensus());
+  ASSERT_GE(boxes.size(), 6u);
+
+  // Shard assignments: one Dropbox per slot across boxes 0..4.
+  bu::Rng rng(11);
+  const bu::Bytes file = rng.bytes(20'000);
+  bf::ShardClient shard_client(*client.bento, 3, 5);
+  std::vector<bf::ShardClient::Placement> placements;
+  bool store_ok = false;
+  shard_client.store(file, {boxes[0], boxes[1], boxes[2], boxes[3], boxes[4]},
+                     [&](bool ok, std::vector<bf::ShardClient::Placement> p) {
+                       store_ok = ok;
+                       placements = std::move(p);
+                     });
+  world.run();
+  ASSERT_TRUE(store_ok);
+  ASSERT_EQ(placements.size(), 5u);
+
+  // Alice's own Dropbox workload on box 5.
+  auto d = deploy_function(world, client, boxes[5], bf::dropbox_manifest(),
+                           bf::dropbox_source());
+  ASSERT_TRUE(d.tokens.has_value()) << d.error;
+  const bu::Bytes payload = rng.bytes(12'000);
+  bu::Bytes put = bu::to_bytes("PUT:");
+  bu::append(put, payload);
+  d.conn->invoke(d.tokens->invocation.bytes(), put);
+  world.run();
+  ASSERT_FALSE(d.outputs.empty());
+  EXPECT_EQ(bu::to_string(d.outputs.back()), "OK");
+
+  // Byte-identity witnesses over the pre-crash namespaces.
+  bs::BlobStore* dbox = store_of(world.server_for(boxes[5]), "dropbox");
+  ASSERT_NE(dbox, nullptr);
+  const bento::crypto::Digest dropbox_digest = dbox->snapshot_digest();
+  bs::BlobStore* slot1 = store_of(world.server_for(boxes[1]), "dropbox");
+  ASSERT_NE(slot1, nullptr);
+  const bento::crypto::Digest shard_digest = slot1->snapshot_digest();
+
+  // Crash the Shard slot-1 box and the Dropbox box; both restart after 2 s
+  // and must rebuild from durable media via the recovery callback.
+  int recoveries = 0;
+  std::map<std::string, bs::ReplayReport> reports;
+  for (const std::string& fp : {boxes[1], boxes[5]}) {
+    wire_durable_box(engine, world, fp, recoveries, reports);
+    engine.crash_now(world.bed().router_by_fingerprint(fp)->node(),
+                     bu::Duration::seconds(2));
+  }
+  world.run();
+  EXPECT_EQ(engine.stats().crashes, 2u);
+  EXPECT_EQ(engine.stats().restarts, 2u);
+  ASSERT_EQ(recoveries, 2);
+  ASSERT_EQ(reports.count(boxes[5] + "/dropbox"), 1u);
+  ASSERT_EQ(reports.count(boxes[1] + "/dropbox"), 1u);
+  // Every append was synced, so nothing is torn and nothing was dropped.
+  EXPECT_FALSE(reports[boxes[5] + "/dropbox"].torn);
+  EXPECT_GE(reports[boxes[5] + "/dropbox"].live_files, 1u);
+  EXPECT_FALSE(reports[boxes[1] + "/dropbox"].torn);
+
+  // A fresh Dropbox on box 5 adopts the recovered store: the stored bytes
+  // come back unchanged and the namespace digest matches exactly.
+  auto d2 = deploy_function(world, client, boxes[5], bf::dropbox_manifest(),
+                            bf::dropbox_source());
+  ASSERT_TRUE(d2.tokens.has_value()) << d2.error;
+  d2.conn->invoke(d2.tokens->invocation.bytes(), bu::to_bytes("GET:"));
+  world.run();
+  ASSERT_FALSE(d2.outputs.empty());
+  EXPECT_EQ(d2.outputs.back(), payload);
+  bs::BlobStore* dbox2 = store_of(world.server_for(boxes[5]), "dropbox");
+  ASSERT_NE(dbox2, nullptr);
+  EXPECT_EQ(dbox2->snapshot_digest(), dropbox_digest);
+
+  // Same on the shard box: the slot-1 assignment survived byte-identically…
+  auto s2 = deploy_function(world, client, boxes[1], bf::dropbox_manifest(),
+                            bf::dropbox_source());
+  ASSERT_TRUE(s2.tokens.has_value()) << s2.error;
+  bs::BlobStore* slot1b = store_of(world.server_for(boxes[1]), "dropbox");
+  ASSERT_NE(slot1b, nullptr);
+  EXPECT_EQ(slot1b->snapshot_digest(), shard_digest);
+
+  // …and a K-subset fetch that includes the recovered slot decodes the file.
+  std::vector<bf::ShardClient::Placement> subset = {placements[0], placements[1],
+                                                    placements[2]};
+  subset[1].invocation_token = s2.tokens->invocation.bytes();
+  subset[1].shutdown_token = s2.tokens->shutdown.bytes();
+  std::optional<bu::Bytes> fetched;
+  shard_client.fetch(subset,
+                     [&](std::optional<bu::Bytes> out) { fetched = std::move(out); });
+  world.run();
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(*fetched, file);
+}
+
+// Torn/corrupt-tail recovery end to end: flip a byte in the newest durable
+// frame, crash the box, and replay must keep the longest valid prefix — the
+// previous version of the file — rather than trusting or rejecting the log
+// wholesale.
+TEST(Robustness, PersistentStoreCorruptTailRecoversLongestPrefix) {
+  RecorderScope recorder("persistent_store_corrupt_tail");
+  bc::BentoWorldOptions options;
+  options.testbed.seed = chaos_seed(9);
+  options.persistent_store = true;
+  bc::BentoWorld world(options);
+  world.start();
+  bch::ChaosEngine engine(world.sim(), world.bed().net());
+  engine.install({});
+
+  auto client = world.make_client("alice");
+  auto boxes = bc::BentoClient::find_boxes(world.bed().consensus());
+  ASSERT_FALSE(boxes.empty());
+  auto d = deploy_function(world, client, boxes[0], bf::dropbox_manifest(),
+                           bf::dropbox_source());
+  ASSERT_TRUE(d.tokens.has_value()) << d.error;
+
+  d.conn->invoke(d.tokens->invocation.bytes(), bu::to_bytes("PUT:first version"));
+  world.run();
+  d.conn->invoke(d.tokens->invocation.bytes(), bu::to_bytes("PUT:second version!"));
+  world.run();
+  ASSERT_GE(d.outputs.size(), 2u);
+  EXPECT_EQ(bu::to_string(d.outputs.back()), "OK");
+
+  // Media fault: a flipped byte inside the newest frame's sealed body.
+  bs::Volume* volume = world.server_for(boxes[0])->volumes().find("dropbox");
+  ASSERT_NE(volume, nullptr);
+  volume->corrupt_tail(/*byte_from_end=*/10);
+
+  int recoveries = 0;
+  std::map<std::string, bs::ReplayReport> reports;
+  wire_durable_box(engine, world, boxes[0], recoveries, reports);
+  engine.crash_now(world.bed().router_by_fingerprint(boxes[0])->node(),
+                   bu::Duration::seconds(2));
+  world.run();
+  ASSERT_EQ(recoveries, 1);
+  ASSERT_EQ(reports.count(boxes[0] + "/dropbox"), 1u);
+  EXPECT_TRUE(reports[boxes[0] + "/dropbox"].torn);
+  EXPECT_GT(reports[boxes[0] + "/dropbox"].truncated_bytes, 0u);
+
+  // The recovered namespace holds the longest valid prefix: version one.
+  auto d2 = deploy_function(world, client, boxes[0], bf::dropbox_manifest(),
+                            bf::dropbox_source());
+  ASSERT_TRUE(d2.tokens.has_value()) << d2.error;
+  d2.conn->invoke(d2.tokens->invocation.bytes(), bu::to_bytes("GET:"));
+  world.run();
+  ASSERT_FALSE(d2.outputs.empty());
+  EXPECT_EQ(bu::to_string(d2.outputs.back()), "first version");
+}
 
 TEST(Robustness, RelaySurvivesGarbageMessages) {
   bt::Testbed bed;

@@ -217,8 +217,14 @@ struct FnFrame {
   std::string name;
   bool hot = false;
   bool det = false;
+  bool framed = false;  // BENTO_FRAMED (store frame-commit function)
   std::size_t brace_size = 0;  // brace-stack size right after body '{'
   std::vector<std::string> strong_self;  // vars assigned from shared_from_this
+  // BL109 bookkeeping: did this frame call write_frame / touch a crc32
+  // helper? Checked when the frame closes.
+  bool wrote_frame = false;
+  bool crc_update = false;
+  Token write_site{};  // first write_frame call, for the diagnostic anchor
 };
 
 class FileAnalysis {
@@ -337,6 +343,7 @@ class FileAnalysis {
     bool in_ctor_init = false;  // function pattern followed by `:`
     bool hot = false;
     bool det = false;
+    bool framed = false;
     std::string name;
   };
 
@@ -360,6 +367,7 @@ class FileAnalysis {
           }
           if (t.text == "BENTO_HOT") info.hot = true;
           if (t.text == "BENTO_DETERMINISTIC") info.det = true;
+          if (t.text == "BENTO_FRAMED") info.framed = true;
         }
         continue;
       }
@@ -486,6 +494,7 @@ class FileAnalysis {
       f.name = info.name;
       f.hot = info.hot;
       f.det = info.det;
+      f.framed = info.framed;
       f.brace_size = braces_.size();
       fns_.push_back(std::move(f));
       decl_.clear();
@@ -501,6 +510,16 @@ class FileAnalysis {
     braces_.pop_back();
     if (kind == Brace::FnBody && !fns_.empty() &&
         braces_.size() < fns_.back().brace_size) {
+      // BL109, second clause: a BENTO_FRAMED function that committed a frame
+      // must also have refreshed its CRC (any crc32* helper). Checked at the
+      // closing brace so a crc32 call anywhere in the body satisfies it.
+      const FnFrame& f = fns_.back();
+      if (f.wrote_frame && !f.crc_update) {
+        report("BL109", f.write_site,
+               "'" + f.name + "' calls write_frame but never computes a "
+               "crc32 over the frame; every committed frame must carry a "
+               "fresh CRC (torn-write recovery depends on it, DESIGN.md §15)");
+      }
       fns_.pop_back();
       decl_.clear();
     }
@@ -603,6 +622,28 @@ class FileAnalysis {
                    "' outside the sharded-simulator allowlist (raw pthreads "
                    "are never sanctioned; use the std primitives with an "
                    "allow annotation)");
+      }
+    }
+
+    // BL109 — store framing invariant (src/store only): write_frame is the
+    // single durable-commit primitive, and every caller must be annotated
+    // BENTO_FRAMED *and* compute a CRC (a crc32*-named helper) in the same
+    // function body, so no frame ever reaches the log without a checksum.
+    if (scope_.store_framing && inside_function()) {
+      if (s == "write_frame" && is_punct(i + 1, "(")) {
+        FnFrame& f = fns_.back();
+        if (!f.framed) {
+          report("BL109", t,
+                 "call to write_frame in '" + f.name + "', which is not "
+                 "annotated BENTO_FRAMED; frame commits are restricted to "
+                 "BENTO_FRAMED functions that pair the write with a crc32 "
+                 "update (DESIGN.md §15)");
+        } else if (!f.wrote_frame) {
+          f.wrote_frame = true;
+          f.write_site = t;
+        }
+      } else if (starts_with(s, "crc32")) {
+        for (FnFrame& f : fns_) f.crc_update = true;
       }
     }
 
@@ -842,6 +883,7 @@ FileScope scope_for_path(std::string_view rel_path) {
   scope.concurrency_inventory =
       starts_with(rel_path, "src/sim/") || starts_with(rel_path, "src/core/");
   scope.is_header = ends_with(rel_path, ".hpp") || ends_with(rel_path, ".h");
+  scope.store_framing = starts_with(rel_path, "src/store/");
   return scope;
 }
 

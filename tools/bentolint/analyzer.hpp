@@ -25,6 +25,10 @@
 //   BL106  banned unsafe C functions (strcpy, sprintf, gets, ...)
 //   BL107  header without #pragma once
 //   BL108  include hygiene ("../" escapes, <bits/...> internals)
+//   BL109  store framing invariant (src/store only): every call to the
+//          write_frame primitive must sit inside a BENTO_FRAMED function
+//          that also performs a crc32 update — the every-frame-carries-a-
+//          CRC contract torn-write recovery depends on (DESIGN.md §15)
 //
 // Suppressions: `// bentolint: allow(BL102 reason...)` on the same or the
 // previous line; `// bentolint: allow-file(BL101 reason...)` anywhere in
@@ -63,6 +67,8 @@ struct FileScope {
   bool concurrency_inventory = false;
   // BL107 pragma-once check (headers only).
   bool is_header = false;
+  // BL109 frame/CRC pairing (src/store only).
+  bool store_framing = false;
 };
 
 /// Derives the scope from a repo-relative path (forward slashes).
