@@ -446,6 +446,15 @@ void BentoServer::remove_container(std::uint64_t id) {
   // call stack (kill during install/invoke).
   std::shared_ptr<Container> doomed(std::move(it->second));
   containers_.erase(it);
+  // The store name claim must not outlive the container's removal from the
+  // table: a respawn of the same function within this event cascade would
+  // otherwise be uniquified onto an empty "name#2" volume and silently lose
+  // its durable state. Release eagerly; clearing the key makes the deferred
+  // destructor's release a no-op.
+  if (!doomed->store_volume_key_.empty()) {
+    release_store_name(doomed->store_volume_key_);
+    doomed->store_volume_key_.clear();
+  }
   sim_.after(util::Duration::micros(0), [doomed] {});
 }
 

@@ -1,6 +1,7 @@
 #include "sandbox/vfs.hpp"
 
 #include <sstream>
+#include <stdexcept>
 
 namespace bento::sandbox {
 
@@ -75,12 +76,24 @@ Vfs::Vfs(std::unique_ptr<VfsBackend> backend, ResourceAccountant& resources)
 
 void Vfs::write(const std::string& path, util::ByteView data) {
   const std::string key = chroot_normalize(path);
+  // Reject what no backend can store ("/" normalizes to the empty key;
+  // BlobStore frames cap paths at 16 bits) *before* charging, so every
+  // backend shows the guest identical behavior and the accountant never
+  // holds bytes the store refused.
+  if (key.empty() || key.size() > 0xffff) {
+    throw std::invalid_argument("vfs: unwritable path: " + path);
+  }
   const auto old = sizes_.find(key);
   const std::int64_t delta =
       static_cast<std::int64_t>(data.size()) -
       (old == sizes_.end() ? 0 : static_cast<std::int64_t>(old->second));
   resources_.charge_disk(delta);  // throws before touching the backend
-  backend_->put(key, data);
+  try {
+    backend_->put(key, data);
+  } catch (...) {
+    resources_.charge_disk(-delta);  // a failed put stores nothing
+    throw;
+  }
   sizes_[key] = data.size();
 }
 

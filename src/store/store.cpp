@@ -15,7 +15,12 @@ namespace {
 constexpr std::size_t kHeaderLen = 24;
 constexpr std::uint8_t kMagic[4] = {'B', 'S', 'F', '1'};
 constexpr std::uint8_t kFormatVersion = 1;
-constexpr std::size_t kMetaBodyLen = 2;  // version byte + sealed flag
+// Meta body: version byte, flag byte, seq ceiling (LE64), predecessor
+// segment length at roll time (LE64, valid iff kMetaChained).
+constexpr std::size_t kMetaBodyLen = 18;
+constexpr std::uint8_t kMetaSealed = 0x01;     // log written with a sealing key
+constexpr std::uint8_t kMetaCompacted = 0x02;  // head of a merged segment
+constexpr std::uint8_t kMetaChained = 0x04;    // prev-end field is meaningful
 
 void store_le32(std::uint8_t* p, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
@@ -43,10 +48,12 @@ void write_frame(Volume& volume, util::ByteView frame, bool sync) {
 }
 
 /// Appends a complete (CRC-stamped) Meta frame to `out`. Used by
-/// compaction, which assembles a replacement segment off to the side and
-/// installs it with Volume::replace_prefix rather than write_frame.
+/// append_meta (via the scratch buffer) and by compaction, which assembles
+/// a replacement segment off to the side and installs it with
+/// Volume::replace_prefix rather than write_frame.
 BENTO_FRAMED void build_meta_frame(util::Bytes& out, std::uint64_t seq,
-                                   bool sealing) {
+                                   std::uint8_t flags, std::uint64_t ceiling,
+                                   std::uint64_t prev_end) {
   const std::size_t base = out.size();
   out.resize(base + kHeaderLen + kMetaBodyLen);
   std::uint8_t* p = out.data() + base;
@@ -59,7 +66,9 @@ BENTO_FRAMED void build_meta_frame(util::Bytes& out, std::uint64_t seq,
   p[22] = 0;
   p[23] = 0;
   p[24] = kFormatVersion;
-  p[25] = sealing ? 1 : 0;
+  p[25] = flags;
+  store_le64(p + 26, ceiling);
+  store_le64(p + 34, prev_end);
   const std::uint32_t crc = crc32c_final(
       crc32c_update(crc32c_init(), p + 8, kHeaderLen + kMetaBodyLen - 8));
   store_le32(p + 4, crc);
@@ -104,6 +113,29 @@ void BlobStore::roll_segment(std::size_t upcoming_frame) {
   }
 }
 
+// Writes one Meta frame at the current append position and refreshes the
+// durable seq reservation. Always synced: the ceiling is only a nonce-reuse
+// guard if it is on disk before any seq in its range is, and because the
+// synced region is always a log prefix, any record that survives a crash
+// has its covering ceiling survive with it. At a segment head the frame is
+// chained to its predecessor's length so replay can detect mid-log holes.
+BENTO_FRAMED void BlobStore::append_meta() {
+  const std::vector<Segment>& segs = volume_.segments();
+  const bool head = segs.back().data.empty();
+  std::uint8_t flags = sealer_->sealing() ? kMetaSealed : 0;
+  std::uint64_t prev_end = 0;
+  if (head && segs.size() >= 2) {
+    flags |= kMetaChained;
+    prev_end = segs[segs.size() - 2].data.size();
+  }
+  const std::uint64_t seq = next_seq_++;
+  seq_ceiling_ = seq + std::max<std::uint64_t>(opts_.seq_reserve, 1);
+  frame_scratch_.clear();
+  build_meta_frame(frame_scratch_, seq, flags, seq_ceiling_, prev_end);
+  // bentolint: allow(BL109 frame built and CRC-stamped by build_meta_frame)
+  write_frame(volume_, frame_scratch_, /*sync=*/true);
+}
+
 // The single append path: build the frame in the reusable scratch, CRC it,
 // commit with write_frame. Steady state (existing path, warmed scratch
 // capacity) performs zero heap allocations.
@@ -116,11 +148,11 @@ BENTO_FRAMED BENTO_HOT void BlobStore::append_record(Op op,
   const std::size_t frame_len = kHeaderLen + path.size() + sealed_len;
   roll_segment(frame_len);
   // Every segment starts with a Meta record (fresh segments, and a tail
-  // truncated to empty by torn-write recovery).
-  if (volume_.active()->data.empty()) {
-    frame_scratch_.clear();
-    build_meta_frame(frame_scratch_, next_seq_++, sealer_->sealing());
-    write_frame(volume_, frame_scratch_, opts_.sync_every_append);
+  // truncated to empty by torn-write recovery); one is also forced whenever
+  // the durable seq reservation runs out, so no record's seq ever exceeds a
+  // ceiling that is already on disk.
+  if (volume_.active()->data.empty() || next_seq_ > seq_ceiling_) {
+    append_meta();
   }
 
   // Reserve the full frame up front: seal_append's AAD view aliases the
@@ -317,13 +349,17 @@ ReplayReport BlobStore::replay() {
 
   ReplayReport report;
   std::uint64_t max_seq = 0;
+  std::uint64_t max_ceiling = 0;
   bool meta_seen = false;
   bool truncated = false;
+  bool prev_compacted = false;  // predecessor segment is a merged segment
   std::size_t valid_total = 0;  // bytes of valid prefix across segments
 
   std::string path;  // reused across records
-  for (const Segment& seg : volume_.segments()) {
-    if (truncated) break;
+  const std::vector<Segment>& segs = volume_.segments();
+  for (std::size_t si = 0; si < segs.size(); ++si) {
+    const Segment& seg = segs[si];
+    bool this_compacted = false;
     std::size_t off = 0;
     while (off < seg.data.size()) {
       const std::size_t remaining = seg.data.size() - off;
@@ -366,10 +402,25 @@ ReplayReport BlobStore::replay() {
           if (body.size() < kMetaBodyLen || body[0] != kFormatVersion) {
             throw StoreError("store: unsupported log format version");
           }
-          const bool log_sealed = body[1] != 0;
+          const std::uint8_t flags = body[1];
+          const bool log_sealed = (flags & kMetaSealed) != 0;
           if (log_sealed != sealer_->sealing()) {
             throw StoreError(
                 "store: log sealing mode does not match the provided sealer");
+          }
+          max_ceiling = std::max(max_ceiling, load_le64(body.data() + 2));
+          if (off == 0) {
+            this_compacted = (flags & kMetaCompacted) != 0;
+            // Cross-segment continuity: this head recorded the predecessor's
+            // length at roll time. A mismatch means the predecessor lost a
+            // frame-aligned tail (a mid-log hole the per-frame CRC cannot
+            // see), so everything from this segment on is past the hole and
+            // must go. A compacted predecessor legitimately changed length
+            // (and is fully synced, so it cannot have shrunk in a crash).
+            if ((flags & kMetaChained) != 0 && si > 0 && !prev_compacted &&
+                load_le64(body.data() + 10) != segs[si - 1].data.size()) {
+              truncated = true;
+            }
           }
           meta_seen = true;
           break;
@@ -414,15 +465,24 @@ ReplayReport BlobStore::replay() {
           break;
         }
       }
+      if (truncated) break;  // continuity rejection: frame is past the hole
       ++report.frames;
       counters().replay_frames.inc();
       off += len;
     }
     valid_total += std::min(off, seg.data.size());
     if (truncated) break;
+    prev_compacted = this_compacted;
   }
 
-  next_seq_ = max_seq + 1;
+  // Resume strictly above every seq that could have been written — the max
+  // actually seen, and the max durably reserved ceiling. A seq handed out
+  // before the crash (even one sealed into the truncated tail an attacker
+  // may have snapshotted) is never reissued, so a (key, nonce) pair is used
+  // at most once across restarts. seq_ceiling_ stays 0: the first
+  // post-recovery append writes a fresh synced reservation before any new
+  // seq reaches the log.
+  next_seq_ = std::max(max_seq, max_ceiling) + 1;
   report.bytes = valid_total;
   report.torn = truncated;
   if (truncated) {
@@ -466,7 +526,15 @@ void BlobStore::compact() {
   };
   std::vector<Patch> patches;
   util::Bytes compacted;
-  build_meta_frame(compacted, next_seq_++, sealer_->sealing());
+  // The merged head consumes a seq like any record; make sure it falls
+  // under a durable ceiling first (e.g. right after recovery, when no
+  // reservation has been written yet).
+  if (next_seq_ > seq_ceiling_) append_meta();
+  const std::uint8_t flags =
+      static_cast<std::uint8_t>((sealer_->sealing() ? kMetaSealed : 0) |
+                                kMetaCompacted);
+  build_meta_frame(compacted, next_seq_++, flags, seq_ceiling_,
+                   /*prev_end=*/0);
 
   std::size_t before = 0;
   for (const Segment& seg : segs) {
@@ -498,6 +566,14 @@ void BlobStore::compact() {
   }
 
   const std::uint64_t new_id = volume_.replace_prefix(active_id, std::move(compacted));
+  // Post-condition for the positional replacement: exactly [merged, active]
+  // remains. An id-based replacement would leave a prior merged segment
+  // behind (its fresh id exceeds the active's), growing the log forever.
+  if (volume_.segments().size() != 2 ||
+      volume_.segments().front().id != new_id ||
+      volume_.segments().back().id != active_id) {
+    throw std::logic_error("store: compaction did not replace exactly the sealed prefix");
+  }
   for (const Patch& patch : patches) {
     patch.entry->segment_id = new_id;
     patch.entry->offset = patch.new_offset;

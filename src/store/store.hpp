@@ -21,13 +21,27 @@
 // sealing key is wrong (different platform / measurement), and replay fails
 // closed by throwing.
 //
-// Every segment begins with a Meta record (format version + sealed flag) so
-// recovery can reject a log written under a different sealing mode before
-// touching any body. The in-memory index maps each live path to its newest
-// record; decrypted payloads sit in an LRU cache bounded by `cache_bytes`
-// (wired to the EPC ceiling: below the limit reads are EPC-resident, above
-// it they page through unseal — the cache-tier boundary). Overwritten and
-// removed records become garbage; when the garbage ratio of the sealed
+// Meta records carry (in order): a format-version byte, a flag byte
+// (sealed | compacted | chained), a 64-bit *sequence ceiling*, and the
+// predecessor segment's byte length at roll time. The ceiling is the
+// nonce-reuse guard: a Meta frame is always written synced, reserving
+// `seq_reserve` sequence numbers, and no record is appended with a seq
+// above the last durable ceiling. Recovery resumes at
+// max(max seq seen, max ceiling seen) + 1, so a seq that was handed out
+// before a crash — even one sealed into a torn tail an attacker may have
+// snapshotted — is never paired with the key again. The chained
+// predecessor length lets replay detect a mid-log hole (a non-active
+// segment shortened at a frame boundary) and truncate everything after it;
+// the check is skipped right after a compacted segment, whose length
+// legitimately differs from what the successor recorded.
+//
+// Every segment begins with a Meta record so recovery can reject a log
+// written under a different sealing mode before touching any body. The
+// in-memory index maps each live path to its newest record; decrypted
+// payloads sit in an LRU cache bounded by `cache_bytes` (wired to the EPC
+// ceiling: below the limit reads are EPC-resident, above it they page
+// through unseal — the cache-tier boundary). Overwritten and removed
+// records become garbage; when the garbage ratio of the sealed
 // (non-active) segments crosses the threshold, compact() rewrites them,
 // copying live records *verbatim* — bodies are never re-sealed, so a
 // (key, seq) nonce pair is used at most once for the life of the log.
@@ -69,6 +83,12 @@ struct StoreOptions {
   /// Sync the volume after every append (full durability). Turned off by
   /// the bench / torn-write tests to expose unsynced tails to crashes.
   bool sync_every_append = true;
+  /// Sequence numbers reserved (durably, via a synced Meta frame) ahead of
+  /// use. Recovery resumes above the last reserved ceiling, so a seq sealed
+  /// into a crash-truncated tail is never reissued — the nonce-reuse guard.
+  /// Large enough that steady-state appends almost never pay the extra
+  /// synced Meta frame.
+  std::uint64_t seq_reserve = 1 << 16;
 };
 
 struct ReplayReport {
@@ -155,6 +175,7 @@ class BlobStore {
   std::list<std::string> lru_;  // front = most recent
   util::Bytes frame_scratch_;   // reused per append: 0-alloc steady state
   std::uint64_t next_seq_ = 1;
+  std::uint64_t seq_ceiling_ = 0;  // last durably reserved seq (inclusive)
   std::size_t live_bytes_ = 0;
   std::size_t garbage_bytes_ = 0;
   std::size_t cached_bytes_ = 0;

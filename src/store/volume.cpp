@@ -7,6 +7,12 @@
 namespace bento::store {
 
 Segment& Volume::create_segment(std::size_t reserve_bytes) {
+  // Roll == fsync + close of the previous segment file: everything written
+  // so far becomes durable, so only the new active segment can ever hold
+  // unsynced bytes. Without this a crash could drop a non-active segment's
+  // unsynced tail while later (torn-prefix) bytes survive — a silent
+  // mid-log hole that replay's prefix contract forbids.
+  sync();
   Segment seg;
   seg.id = next_id_++;
   seg.data.reserve(reserve_bytes);
@@ -42,24 +48,22 @@ void Volume::crash(std::size_t torn_keep_bytes) {
   }
 }
 
-std::uint64_t Volume::replace_prefix(std::uint64_t before_id, util::Bytes compacted) {
+std::uint64_t Volume::replace_prefix(std::uint64_t keep_from_id, util::Bytes compacted) {
   std::vector<Segment> next;
   next.reserve(segments_.size() + 1);
   Segment merged;
   merged.id = next_id_++;
   merged.data = std::move(compacted);
   merged.synced = merged.data.size();
-  bool inserted = false;
+  const std::uint64_t id = merged.id;
+  next.push_back(std::move(merged));
+  // Positional, not id-ordered: everything before the kept segment is the
+  // compacted prefix, regardless of the ids compaction history assigned.
+  bool keeping = false;
   for (Segment& seg : segments_) {
-    if (seg.id < before_id) continue;  // dropped by compaction
-    if (!inserted) {
-      next.push_back(std::move(merged));
-      inserted = true;
-    }
-    next.push_back(std::move(seg));
+    if (seg.id == keep_from_id) keeping = true;
+    if (keeping) next.push_back(std::move(seg));
   }
-  if (!inserted) next.push_back(std::move(merged));
-  const std::uint64_t id = next.front().id;
   segments_ = std::move(next);
   return id;
 }
@@ -83,6 +87,18 @@ void Volume::truncate_tail(std::size_t bytes) {
     if (it->synced > it->data.size()) it->synced = it->data.size();
     bytes -= drop;
   }
+}
+
+void Volume::shear_segment(std::size_t index, std::size_t keep_bytes) {
+  if (index >= segments_.size()) {
+    throw std::out_of_range("volume: shear_segment index past end");
+  }
+  Segment& seg = segments_[index];
+  if (keep_bytes > seg.data.size()) {
+    throw std::out_of_range("volume: shear_segment cannot grow a segment");
+  }
+  seg.data.resize(keep_bytes);
+  if (seg.synced > seg.data.size()) seg.synced = seg.data.size();
 }
 
 void Volume::corrupt_tail(std::size_t byte_from_end) {

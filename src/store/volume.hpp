@@ -37,6 +37,10 @@ class Volume {
  public:
   /// Opens a fresh segment (becomes the active one) with `reserve_bytes`
   /// of pre-allocated capacity so steady-state appends never reallocate.
+  /// Rolling syncs every existing segment first (the fsync-before-close of
+  /// a real segment file), which pins the invariant crash recovery leans
+  /// on: unsynced bytes only ever live in the *active* segment's tail, so
+  /// a crash can never open a hole in the middle of the log.
   Segment& create_segment(std::size_t reserve_bytes);
 
   /// Appends raw bytes to the active segment; returns the offset the bytes
@@ -51,11 +55,13 @@ class Volume {
   /// survive as a torn (possibly mid-frame) write.
   void crash(std::size_t torn_keep_bytes);
 
-  /// Compaction support: atomically replaces every segment with id <
-  /// `before_id` by a single fully-synced segment containing `compacted`.
-  /// The replacement keeps log order (it is inserted where the dropped
-  /// prefix was). Returns the new segment's id.
-  std::uint64_t replace_prefix(std::uint64_t before_id, util::Bytes compacted);
+  /// Compaction support: atomically replaces every segment *positionally
+  /// preceding* the one whose id is `keep_from_id` by a single fully-synced
+  /// segment containing `compacted`. Position, not id order, defines the
+  /// prefix — merged segments carry fresh (higher) ids, so an id comparison
+  /// would leave a previous compaction's output behind as a duplicate.
+  /// Returns the new segment's id.
+  std::uint64_t replace_prefix(std::uint64_t keep_from_id, util::Bytes compacted);
 
   const std::vector<Segment>& segments() const { return segments_; }
   Segment* active() { return segments_.empty() ? nullptr : &segments_.back(); }
@@ -67,6 +73,10 @@ class Volume {
   /// the log (the active segment's tail).
   void truncate_tail(std::size_t bytes);
   void corrupt_tail(std::size_t byte_from_end);
+  /// Fault-injection: shear segment `index` down to `keep_bytes` — a clean
+  /// mid-log loss (possibly at a frame boundary) that replay's cross-segment
+  /// continuity check must detect. Throws on a bad index or growth.
+  void shear_segment(std::size_t index, std::size_t keep_bytes);
 
  private:
   std::vector<Segment> segments_;

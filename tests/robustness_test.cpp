@@ -301,6 +301,61 @@ TEST(Robustness, PersistentStoreCorruptTailRecoversLongestPrefix) {
   EXPECT_EQ(bu::to_string(d2.outputs.back()), "first version");
 }
 
+TEST(Robustness, RespawnInSameCascadeKeepsDurableStoreName) {
+  // Regression: container destruction is deferred (+0us), so the store-name
+  // claim must be released *eagerly* on removal — otherwise a shutdown
+  // followed by a respawn of the same function within one event cascade is
+  // uniquified onto an empty "dropbox#2" volume and silently loses its
+  // durable state.
+  RecorderScope recorder("persistent_store_respawn_same_cascade");
+  bc::BentoWorldOptions options;
+  options.testbed.seed = chaos_seed(13);
+  options.persistent_store = true;
+  bc::BentoWorld world(options);
+  world.start();
+
+  auto client = world.make_client("alice");
+  auto boxes = bc::BentoClient::find_boxes(world.bed().consensus());
+  ASSERT_FALSE(boxes.empty());
+  auto d = deploy_function(world, client, boxes[0], bf::dropbox_manifest(),
+                           bf::dropbox_source());
+  ASSERT_TRUE(d.tokens.has_value()) << d.error;
+  d.conn->invoke(d.tokens->invocation.bytes(),
+                 bu::to_bytes("PUT:durable payload"));
+  world.run();
+  ASSERT_FALSE(d.outputs.empty());
+  EXPECT_EQ(bu::to_string(d.outputs.back()), "OK");
+
+  bc::BentoServer* server = world.server_for(boxes[0]);
+  ASSERT_NE(server, nullptr);
+  bs::BlobStore* dbox = store_of(server, "dropbox");
+  ASSERT_NE(dbox, nullptr);
+  const bento::crypto::Digest digest = dbox->snapshot_digest();
+  std::uint64_t id = 0;
+  for (const bc::Container* container : server->containers()) {
+    if (container->manifest().name == "dropbox") id = container->id();
+  }
+  ASSERT_NE(id, 0u);
+
+  // Shutdown, then reopen the store before any deferred event has run —
+  // exactly what a respawn arriving in the same delivery cascade does.
+  server->container_died(id, "test: shutdown before respawn");
+  std::string key;
+  auto reopened = server->take_or_open_store("dropbox", &key);
+  EXPECT_EQ(key, "dropbox");
+  ASSERT_NE(reopened, nullptr);
+  EXPECT_EQ(reopened->snapshot_digest(), digest);
+
+  // Draining the deferred destructor must not disturb the new claim, and
+  // no uniquified ghost volume may have been created.
+  world.run();
+  for (const std::string& vol : server->volumes().keys()) {
+    EXPECT_EQ(vol.find('#'), std::string::npos) << vol;
+  }
+  EXPECT_EQ(*reopened->get("drop.bin"), bu::to_bytes("durable payload"));
+  server->release_store_name(key);
+}
+
 TEST(Robustness, RelaySurvivesGarbageMessages) {
   bt::Testbed bed;
   bed.finalize();

@@ -1,6 +1,8 @@
 // Sandbox: resource accounting, syscall filtering, chroot VFS, netfilter.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "sandbox/netfilter.hpp"
 #include "sandbox/resources.hpp"
 #include "sandbox/syscalls.hpp"
@@ -159,6 +161,57 @@ TEST(Vfs, ReadWriteRemoveAccounting) {
   EXPECT_EQ(acct.usage().disk_bytes, 20u);
   EXPECT_EQ(vfs.list().size(), 1u);
   EXPECT_EQ(vfs.file_count(), 1u);
+}
+
+TEST(Vfs, UnwritablePathsRejectedUniformlyAcrossBackends) {
+  // "/" normalizes to the empty key, which the blob store refuses; the Vfs
+  // must reject it up front so guests see identical behavior on the memory
+  // and persistent mounts, and the accountant is never charged for it.
+  sb::ResourceLimits limits;
+  limits.disk_bytes = 100;
+
+  sb::ResourceAccountant mem_acct(limits);
+  sb::Vfs mem_vfs(std::make_unique<sb::MemoryBackend>(), mem_acct);
+  EXPECT_THROW(mem_vfs.write("/", bu::to_bytes("x")), std::invalid_argument);
+  EXPECT_EQ(mem_acct.usage().disk_bytes, 0u);
+  EXPECT_EQ(mem_vfs.file_count(), 0u);
+
+  sb::ResourceAccountant store_acct(limits);
+  bento::store::Volume volume;
+  bento::store::BlobStore blob(volume, bento::store::make_null_sealer());
+  blob.replay();
+  sb::Vfs store_vfs(std::make_unique<sb::StoreBackend>(&blob), store_acct);
+  EXPECT_THROW(store_vfs.write("/", bu::to_bytes("x")), std::invalid_argument);
+  EXPECT_THROW(store_vfs.write("a/../..", bu::to_bytes("x")),
+               std::invalid_argument);
+  EXPECT_EQ(store_acct.usage().disk_bytes, 0u);
+  EXPECT_EQ(blob.live_files(), 0u);
+}
+
+TEST(Vfs, FailedBackendPutRollsBackDiskCharge) {
+  // If the backend throws after the charge, the accountant must be restored
+  // — a guest must not be able to leak quota via failed writes.
+  class ThrowingBackend final : public sb::VfsBackend {
+   public:
+    void put(const std::string&, bu::ByteView) override {
+      throw std::runtime_error("media error");
+    }
+    std::optional<bu::Bytes> get(const std::string&) const override {
+      return std::nullopt;
+    }
+    bool erase(const std::string&) override { return false; }
+    std::vector<std::string> keys() const override { return {}; }
+  };
+  sb::ResourceLimits limits;
+  limits.disk_bytes = 100;
+  sb::ResourceAccountant acct(limits);
+  sb::Vfs vfs(std::make_unique<ThrowingBackend>(), acct);
+  EXPECT_THROW(vfs.write("a", bu::Bytes(60, 1)), std::runtime_error);
+  EXPECT_EQ(acct.usage().disk_bytes, 0u);
+  EXPECT_FALSE(vfs.exists("a"));
+  // The full budget is still available afterwards.
+  acct.charge_disk(100);
+  EXPECT_EQ(acct.usage().disk_bytes, 100u);
 }
 
 TEST(Vfs, MissingFileBehaviour) {

@@ -38,6 +38,37 @@ std::unique_ptr<bs::BlobStore> open_store(bs::Volume& volume,
   return store;
 }
 
+std::uint32_t load_le32_at(const bu::Bytes& d, std::size_t off) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(d[off + i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t load_le64_at(const bu::Bytes& d, std::size_t off) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(d[off + i]) << (8 * i);
+  return v;
+}
+
+/// Largest seq present in any raw frame header on the volume, including a
+/// torn trailing header as long as its seq field (bytes 12..19) survives.
+/// Reads the media directly — no CRC checks — because the question it
+/// answers is "what could an attacker have snapshotted?".
+std::uint64_t max_raw_seq(const bs::Volume& volume) {
+  std::uint64_t max_seq = 0;
+  for (const bs::Segment& seg : volume.segments()) {
+    std::size_t off = 0;
+    while (off + 20 <= seg.data.size()) {
+      max_seq = std::max(max_seq, load_le64_at(seg.data, off + 12));
+      if (off + 24 > seg.data.size()) break;  // torn header: no len field
+      const std::uint32_t len = load_le32_at(seg.data, off + 8);
+      if (len < 24) break;
+      off += len;
+    }
+  }
+  return max_seq;
+}
+
 }  // namespace
 
 TEST(Store, Crc32cKnownAnswers) {
@@ -284,6 +315,159 @@ TEST(Store, LruCacheHonoursCeiling) {
   for (int i = 0; i < 8; ++i) {
     EXPECT_EQ(*store->get("/f" + std::to_string(i)), payloads[i]);
   }
+}
+
+TEST(Store, SeqNeverReusedAfterTornCrashRecovery) {
+  // The nonce-reuse guard: records sealed into a tail the crash truncates
+  // used (key, seq) pairs an attacker may have snapshotted. Recovery must
+  // resume ABOVE every seq ever written — the durable ceiling in the Meta
+  // frames — not merely above the surviving prefix's max.
+  bs::Volume volume;
+  bs::StoreOptions opts;
+  opts.sync_every_append = false;
+  const bcr::ChaChaKey key = test_key(11);
+  bu::Rng rng(41);
+  {
+    auto store = open_store(volume, bs::make_chapoly_sealer(key), opts);
+    store->put("/durable/a", rng.bytes(600));
+    store->put("/durable/b", rng.bytes(600));
+    volume.sync();
+    store->put("/lost/1", rng.bytes(600));
+    store->put("/lost/2", rng.bytes(600));
+  }
+  const std::uint64_t max_written = max_raw_seq(volume);
+  ASSERT_GE(max_written, 4u);  // meta + four puts
+  volume.crash(/*torn_keep_bytes=*/40);
+
+  auto recovered = std::make_unique<bs::BlobStore>(
+      volume, bs::make_chapoly_sealer(key), opts);
+  ASSERT_TRUE(recovered->replay().torn);
+  const std::size_t replayed_end = volume.segments().back().data.size();
+  recovered->put("/fresh", rng.bytes(600));
+
+  // Every frame appended after recovery (reservation Meta included) must
+  // carry a seq strictly above anything the pre-crash log ever held.
+  const bu::Bytes& active = volume.segments().back().data;
+  std::size_t off = replayed_end;
+  std::size_t post_frames = 0;
+  while (off + 24 <= active.size()) {
+    EXPECT_GT(load_le64_at(active, off + 12), max_written);
+    const std::uint32_t len = load_le32_at(active, off + 8);
+    ASSERT_GE(len, 24u);
+    off += len;
+    ++post_frames;
+  }
+  EXPECT_GE(post_frames, 2u);  // fresh reservation Meta, then the record
+}
+
+TEST(Store, RepeatedCompactionKeepsLogBounded) {
+  // Regression: replace_prefix used to drop segments by id comparison, but
+  // a merged segment's fresh id exceeds the active's, so a second compact()
+  // (reachable before any new roll on delete-heavy logs) duplicated the
+  // previous merged segment and the log grew monotonically.
+  bs::Volume volume;
+  bs::StoreOptions opts;
+  opts.segment_bytes = 4096;
+  const bcr::ChaChaKey key = test_key(17);
+  auto store = open_store(volume, bs::make_chapoly_sealer(key), opts);
+
+  bu::Rng rng(23);
+  for (int round = 0; round < 30; ++round) {
+    for (int f = 0; f < 5; ++f) {
+      store->put("/f" + std::to_string(f), rng.bytes(700));
+    }
+  }
+  ASSERT_TRUE(store->wants_compaction());
+  store->compact();
+  const bcr::Digest digest = store->snapshot_digest();
+  const std::size_t log_after_first = store->log_bytes();
+  ASSERT_EQ(volume.segments().size(), 2u);  // merged + active
+
+  store->compact();
+  EXPECT_EQ(volume.segments().size(), 2u);
+  EXPECT_LE(store->log_bytes(), log_after_first);
+  EXPECT_EQ(store->snapshot_digest(), digest);
+
+  // Still replays clean to the same namespace.
+  auto reopened = std::make_unique<bs::BlobStore>(
+      volume, bs::make_chapoly_sealer(key), opts);
+  EXPECT_FALSE(reopened->replay().torn);
+  EXPECT_EQ(reopened->snapshot_digest(), digest);
+}
+
+TEST(Store, MidLogShearIsDetectedAndTruncated) {
+  // A frame-aligned loss inside a non-active segment leaves every per-frame
+  // CRC valid; only the successor head's chained predecessor-length can see
+  // the hole. Replay must truncate everything from the hole onward instead
+  // of silently recovering a non-prefix state.
+  bs::Volume volume;
+  bs::StoreOptions opts;
+  opts.segment_bytes = 4096;
+  const bcr::ChaChaKey key = test_key(14);
+  bu::Rng rng(51);
+  {
+    auto store = open_store(volume, bs::make_chapoly_sealer(key), opts);
+    for (int i = 0; i < 12; ++i) {
+      store->put("/f" + std::to_string(i), rng.bytes(700));
+    }
+  }
+  ASSERT_GE(volume.segments().size(), 3u);
+
+  // Shear segment 0 at its final frame boundary (drop exactly one frame).
+  const bu::Bytes& seg0 = volume.segments()[0].data;
+  std::size_t last_start = 0;
+  for (std::size_t off = 0; off + 24 <= seg0.size();) {
+    const std::uint32_t len = load_le32_at(seg0, off + 8);
+    if (len < 24 || off + len > seg0.size()) break;
+    last_start = off;
+    off += len;
+  }
+  ASSERT_GT(last_start, 0u);
+  volume.shear_segment(0, last_start);
+
+  auto recovered = std::make_unique<bs::BlobStore>(
+      volume, bs::make_chapoly_sealer(key), opts);
+  const bs::ReplayReport report = recovered->replay();
+  EXPECT_TRUE(report.torn);
+  EXPECT_GT(report.truncated_bytes, 0u);
+
+  // Exactly the put frames still physically in segment 0 survive; nothing
+  // past the hole does (paths are unique, so puts == live files).
+  std::size_t surviving_puts = 0;
+  const bu::Bytes& sheared = volume.segments()[0].data;
+  for (std::size_t off = 0; off + 24 <= sheared.size();) {
+    if (sheared[off + 20] == 1) ++surviving_puts;
+    off += load_le32_at(sheared, off + 8);
+  }
+  ASSERT_GT(surviving_puts, 0u);
+  ASSERT_LT(surviving_puts, 12u);
+  EXPECT_EQ(report.live_files, surviving_puts);
+  EXPECT_TRUE(recovered->contains("/f0"));
+  EXPECT_FALSE(recovered->contains("/f11"));
+
+  // The truncation is physical: a clean reopen agrees byte for byte.
+  auto clean = std::make_unique<bs::BlobStore>(
+      volume, bs::make_chapoly_sealer(key), opts);
+  EXPECT_FALSE(clean->replay().torn);
+  EXPECT_EQ(clean->snapshot_digest(), recovered->snapshot_digest());
+}
+
+TEST(Store, SegmentRollSyncsPriorSegments) {
+  // create_segment is fsync-before-close: after a roll, only the active
+  // segment can hold unsynced bytes, so a crash cannot open a hole behind
+  // the active segment.
+  bs::Volume volume;
+  volume.create_segment(256);
+  bu::Rng rng(3);
+  volume.append(rng.bytes(100));  // never explicitly synced
+  EXPECT_EQ(volume.unsynced_bytes(), 100u);
+  volume.create_segment(256);
+  EXPECT_EQ(volume.unsynced_bytes(), 0u);
+  volume.append(rng.bytes(50));
+  volume.crash(/*torn_keep_bytes=*/0);
+  ASSERT_EQ(volume.segments().size(), 2u);
+  EXPECT_EQ(volume.segments()[0].data.size(), 100u);  // survived the roll
+  EXPECT_EQ(volume.segments()[1].data.size(), 0u);    // unsynced tail gone
 }
 
 TEST(Store, VolumeManagerCrashIsDeterministic) {
